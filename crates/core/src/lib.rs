@@ -1,0 +1,56 @@
+//! # daydream-core — the DayDream scheduler
+//!
+//! The paper's primary contribution (Sec. III–IV): executing dynamic
+//! scientific workflow DAGs on a serverless platform with **hot starts**.
+//!
+//! * [`predictor`] — the Weibull phase-concurrency predictor: historic
+//!   (α_h, β_h) parameters, per-interval χ² re-fits of the running
+//!   histogram, and the parameter averaging of Eqs. 1–3,
+//! * [`tiering`] — high-end-friendly fraction tracking (the 20% slowdown
+//!   threshold) and the two-tier pool split,
+//! * [`optimizer`] — the joint service-time + service-cost objective over
+//!   per-component tier (γ) and hot/cold (δ) choices, with a local-search
+//!   solver seeded by Algorithm 1's greedy policy,
+//! * [`scheduler`] — [`DayDreamScheduler`], wiring it all into the
+//!   platform's callbacks (half-phase hot starts, placement, surplus
+//!   termination),
+//! * [`history`] — cross-run learning: the first run fits the historic
+//!   distribution; later runs start from it,
+//! * [`config`] — the paper's knobs (p_int = 25, threshold 20%, equal
+//!   time/cost weights) and their sensitivity ranges.
+//!
+//! ```
+//! use daydream_core::{DayDreamHistory, DayDreamScheduler};
+//! use dd_platform::FaasExecutor;
+//! use dd_stats::SeedStream;
+//! use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec};
+//!
+//! let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(20);
+//! let runtimes = spec.runtimes.clone();
+//! let generator = RunGenerator::new(spec, 42);
+//!
+//! // First run: learn; later runs: schedule with hot starts.
+//! let mut history = DayDreamHistory::new();
+//! history.learn_from_run(&generator.generate(0), 0.20, 24);
+//! let run = generator.generate(1);
+//! let mut scheduler = DayDreamScheduler::aws(&history, SeedStream::new(7));
+//! let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut scheduler);
+//!
+//! let (_, hot, cold) = outcome.start_counts();
+//! assert!(hot > cold, "hot starts dominate");
+//! assert!(outcome.service_cost() > 0.0);
+//! ```
+
+pub mod config;
+pub mod history;
+pub mod optimizer;
+pub mod predictor;
+pub mod scheduler;
+pub mod tiering;
+
+pub use config::DayDreamConfig;
+pub use history::DayDreamHistory;
+pub use optimizer::{ObjectiveWeights, PlacementOptimizer};
+pub use predictor::WeibullPredictor;
+pub use scheduler::DayDreamScheduler;
+pub use tiering::FriendlyTracker;

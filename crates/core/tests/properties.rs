@@ -1,0 +1,176 @@
+//! Property-based tests of the DayDream core: the placement optimizer's
+//! contract and the predictor's behavior under arbitrary inputs.
+
+use daydream_core::predictor::fit_historic;
+use daydream_core::{DayDreamConfig, ObjectiveWeights, PlacementOptimizer, WeibullPredictor};
+use dd_platform::pool::InstanceId;
+use dd_platform::pricing::PriceSheet;
+use dd_platform::{InstanceView, SimTime, StartupModel, Tier};
+use dd_stats::{SeedStream, Weibull};
+use dd_wfdag::{ComponentInstance, ComponentTypeId, LanguageRuntime, Phase};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn optimizer() -> PlacementOptimizer {
+    PlacementOptimizer::new(
+        StartupModel::aws(),
+        PriceSheet::aws(),
+        ObjectiveWeights::default(),
+        0.20,
+        128,
+    )
+}
+
+/// Strategy: a phase of 1..40 components with varied times/slowdowns.
+fn phase_strategy() -> impl Strategy<Value = Phase> {
+    proptest::collection::vec((0.5f64..10.0, 0.0f64..0.8, 0u32..12), 1..40).prop_map(|specs| {
+        Phase {
+            index: 0,
+            components: specs
+                .into_iter()
+                .map(|(he, slow, ty)| ComponentInstance {
+                    type_id: ComponentTypeId(ty),
+                    exec_he_secs: he,
+                    exec_le_secs: he * (1.0 + slow),
+                    read_mb: 5.0,
+                    write_mb: 10.0,
+                    cpu_demand: 0.5,
+                    mem_gb: 1.0,
+                })
+                .collect(),
+        }
+    })
+}
+
+/// Strategy: a pool of 0..40 hot instances with mixed tiers and readiness.
+fn pool_strategy() -> impl Strategy<Value = Vec<InstanceView>> {
+    proptest::collection::vec((proptest::bool::ANY, 0.0f64..5.0), 0..40).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (high, ready))| InstanceView {
+                id: InstanceId(i as u64),
+                tier: if high { Tier::HighEnd } else { Tier::LowEnd },
+                preload: None,
+                ready_at: SimTime::from_secs(ready),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimizer's contract: one placement per component, no instance
+    /// used twice, referenced instances exist, and tiers match the
+    /// instances they reference.
+    #[test]
+    fn placements_always_valid(phase in phase_strategy(), pool in pool_strategy()) {
+        let runtimes = [LanguageRuntime::Python];
+        let placements = optimizer().place(&phase, &pool, SimTime::ZERO, &runtimes);
+        prop_assert_eq!(placements.len(), phase.components.len());
+        let mut seen = BTreeSet::new();
+        for p in &placements {
+            if let Some(id) = p.instance {
+                prop_assert!(seen.insert(id), "instance {} reused", id);
+                let inst = pool.iter().find(|i| i.id == id);
+                prop_assert!(inst.is_some(), "unknown instance {}", id);
+                prop_assert_eq!(inst.unwrap().tier, p.tier, "tier mismatch");
+            }
+        }
+    }
+
+    /// When the pool is at least as large as the phase and instantly
+    /// ready, nothing cold starts (hot always beats cold for ready
+    /// instances at these parameters).
+    #[test]
+    fn ample_ready_pool_eliminates_cold_starts(phase in phase_strategy()) {
+        let runtimes = [LanguageRuntime::Python];
+        let pool: Vec<InstanceView> = (0..phase.components.len() * 2)
+            .map(|i| InstanceView {
+                id: InstanceId(i as u64),
+                tier: if i % 2 == 0 { Tier::HighEnd } else { Tier::LowEnd },
+                preload: None,
+                ready_at: SimTime::ZERO,
+            })
+            .collect();
+        let placements = optimizer().place(&phase, &pool, SimTime::ZERO, &runtimes);
+        let cold = placements.iter().filter(|p| p.instance.is_none()).count();
+        prop_assert_eq!(cold, 0, "cold starts despite ample ready pool");
+    }
+
+    /// With an empty pool, every placement is a high-end cold start (the
+    /// paper's overflow rule).
+    #[test]
+    fn empty_pool_all_high_end_cold(phase in phase_strategy()) {
+        let runtimes = [LanguageRuntime::Python];
+        let placements = optimizer().place(&phase, &[], SimTime::ZERO, &runtimes);
+        for p in &placements {
+            prop_assert!(p.instance.is_none());
+            prop_assert_eq!(p.tier, Tier::HighEnd);
+        }
+    }
+
+    /// Predictor samples are always ≥ 1 and track the current
+    /// distribution's scale for arbitrary parameters.
+    #[test]
+    fn predictor_samples_positive(alpha in 1.0f64..120.0, beta in 0.8f64..10.0, seed in 0u64..50) {
+        let historic = Weibull::new(alpha, beta).unwrap();
+        let config = DayDreamConfig::default();
+        let mut p = WeibullPredictor::new(historic, &config, SeedStream::new(seed));
+        let mut sum = 0.0;
+        for _ in 0..300 {
+            let s = p.sample_hot_starts();
+            prop_assert!(s >= 1);
+            sum += f64::from(s);
+        }
+        let mean = sum / 300.0;
+        // Within a loose band of the analytic mean (clamping at 1 biases
+        // small-scale distributions upward).
+        prop_assert!(
+            mean >= historic.mean() * 0.7 - 1.0 && mean <= historic.mean() * 1.3 + 2.0,
+            "sample mean {mean:.1} vs analytic {:.1}", historic.mean()
+        );
+    }
+
+    /// fit_historic recovers scale within 30% across the calibration
+    /// range whenever it succeeds, and succeeds for non-degenerate data.
+    #[test]
+    fn fit_historic_roundtrip(alpha in 4.0f64..100.0, beta in 1.5f64..8.0, seed in 0u64..30) {
+        let truth = Weibull::new(alpha, beta).unwrap();
+        let mut rng = SeedStream::new(seed).rng();
+        let samples: Vec<u32> = (0..800).map(|_| truth.sample_count(&mut rng)).collect();
+        let fitted = fit_historic(samples, 24);
+        prop_assert!(fitted.is_some(), "fit failed for alpha={alpha}, beta={beta}");
+        let f = fitted.unwrap();
+        prop_assert!(
+            (f.alpha() - alpha).abs() < alpha * 0.30,
+            "alpha {alpha:.1} fitted {:.1}", f.alpha()
+        );
+    }
+
+    /// Observation never panics and interval counting is exact, for any
+    /// concurrency stream and interval.
+    #[test]
+    fn observe_interval_arithmetic(
+        concurrencies in proptest::collection::vec(1u32..200, 1..120),
+        p_int in 1usize..30,
+    ) {
+        let config = DayDreamConfig::default().with_phase_interval(p_int);
+        let mut p = WeibullPredictor::new(
+            Weibull::new(10.0, 3.0).unwrap(),
+            &config,
+            SeedStream::new(1),
+        );
+        for &c in &concurrencies {
+            p.observe(c);
+        }
+        // Degenerate histograms (e.g. a single repeated value) skip their
+        // re-fit by design, so completed intervals are an upper bound.
+        prop_assert!(p.interval_count() <= concurrencies.len() / p_int);
+        prop_assert_eq!(p.observed_histogram().total() as usize, concurrencies.len());
+        // With a spread-out stream the fits succeed and the count is
+        // exact (`refit_interval_boundary_exact` in the unit tests pins
+        // the deterministic case).
+    }
+}

@@ -1,0 +1,35 @@
+//! # dd-baselines — the competing techniques of the evaluation
+//!
+//! Every scheduler the paper compares DayDream against (Sec. IV,
+//! "Competing techniques"):
+//!
+//! * [`wild`] — **Serverless in the Wild** (Shahrad et al., ATC'20):
+//!   histogram + ARIMA time-series prediction of *per-component*
+//!   concurrency, warm-starting component-paired instances. Effective for
+//!   enterprise workloads; the paper shows why it mispredicts dynamic HPC
+//!   DAGs (Fig. 8).
+//! * [`pegasus`] — **Pegasus**: the state-of-the-art HPC workflow manager,
+//!   executing on a rented cluster of `max phase concurrency` nodes, cold
+//!   process starts, parallel-file-system I/O, whole-cluster billing.
+//! * [`oracle`] — the practically infeasible lower bound: hot starts
+//!   exactly the phase concurrency, never wastes, never cold starts.
+//! * [`naive`] — all cold starts (sanity floor for hot-start benefit).
+//! * [`hybrid`] — the paper's named future work: DayDream's hot starts
+//!   combined with Wild-style warm pairing of confidently predictable
+//!   components.
+//! * [`fixedpool`] — the paper's "excessively high pre-loading is cost
+//!   prohibitive" strawman: a fixed hot pool with no prediction.
+
+pub mod fixedpool;
+pub mod hybrid;
+pub mod naive;
+pub mod oracle;
+pub mod pegasus;
+pub mod wild;
+
+pub use fixedpool::FixedPoolScheduler;
+pub use hybrid::HybridScheduler;
+pub use naive::NaiveScheduler;
+pub use oracle::OracleScheduler;
+pub use pegasus::Pegasus;
+pub use wild::WildScheduler;

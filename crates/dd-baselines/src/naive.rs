@@ -1,0 +1,63 @@
+//! The naive baseline: no pre-starting at all.
+//!
+//! Every component cold starts on a high-end instance. This is the floor
+//! any pre-warming scheme must beat, and isolates the total cold-start
+//! cost of a run.
+
+use dd_platform::{
+    InstanceView, Placement, PhaseObservation, PoolRequest, RunInfo, ServerlessScheduler,
+    SimTime, Tier,
+};
+use dd_wfdag::Phase;
+
+/// All-cold scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveScheduler;
+
+impl ServerlessScheduler for NaiveScheduler {
+    fn name(&self) -> &'static str {
+        "naive-cold"
+    }
+
+    fn initial_pool(&mut self, _: &RunInfo) -> PoolRequest {
+        PoolRequest::none()
+    }
+
+    fn pool_for_next_phase(&mut self, _: usize, _: &PhaseObservation) -> PoolRequest {
+        PoolRequest::none()
+    }
+
+    fn place(&mut self, phase: &Phase, _: &[InstanceView], _: SimTime) -> Vec<Placement> {
+        phase
+            .components
+            .iter()
+            .map(|_| Placement {
+                tier: Tier::HighEnd,
+                instance: None,
+            })
+            .collect()
+    }
+
+    fn overhead_secs(&self) -> f64 {
+        0.0005
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_platform::FaasExecutor;
+    use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec};
+
+    #[test]
+    fn everything_cold() {
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(10);
+        let runtimes = spec.runtimes.clone();
+        let run = RunGenerator::new(spec, 1).generate(0);
+        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut NaiveScheduler);
+        let (w, h, c) = outcome.start_counts();
+        assert_eq!((w, h), (0, 0));
+        assert_eq!(c as usize, run.total_components());
+        assert_eq!(outcome.ledger.keep_alive(), 0.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! End-to-end simulator throughput: full runs under each scheduler.
+//!
+//! These are the numbers that make 50-runs × 3-workflows × 4-schedulers
+//! evaluation grids cheap to regenerate: a scaled CCL run (≈ 100
+//! components) simulates in well under a millisecond per scheduler.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use daydream_core::{DayDreamHistory, DayDreamScheduler};
+use dd_baselines::{OracleScheduler, Pegasus, WildScheduler};
+use dd_platform::{DesFaasExecutor, FaasExecutor};
+use dd_stats::SeedStream;
+use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec};
+use std::hint::black_box;
+
+fn setup() -> (
+    dd_wfdag::WorkflowRun,
+    Vec<dd_wfdag::LanguageRuntime>,
+    DayDreamHistory,
+) {
+    let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(10);
+    let runtimes = spec.runtimes.clone();
+    let gen = RunGenerator::new(spec, 1);
+    let mut history = DayDreamHistory::new();
+    history.learn_from_run(&gen.generate(1_000), 0.20, 24);
+    (gen.generate(0), runtimes, history)
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let (run, runtimes, history) = setup();
+    let executor = FaasExecutor::aws();
+    let mut group = c.benchmark_group("executor/ccl_scaled_run");
+
+    group.bench_function("daydream", |b| {
+        b.iter_batched(
+            || DayDreamScheduler::aws(&history, SeedStream::new(7)),
+            |mut s| black_box(executor.execute(&run, &runtimes, &mut s)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("oracle", |b| {
+        b.iter_batched(
+            || OracleScheduler::new(run.clone(), 0.20),
+            |mut s| black_box(executor.execute(&run, &runtimes, &mut s)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("wild", |b| {
+        b.iter_batched(
+            WildScheduler::new,
+            |mut s| black_box(executor.execute(&run, &runtimes, &mut s)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("pegasus", |b| {
+        b.iter(|| black_box(Pegasus.execute(&run, &runtimes)))
+    });
+    // The event-driven cross-check executor: how much the explicit event
+    // queue costs relative to the analytic fast path.
+    let des = DesFaasExecutor::aws();
+    group.bench_function("daydream_des", |b| {
+        b.iter_batched(
+            || DayDreamScheduler::aws(&history, SeedStream::new(7)),
+            |mut s| black_box(des.execute(&run, &runtimes, &mut s)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let gen = RunGenerator::new(WorkflowSpec::new(Workflow::Ccl).scaled_down(10), 1);
+    let mut idx = 0usize;
+    c.bench_function("executor/generate_ccl_run", |b| {
+        b.iter(|| {
+            idx += 1;
+            black_box(gen.generate(idx))
+        })
+    });
+}
+
+criterion_group!(benches, bench_schedulers, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Benchmarks of the joint (γ, δ) placement optimizer.
+//!
+//! Placement runs once per phase on the critical path, so it must stay
+//! far below the ~1 ms decision budget even at Cosmoscout-VR's ~90
+//! components per phase. The greedy seed is O(n log n); the hill climb is
+//! bounded by the tabulated cost matrix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use daydream_core::{ObjectiveWeights, PlacementOptimizer};
+use dd_platform::pool::InstanceId;
+use dd_platform::pricing::PriceSheet;
+use dd_platform::{InstanceView, SimTime, StartupModel, Tier};
+use dd_wfdag::{ComponentInstance, ComponentTypeId, LanguageRuntime, Phase};
+use std::hint::black_box;
+
+fn phase_of(n: usize) -> Phase {
+    Phase {
+        index: 0,
+        components: (0..n)
+            .map(|i| ComponentInstance {
+                type_id: ComponentTypeId(i as u32 % 13),
+                exec_he_secs: 2.0 + (i % 7) as f64 * 0.6,
+                exec_le_secs: 2.0 + (i % 7) as f64 * 0.6 + if i % 3 == 0 { 1.2 } else { 0.05 },
+                read_mb: 5.0,
+                write_mb: 10.0,
+                cpu_demand: 0.5,
+                mem_gb: 1.0,
+            })
+            .collect(),
+    }
+}
+
+fn pool_of(n: usize) -> Vec<InstanceView> {
+    (0..n)
+        .map(|i| InstanceView {
+            id: InstanceId(i as u64),
+            tier: if i % 2 == 0 {
+                Tier::HighEnd
+            } else {
+                Tier::LowEnd
+            },
+            preload: None,
+            ready_at: SimTime::ZERO,
+        })
+        .collect()
+}
+
+fn bench_place(c: &mut Criterion) {
+    let optimizer = PlacementOptimizer::new(
+        StartupModel::aws(),
+        PriceSheet::aws(),
+        ObjectiveWeights::default(),
+        0.20,
+        128,
+    );
+    let runtimes = [LanguageRuntime::Python];
+    let mut group = c.benchmark_group("optimizer/place");
+    for n in [9usize, 17, 90, 128] {
+        let phase = phase_of(n);
+        let pool = pool_of(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(optimizer.place(&phase, &pool, SimTime::ZERO, &runtimes)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_place_greedy_only(c: &mut Criterion) {
+    // Above the search cap the optimizer degrades to the greedy policy.
+    let optimizer = PlacementOptimizer::new(
+        StartupModel::aws(),
+        PriceSheet::aws(),
+        ObjectiveWeights::default(),
+        0.20,
+        0,
+    );
+    let runtimes = [LanguageRuntime::Python];
+    let phase = phase_of(90);
+    let pool = pool_of(90);
+    c.bench_function("optimizer/place_greedy_90", |b| {
+        b.iter(|| black_box(optimizer.place(&phase, &pool, SimTime::ZERO, &runtimes)))
+    });
+}
+
+criterion_group!(benches, bench_place, bench_place_greedy_only);
+criterion_main!(benches);

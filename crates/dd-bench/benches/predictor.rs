@@ -1,0 +1,55 @@
+//! Benchmarks of DayDream's prediction hot path.
+//!
+//! The paper's overhead claim (0.028% of a 3.56 s component execution
+//! ≈ 1 ms per decision) rests on prediction being cheap: sampling is a
+//! single inverse-transform draw, and the χ² re-fit runs only once per
+//! `p_int` phases.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use daydream_core::predictor::{fit_historic, WeibullPredictor};
+use daydream_core::DayDreamConfig;
+use dd_stats::{SeedStream, Weibull};
+use std::hint::black_box;
+
+fn bench_sampling(c: &mut Criterion) {
+    let config = DayDreamConfig::default();
+    let historic = Weibull::new(90.0, 3.2).unwrap();
+    let mut predictor = WeibullPredictor::new(historic, &config, SeedStream::new(1));
+    c.bench_function("predictor/sample_hot_starts", |b| {
+        b.iter(|| black_box(predictor.sample_hot_starts()))
+    });
+}
+
+fn bench_observe_with_refit(c: &mut Criterion) {
+    // Worst case: every observation lands on a re-fit boundary
+    // (p_int = 1), on a histogram of 1 000 prior phases.
+    let config = DayDreamConfig::default().with_phase_interval(1);
+    let historic = Weibull::new(90.0, 3.2).unwrap();
+    let mut rng = SeedStream::new(2).rng();
+    let mut warm = WeibullPredictor::new(historic, &config, SeedStream::new(3));
+    for _ in 0..1_000 {
+        warm.observe(historic.sample_count(&mut rng));
+    }
+    c.bench_function("predictor/observe_with_refit_1000", |b| {
+        b.iter_batched(
+            || (warm.clone(), historic.sample_count(&mut rng)),
+            |(mut p, sample)| {
+                p.observe(sample);
+                black_box(p.interval_count())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_fit_historic(c: &mut Criterion) {
+    let truth = Weibull::new(90.0, 3.2).unwrap();
+    let mut rng = SeedStream::new(4).rng();
+    let samples: Vec<u32> = (0..1_100).map(|_| truth.sample_count(&mut rng)).collect();
+    c.bench_function("predictor/fit_historic_1100_phases", |b| {
+        b.iter(|| black_box(fit_historic(samples.iter().copied(), 24)))
+    });
+}
+
+criterion_group!(benches, bench_sampling, bench_observe_with_refit, bench_fit_historic);
+criterion_main!(benches);

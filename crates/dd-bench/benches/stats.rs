@@ -1,0 +1,54 @@
+//! Benchmarks of the statistics substrate: Weibull fitting, χ², ARIMA.
+//!
+//! The Wild baseline calls ARIMA per component type per phase, so the fit
+//! cost bounds Wild's simulated decision throughput; the χ² grid search
+//! bounds DayDream's re-fit cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dd_stats::{
+    chi2_statistic, fit_weibull_grid, Arima, ArimaConfig, Histogram, SeedStream, Weibull,
+};
+use std::hint::black_box;
+
+fn bench_weibull_grid(c: &mut Criterion) {
+    let truth = Weibull::new(10.0, 3.2).unwrap();
+    let mut rng = SeedStream::new(1).rng();
+    let hist: Histogram = (0..1_000).map(|_| truth.sample_count(&mut rng)).collect();
+    c.bench_function("stats/fit_weibull_grid_24x24", |b| {
+        b.iter(|| black_box(fit_weibull_grid(&hist, (4.0, 16.0), (1.0, 6.0), 24)))
+    });
+}
+
+fn bench_arima_fit_forecast(c: &mut Criterion) {
+    let mut rng = SeedStream::new(2).rng();
+    let truth = Weibull::new(10.0, 3.2).unwrap();
+    let series: Vec<f64> = (0..48).map(|_| truth.sample(&mut rng)).collect();
+    c.bench_function("stats/arima_311_fit_forecast_48", |b| {
+        b.iter(|| black_box(Arima::forecast_or_mean(&series, ArimaConfig::wild_default())))
+    });
+}
+
+fn bench_chi2(c: &mut Criterion) {
+    let observed: Vec<f64> = (0..256).map(|i| (i % 17) as f64).collect();
+    let expected: Vec<f64> = (0..256).map(|i| 8.0 + (i % 3) as f64).collect();
+    c.bench_function("stats/chi2_statistic_256", |b| {
+        b.iter(|| black_box(chi2_statistic(&observed, &expected)))
+    });
+}
+
+fn bench_weibull_sample(c: &mut Criterion) {
+    let w = Weibull::new(90.0, 3.2).unwrap();
+    let mut rng = SeedStream::new(3).rng();
+    c.bench_function("stats/weibull_sample", |b| {
+        b.iter(|| black_box(w.sample(&mut rng)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_weibull_grid,
+    bench_arima_fit_forecast,
+    bench_chi2,
+    bench_weibull_sample
+);
+criterion_main!(benches);

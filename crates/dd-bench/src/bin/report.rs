@@ -1,0 +1,154 @@
+//! The experiment report CLI: regenerates every table and figure of the
+//! DayDream paper.
+//!
+//! ```bash
+//! report                 # all figures, paper scale (50 runs/workflow)
+//! report --quick         # smoke scale (8 runs, phases ÷ 10)
+//! report fig11 fig14     # specific figures
+//! report --runs 10       # override runs per workflow
+//! report --seed 7        # different seed
+//! report --scale 5       # phase-count divisor
+//! ```
+
+use dd_bench::experiments as exp;
+use dd_bench::{EvaluationMatrix, ExperimentContext, SchedulerKind};
+
+const FIGURES: [&str; 28] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "chi2table", "fig8", "fig9",
+    "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "overhead", "startup",
+    "sensitivity", "limitation", "distfit", "concurrency", "fixedpool", "scaling",
+    "robustness",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ctx = ExperimentContext::default();
+    let mut selected: Vec<String> = Vec::new();
+    let mut include_ablations = false;
+    let mut explicit_selection = false;
+    let mut csv_dir: Option<std::path::PathBuf> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                ctx = ExperimentContext {
+                    seed: ctx.seed,
+                    ..ExperimentContext::quick()
+                };
+            }
+            "--runs" => {
+                i += 1;
+                ctx.runs_per_workflow = args[i].parse().expect("--runs takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                ctx.seed = args[i].parse().expect("--seed takes a number");
+            }
+            "--scale" => {
+                i += 1;
+                ctx.scale_down = args[i].parse().expect("--scale takes a number");
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(std::path::PathBuf::from(&args[i]));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: report [--quick] [--runs N] [--seed N] [--scale N] [--csv DIR] [figures...]\n\
+                     figures: {} ablations all",
+                    FIGURES.join(" ")
+                );
+                return;
+            }
+            "ablations" => {
+                include_ablations = true;
+                explicit_selection = true;
+            }
+            "all" => {
+                selected = FIGURES.iter().map(|s| s.to_string()).collect();
+                include_ablations = true;
+                explicit_selection = true;
+            }
+            name => {
+                selected.push(name.to_string());
+                explicit_selection = true;
+            }
+        }
+        i += 1;
+    }
+    if !explicit_selection {
+        selected = FIGURES.iter().map(|s| s.to_string()).collect();
+        include_ablations = true;
+    }
+
+    println!(
+        "DayDream reproduction report — seed {}, {} runs/workflow, phase scale 1/{}",
+        ctx.seed, ctx.runs_per_workflow, ctx.scale_down
+    );
+
+    // The evaluation figures share one matrix; compute it lazily.
+    let needs_matrix = csv_dir.is_some()
+        || selected.iter().any(|f| {
+            matches!(
+                f.as_str(),
+                "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17"
+            )
+        });
+    let matrix = needs_matrix.then(|| {
+        eprintln!(
+            "[computing evaluation matrix: 3 workflows x {} runs x {} schedulers...]",
+            ctx.runs_per_workflow,
+            SchedulerKind::PAPER.len()
+        );
+        EvaluationMatrix::compute_for(&ctx, &SchedulerKind::PAPER)
+    });
+
+    for figure in &selected {
+        let out = match figure.as_str() {
+            "fig1" => exp::fig01::run(&ctx),
+            "fig2" => exp::fig02::run(&ctx),
+            "fig3" => exp::fig03::run(&ctx),
+            "fig4" => exp::fig04::run(&ctx),
+            "fig5" => exp::fig05::run(&ctx),
+            "fig6" => exp::fig06::run(&ctx),
+            "fig7" => exp::fig07::run(&ctx),
+            "chi2table" => exp::chi2table::run(&ctx),
+            "fig8" => exp::fig08::run(&ctx),
+            "fig9" => exp::fig09::run(&ctx),
+            "fig10" => exp::fig10::run(&ctx),
+            "fig11" => exp::fig11::run(matrix.as_ref().expect("matrix")),
+            "fig12" => exp::fig12::run(matrix.as_ref().expect("matrix")),
+            "fig13" => exp::fig13::run(matrix.as_ref().expect("matrix")),
+            "fig14" => exp::fig14::run(matrix.as_ref().expect("matrix")),
+            "fig15" => exp::fig15::run(matrix.as_ref().expect("matrix")),
+            "fig16" => exp::fig16::run(matrix.as_ref().expect("matrix")),
+            "fig17" => exp::fig17::run(matrix.as_ref().expect("matrix")),
+            "fig18" => exp::fig18::run(&ctx),
+            "overhead" => exp::overhead::run(&ctx),
+            "startup" => exp::startup::run(&ctx),
+            "sensitivity" => exp::sensitivity::run(&ctx),
+            "limitation" => exp::limitation::run(&ctx),
+            "distfit" => exp::distfit::run(&ctx),
+            "concurrency" => exp::concurrency::run(&ctx),
+            "fixedpool" => exp::fixedpool::run(&ctx),
+            "scaling" => exp::scaling::run(&ctx),
+            "robustness" => exp::robustness::run(&ctx),
+            other => {
+                eprintln!("unknown figure '{other}' (see --help)");
+                continue;
+            }
+        };
+        println!("{out}");
+    }
+    if include_ablations {
+        println!("{}", exp::ablations::run(&ctx));
+    }
+    if let (Some(dir), Some(matrix)) = (csv_dir, matrix.as_ref()) {
+        match dd_bench::write_matrix_csv(matrix, &dir) {
+            Ok(files) => eprintln!("[wrote {} to {}]", files.join(", "), dir.display()),
+            Err(e) => eprintln!("csv export failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Ablations — isolating DayDream's design choices (DESIGN.md §5).
+//!
+//! 1. **Dynamic re-fit vs static historic parameters**: disable the χ²
+//!    interval re-fits (p_int = ∞) — matters most on hard-to-predict
+//!    (drifting) runs.
+//! 2. **Two-tier vs single-tier pools**: force all-high-end hot starts —
+//!    isolates the low-end cost saving.
+//! 3. **Half-phase vs phase-end trigger**: issue the next phase's pool
+//!    only at phase completion — hot starts then race the next phase and
+//!    arrive late.
+
+use crate::report::{pct_change, section, Table};
+use crate::workloads::{mean, ExperimentContext};
+use daydream_core::{DayDreamConfig, DayDreamScheduler};
+use dd_baselines::HybridScheduler;
+use dd_platform::{CloudVendor, FaasConfig, FaasExecutor, PoolTrigger};
+use dd_stats::SeedStream;
+use dd_wfdag::Workflow;
+
+#[derive(Clone, Copy)]
+struct Variant {
+    name: &'static str,
+    static_fit: bool,
+    single_tier: bool,
+    trigger: PoolTrigger,
+}
+
+const VARIANTS: [Variant; 4] = [
+    Variant {
+        name: "daydream (full)",
+        static_fit: false,
+        single_tier: false,
+        trigger: PoolTrigger::HalfPhase,
+    },
+    Variant {
+        name: "static fit",
+        static_fit: true,
+        single_tier: false,
+        trigger: PoolTrigger::HalfPhase,
+    },
+    Variant {
+        name: "single tier",
+        static_fit: false,
+        single_tier: true,
+        trigger: PoolTrigger::HalfPhase,
+    },
+    Variant {
+        name: "phase-end trigger",
+        static_fit: false,
+        single_tier: false,
+        trigger: PoolTrigger::PhaseComplete,
+    },
+];
+
+fn evaluate(ctx: &ExperimentContext, variant: Variant, hard_only: bool) -> (f64, f64, usize) {
+    let mut times = Vec::new();
+    let mut costs = Vec::new();
+    for wf in Workflow::ALL {
+        let gen = ctx.generator(wf);
+        let runtimes = gen.spec().runtimes.clone();
+        let history = ctx.history(wf);
+        let executor = FaasExecutor::new(FaasConfig {
+            vendor: ctx.vendor,
+            trigger: variant.trigger,
+            ..FaasConfig::default()
+        });
+        // Scan extra indices when filtering for hard runs.
+        let budget = ctx.runs_per_workflow.min(4);
+        let scan = if hard_only { budget * 25 } else { budget };
+        let mut taken = 0usize;
+        for idx in 0..scan {
+            if taken >= budget {
+                break;
+            }
+            let run = gen.generate(idx);
+            if hard_only && !run.label.hard_to_predict {
+                continue;
+            }
+            taken += 1;
+            let mut config = DayDreamConfig::default();
+            if variant.static_fit {
+                config = config.with_phase_interval(usize::MAX);
+            }
+            if variant.single_tier {
+                config = config.single_tier();
+            }
+            let seeds = SeedStream::new(ctx.seed)
+                .derive("ablation")
+                .derive_index(idx as u64);
+            let mut sched = DayDreamScheduler::new(&history, config, ctx.vendor, seeds);
+            let outcome = executor.execute(&run, &runtimes, &mut sched);
+            times.push(outcome.service_time_secs);
+            costs.push(outcome.service_cost());
+        }
+    }
+    (mean(times.iter().copied()), mean(costs.iter().copied()), times.len())
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> String {
+    let mut regular = Table::new(["variant", "mean time (s)", "Δ time", "mean cost ($)", "Δ cost"]);
+    let (base_t, base_c, _) = evaluate(ctx, VARIANTS[0], false);
+    for v in VARIANTS {
+        let (t, c, _) = evaluate(ctx, v, false);
+        regular.row([
+            v.name.to_string(),
+            format!("{t:.0}"),
+            pct_change(t, base_t),
+            format!("{c:.4}"),
+            pct_change(c, base_c),
+        ]);
+    }
+
+    // The paper's named future work: DayDream + Wild combined.
+    let mut hybrid_row = Table::new(["scheduler", "mean time (s)", "Δ time", "mean cost ($)", "Δ cost"]);
+    {
+        let mut times = Vec::new();
+        let mut costs = Vec::new();
+        for wf in Workflow::ALL {
+            let gen = ctx.generator(wf);
+            let runtimes = gen.spec().runtimes.clone();
+            let history = ctx.history(wf);
+            let executor = FaasExecutor::new(FaasConfig {
+                vendor: ctx.vendor,
+                ..FaasConfig::default()
+            });
+            for idx in 0..ctx.runs_per_workflow.min(4) {
+                let run = gen.generate(idx);
+                let seeds = SeedStream::new(ctx.seed)
+                    .derive("ablation-hybrid")
+                    .derive_index(idx as u64);
+                let mut sched = HybridScheduler::new(
+                    &history,
+                    DayDreamConfig::default(),
+                    CloudVendor::Aws,
+                    seeds,
+                );
+                let outcome = executor.execute(&run, &runtimes, &mut sched);
+                times.push(outcome.service_time_secs);
+                costs.push(outcome.service_cost());
+            }
+        }
+        let (t, c) = (mean(times.iter().copied()), mean(costs.iter().copied()));
+        hybrid_row.row([
+            "hybrid (daydream+wild)".to_string(),
+            format!("{t:.0}"),
+            pct_change(t, base_t),
+            format!("{c:.4}"),
+            pct_change(c, base_c),
+        ]);
+    }
+
+    // The static-fit ablation on hard (drifting) runs, where the dynamic
+    // re-fit earns its keep.
+    let mut hard = Table::new(["variant", "hard runs", "mean time (s)", "mean cost ($)"]);
+    for v in [VARIANTS[0], VARIANTS[1]] {
+        let (t, c, n) = evaluate(ctx, v, true);
+        hard.row([
+            v.name.to_string(),
+            n.to_string(),
+            format!("{t:.0}"),
+            format!("{c:.4}"),
+        ]);
+    }
+
+    section(
+        "Ablations — dynamic re-fit, two tiers, half-phase trigger, hybrid",
+        &format!(
+            "all runs:\n{}\nhard-to-predict (drifting) runs only:\n{}\nfuture work (paper Sec. V): combining Wild's warm pairing with DayDream's hot starts\n(a negative result: warm hits save only the ~0.08s component-load step, so mispairing\nwaste outweighs them — hot starts dominate, the paper's core argument):\n{}",
+            regular.render(),
+            hard.render(),
+            hybrid_row.render()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tier_costs_more() {
+        let ctx = ExperimentContext {
+            runs_per_workflow: 2,
+            scale_down: 20,
+            ..ExperimentContext::default()
+        };
+        let (_, full_cost, _) = evaluate(&ctx, VARIANTS[0], false);
+        let (_, single_cost, _) = evaluate(&ctx, VARIANTS[2], false);
+        assert!(
+            single_cost > full_cost,
+            "single-tier ${single_cost} should exceed two-tier ${full_cost}"
+        );
+    }
+
+    #[test]
+    fn phase_end_trigger_is_slower() {
+        let ctx = ExperimentContext {
+            runs_per_workflow: 2,
+            scale_down: 20,
+            ..ExperimentContext::default()
+        };
+        let (full_t, _, _) = evaluate(&ctx, VARIANTS[0], false);
+        let (late_t, _, _) = evaluate(&ctx, VARIANTS[3], false);
+        assert!(
+            late_t >= full_t,
+            "phase-end trigger {late_t}s should not beat half-phase {full_t}s"
+        );
+    }
+}

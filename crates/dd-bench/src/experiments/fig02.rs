@@ -1,0 +1,62 @@
+//! Fig. 2 — degree of parallelism varies over execution phases.
+//!
+//! The paper plots the number of concurrent components across phases for
+//! each workflow, showing large swings that make static provisioning
+//! wasteful. Regenerated as a per-workflow concurrency sparkline plus the
+//! swing statistics.
+
+use crate::report::{downsample, section, sparkline, Table};
+use crate::workloads::ExperimentContext;
+use dd_wfdag::Workflow;
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> String {
+    let mut table = Table::new([
+        "workflow", "phases", "min", "mean", "max", "max/mean", "cv",
+    ]);
+    let mut lines = String::new();
+    for wf in Workflow::ALL {
+        let run = ctx.generator(wf).generate(0);
+        let series: Vec<f64> = run
+            .concurrency_series()
+            .into_iter()
+            .map(f64::from)
+            .collect();
+        let mean = dd_stats::mean(&series);
+        let min = series.iter().cloned().fold(f64::MAX, f64::min);
+        let max = series.iter().cloned().fold(0.0f64, f64::max);
+        let cv = dd_stats::std_dev(&series) / mean.max(1e-12);
+        table.row([
+            wf.name().to_string(),
+            series.len().to_string(),
+            format!("{min:.0}"),
+            format!("{mean:.1}"),
+            format!("{max:.0}"),
+            format!("{:.2}", max / mean.max(1e-12)),
+            format!("{cv:.2}"),
+        ]);
+        lines.push_str(&format!(
+            "{:<14} {}\n",
+            wf.name(),
+            sparkline(&downsample(&series, 72))
+        ));
+    }
+    section(
+        "Fig. 2 — phase concurrency across phases (1 run per workflow)",
+        &format!("{}\nconcurrency over phases:\n{lines}", table.render()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reports_all_workflows_with_swings() {
+        let out = run(&ExperimentContext::quick());
+        for wf in Workflow::ALL {
+            assert!(out.contains(wf.name()), "missing {}", wf.name());
+        }
+        assert!(out.contains("max/mean"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Fig. 6 — component concurrency is hard to predict over phases.
+//!
+//! For a given component, how many instances run in each phase varies
+//! irregularly, and differently in every run — so warming a *specific*
+//! component is a gamble. Regenerated as per-run concurrency series of
+//! the busiest component types, with the run-to-run correlation.
+
+use crate::report::{downsample, section, sparkline};
+use crate::workloads::ExperimentContext;
+use dd_stats::pearson;
+use dd_wfdag::{ComponentTypeId, Workflow};
+use std::collections::BTreeMap;
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> String {
+    let gen = ctx.generator(Workflow::CosmoscoutVr);
+    let runs = [gen.generate(0), gen.generate(1)];
+
+    // The types invoked most across both runs.
+    let mut freq: BTreeMap<ComponentTypeId, usize> = BTreeMap::new();
+    for run in &runs {
+        for phase in &run.phases {
+            for ty in phase.distinct_types() {
+                *freq.entry(ty).or_default() += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<_> = freq.into_iter().collect();
+    ranked.sort_by_key(|&(ty, n)| (std::cmp::Reverse(n), ty));
+
+    let mut body = String::new();
+    let mut correlations = Vec::new();
+    for (ty, _) in ranked.into_iter().take(3) {
+        let series: Vec<Vec<f64>> = runs
+            .iter()
+            .map(|r| {
+                r.component_concurrency_series(ty)
+                    .into_iter()
+                    .map(f64::from)
+                    .collect()
+            })
+            .collect();
+        for (i, s) in series.iter().enumerate() {
+            let peak_phase = s
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(p, _)| p)
+                .unwrap_or(0);
+            body.push_str(&format!(
+                "{:>8} run {i}: {}  (peak at phase {peak_phase} — best place to warm it)\n",
+                ty.to_string(),
+                sparkline(&downsample(s, 64)),
+            ));
+        }
+        let len = series[0].len().min(series[1].len());
+        if len > 2 {
+            correlations.push(pearson(&series[0][..len], &series[1][..len]));
+        }
+        body.push('\n');
+    }
+    let mean_corr = dd_stats::mean(&correlations);
+    body.push_str(&format!(
+        "mean run-to-run Pearson correlation of component concurrency: {mean_corr:.2}\n\
+         (the useful phases to warm a component shift between runs)"
+    ));
+    section(
+        "Fig. 6 — component concurrency across phases, two runs (Cosmoscout-VR)",
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correlation_is_weak() {
+        let out = run(&ExperimentContext::quick());
+        assert!(out.contains("Pearson"));
+        // Extract the reported correlation and require it to be weak —
+        // the figure's whole point.
+        let line = out
+            .lines()
+            .find(|l| l.contains("mean run-to-run"))
+            .expect("correlation line");
+        let value: f64 = line
+            .split(':')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .parse()
+            .expect("parse correlation");
+        assert!(value.abs() < 0.6, "correlation {value} too strong");
+    }
+}

@@ -1,0 +1,90 @@
+//! Fig. 8 — ARIMA time-series prediction fails on phase concurrency.
+//!
+//! The paper applies Wild's ARIMA predictor to a Cosmoscout-VR run's phase
+//! concurrency and shows large deviations ("more than 50 components").
+//! Regenerated as a rolling one-step-ahead ARIMA forecast against the
+//! actual series, compared with DayDream's distribution-sampling approach.
+
+use crate::report::{downsample, section, sparkline};
+use crate::workloads::{mean, ExperimentContext};
+use dd_stats::{Arima, ArimaConfig, Weibull};
+use dd_wfdag::Workflow;
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> String {
+    let gen = ctx.generator(Workflow::CosmoscoutVr);
+    let run = gen.generate(0);
+    let actual: Vec<f64> = run
+        .concurrency_series()
+        .into_iter()
+        .map(f64::from)
+        .collect();
+
+    // Rolling one-step ARIMA forecasts (Wild's mechanism).
+    let mut predicted = Vec::with_capacity(actual.len());
+    for t in 0..actual.len() {
+        let history = &actual[..t];
+        predicted.push(Arima::forecast_or_mean(history, ArimaConfig::wild_default()).max(0.0));
+    }
+    let arima_err: Vec<f64> = actual
+        .iter()
+        .zip(&predicted)
+        .skip(8) // let the model see some history first
+        .map(|(a, p)| (a - p).abs())
+        .collect();
+
+    // DayDream's contrast is *distributional*: fit a previous run's
+    // histogram and compare the distribution mean against this run's —
+    // DayDream never tries to predict individual phases, so its relevant
+    // error is how far the learned distribution sits from the truth.
+    let hist_run = gen.generate(1_000);
+    let weibull = daydream_core::predictor::fit_historic(hist_run.concurrency_series(), 24)
+        .unwrap_or_else(|| Weibull::new(90.0, 3.2).expect("static"));
+    let actual_mean = mean(actual.iter().copied());
+    let dist_gap = (weibull.mean() - actual_mean).abs();
+
+    let max_err = arima_err.iter().cloned().fold(0.0f64, f64::max);
+    let body = format!(
+        "actual    {}\npredicted {}\n\n\
+         Wild (ARIMA) one-step forecast: mean |error| = {:.1} components, max = {:.0}\n\
+         (paper: ARIMA deviations exceed 50 components on Cosmoscout-VR)\n\
+         DayDream does not predict per-phase values at all: its learned distribution's\n\
+         mean sits {:.1} components from this run's mean of {:.0} — pool sizing follows\n\
+         the distribution, and mis-sized pools only cost wasted keep-alive or a cold start.",
+        sparkline(&downsample(&actual, 64)),
+        sparkline(&downsample(&predicted, 64)),
+        mean(arima_err.iter().copied()),
+        max_err,
+        dist_gap,
+        actual_mean,
+    );
+    section(
+        "Fig. 8 — ARIMA vs actual phase concurrency (Cosmoscout-VR)",
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arima_error_is_large() {
+        let out = run(&ExperimentContext::quick());
+        let line = out
+            .lines()
+            .find(|l| l.contains("Wild (ARIMA)"))
+            .expect("arima line");
+        let mean_err: f64 = line
+            .split("mean |error| = ")
+            .nth(1)
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        // Cosmoscout concurrency ~90; errors should be a sizable chunk.
+        assert!(mean_err > 10.0, "ARIMA error {mean_err} suspiciously low");
+    }
+}

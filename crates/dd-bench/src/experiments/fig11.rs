@@ -1,0 +1,85 @@
+//! Fig. 11 — mean service time, normalized to the Oracle.
+//!
+//! The headline result: DayDream reduces service time by ~45% vs Pegasus
+//! and ~22% vs Wild (paper numbers), and sits close to the infeasible
+//! Oracle. Regenerated as the per-workflow mean normalized service time
+//! across all evaluated runs.
+
+use crate::report::{bar, pct_change, section, Table};
+use crate::workloads::{EvaluationMatrix, SchedulerKind};
+
+/// Runs the experiment on a precomputed matrix.
+pub fn run(matrix: &EvaluationMatrix) -> String {
+    let mut table = Table::new([
+        "workflow",
+        "scheduler",
+        "mean time (s)",
+        "vs oracle",
+        "vs daydream",
+        "",
+    ]);
+    let mut improvements = String::new();
+    for eval in &matrix.workflows {
+        let oracle = eval.mean_time(SchedulerKind::Oracle);
+        let daydream = eval.mean_time(SchedulerKind::DayDream);
+        let worst = SchedulerKind::PAPER
+            .iter()
+            .map(|&k| eval.mean_time(k))
+            .fold(0.0f64, f64::max);
+        for kind in SchedulerKind::PAPER {
+            let t = eval.mean_time(kind);
+            table.row([
+                eval.workflow.name().to_string(),
+                kind.name().to_string(),
+                format!("{t:.0}"),
+                format!("{:.2}x", t / oracle),
+                pct_change(t, daydream),
+                bar(t, worst, 32),
+            ]);
+        }
+        let wild = eval.mean_time(SchedulerKind::Wild);
+        let pegasus = eval.mean_time(SchedulerKind::Pegasus);
+        improvements.push_str(&format!(
+            "{}: DayDream time vs Pegasus {} (paper ≈ -45%), vs Wild {} (paper ≈ -22%)\n",
+            eval.workflow.name(),
+            pct_change(daydream, pegasus),
+            pct_change(daydream, wild),
+        ));
+    }
+    section(
+        "Fig. 11 — mean service time normalized to Oracle (lower is better)",
+        &format!("{}\n{improvements}", Table::render(&table)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ExperimentContext;
+
+    #[test]
+    fn daydream_wins_in_every_workflow() {
+        let matrix = EvaluationMatrix::compute_for(
+            &ExperimentContext {
+                runs_per_workflow: 2,
+                scale_down: 20,
+                ..ExperimentContext::default()
+            },
+            &SchedulerKind::PAPER,
+        );
+        let out = run(&matrix);
+        assert!(out.contains("DayDream"));
+        for eval in &matrix.workflows {
+            assert!(
+                eval.mean_time(SchedulerKind::DayDream) < eval.mean_time(SchedulerKind::Pegasus),
+                "{}",
+                eval.workflow
+            );
+            assert!(
+                eval.mean_time(SchedulerKind::DayDream) < eval.mean_time(SchedulerKind::Wild),
+                "{}",
+                eval.workflow
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Fig. 13 — why DayDream outperforms the competing strategies.
+//!
+//! Three sub-results:
+//! * **(a)** DayDream's hot-start count prediction error is far below
+//!   Wild's per-component approach,
+//! * **(b)** DayDream's successful pre-load fraction is far above Wild's
+//!   (a runtime-only instance serves *any* component; a warm pairing only
+//!   its own),
+//! * **(c)** phase execution time grows with the number of components —
+//!   much faster for Pegasus, whose per-component cold starts add up.
+
+use crate::report::{section, Table};
+use crate::workloads::{mean, EvaluationMatrix, SchedulerKind};
+use std::collections::BTreeMap;
+
+/// Runs the experiment on a precomputed matrix.
+pub fn run(matrix: &EvaluationMatrix) -> String {
+    // (a) prediction error and (b) pre-load success.
+    let mut ab = Table::new([
+        "workflow",
+        "daydream err",
+        "wild err",
+        "daydream preload ok",
+        "wild preload ok",
+    ]);
+    for eval in &matrix.workflows {
+        let dd_err = mean(
+            eval.of(SchedulerKind::DayDream)
+                .iter()
+                .map(|o| o.mean_prediction_error()),
+        );
+        let wi_err = mean(
+            eval.of(SchedulerKind::Wild)
+                .iter()
+                .map(|o| o.mean_prediction_error()),
+        );
+        let dd_ok = mean(
+            eval.of(SchedulerKind::DayDream)
+                .iter()
+                .map(|o| o.mean_preload_success()),
+        );
+        let wi_ok = mean(
+            eval.of(SchedulerKind::Wild)
+                .iter()
+                .map(|o| o.mean_preload_success()),
+        );
+        ab.row([
+            eval.workflow.name().to_string(),
+            format!("{dd_err:.1}"),
+            format!("{wi_err:.1}"),
+            format!("{:.0}%", dd_ok * 100.0),
+            format!("{:.0}%", wi_ok * 100.0),
+        ]);
+    }
+
+    // (c) phase execution time vs phase size: bucket the phase records of
+    // DayDream and Pegasus by concurrency.
+    let mut c = Table::new([
+        "components/phase",
+        "daydream (s)",
+        "pegasus (s)",
+        "pegasus/daydream",
+    ]);
+    let mut buckets: BTreeMap<u32, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    let bucket_of = |concurrency: u32| {
+        // 1-8, 9-16, 17-32, 33-64, 65-128, 129+
+        let mut lo = 8u32;
+        while concurrency > lo && lo < 129 {
+            lo *= 2;
+        }
+        lo
+    };
+    for eval in &matrix.workflows {
+        for (dd, pe) in eval
+            .of(SchedulerKind::DayDream)
+            .iter()
+            .zip(eval.of(SchedulerKind::Pegasus))
+        {
+            for (pd, pp) in dd.phases.iter().zip(&pe.phases) {
+                let entry = buckets.entry(bucket_of(pd.concurrency)).or_default();
+                entry.0.push(pd.exec_secs);
+                entry.1.push(pp.exec_secs);
+            }
+        }
+    }
+    for (bucket, (dd, pe)) in &buckets {
+        let d = mean(dd.iter().copied());
+        let p = mean(pe.iter().copied());
+        c.row([
+            format!("<= {bucket}"),
+            format!("{d:.1}"),
+            format!("{p:.1}"),
+            format!("{:.2}x", p / d.max(1e-9)),
+        ]);
+    }
+
+    section(
+        "Fig. 13 — (a) prediction error, (b) successful pre-loads, (c) phase time vs size",
+        &format!(
+            "(a)+(b): per-phase means across runs\n{}\n(c): phase execution time by components per phase\n{}",
+            ab.render(),
+            c.render()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ExperimentContext;
+
+    fn matrix() -> EvaluationMatrix {
+        EvaluationMatrix::compute_for(
+            &ExperimentContext {
+                runs_per_workflow: 3,
+                scale_down: 20,
+                ..ExperimentContext::default()
+            },
+            &[
+                SchedulerKind::Oracle,
+                SchedulerKind::DayDream,
+                SchedulerKind::Wild,
+                SchedulerKind::Pegasus,
+            ],
+        )
+    }
+
+    #[test]
+    fn daydream_preloads_better_than_wild() {
+        let m = matrix();
+        for eval in &m.workflows {
+            let dd = mean(
+                eval.of(SchedulerKind::DayDream)
+                    .iter()
+                    .map(|o| o.mean_preload_success()),
+            );
+            let wi = mean(
+                eval.of(SchedulerKind::Wild)
+                    .iter()
+                    .map(|o| o.mean_preload_success()),
+            );
+            assert!(
+                dd > wi,
+                "{}: daydream preload {dd:.2} vs wild {wi:.2}",
+                eval.workflow
+            );
+        }
+    }
+
+    #[test]
+    fn pegasus_phase_time_ratio_grows() {
+        let m = matrix();
+        let out = run(&m);
+        // The last (largest) bucket ratio should exceed the first.
+        let ratios: Vec<f64> = out
+            .lines()
+            .filter(|l| l.trim_start().starts_with("<="))
+            .map(|l| {
+                l.split_whitespace()
+                    .last()
+                    .unwrap()
+                    .trim_end_matches('x')
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert!(ratios.len() >= 2, "need at least two buckets");
+        assert!(
+            ratios.last().unwrap() >= ratios.first().unwrap(),
+            "pegasus penalty should grow with phase size: {ratios:?}"
+        );
+    }
+}

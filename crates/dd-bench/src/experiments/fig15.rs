@@ -1,0 +1,62 @@
+//! Fig. 15 — service cost across all runs, normalized to the Oracle.
+//!
+//! The per-run companion of Fig. 14: DayDream's cost advantage holds for
+//! every operation/input pair.
+
+use crate::report::{section, sparkline, Table};
+use crate::workloads::{EvaluationMatrix, SchedulerKind};
+
+/// Runs the experiment on a precomputed matrix.
+pub fn run(matrix: &EvaluationMatrix) -> String {
+    let mut body = String::new();
+    for eval in &matrix.workflows {
+        let mut table = Table::new(["scheduler", "min", "mean", "max", "per-run (normalized to oracle)"]);
+        for kind in [SchedulerKind::DayDream, SchedulerKind::Wild, SchedulerKind::Pegasus] {
+            let norm = eval.normalized_costs(kind);
+            table.row([
+                kind.name().to_string(),
+                format!("{:.2}", norm.iter().cloned().fold(f64::MAX, f64::min)),
+                format!("{:.2}", dd_stats::mean(&norm)),
+                format!("{:.2}", norm.iter().cloned().fold(0.0f64, f64::max)),
+                sparkline(&norm),
+            ]);
+        }
+        body.push_str(&format!(
+            "{} ({} runs):\n{}\n",
+            eval.workflow.name(),
+            eval.labels.len(),
+            table.render()
+        ));
+    }
+    section(
+        "Fig. 15 — service cost across all runs (normalized to Oracle)",
+        &body,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ExperimentContext;
+
+    #[test]
+    fn daydream_cost_below_competitors_every_run() {
+        let matrix = EvaluationMatrix::compute_for(
+            &ExperimentContext {
+                runs_per_workflow: 4,
+                scale_down: 20,
+                ..ExperimentContext::default()
+            },
+            &SchedulerKind::PAPER,
+        );
+        for eval in &matrix.workflows {
+            let dd = eval.normalized_costs(SchedulerKind::DayDream);
+            let wi = eval.normalized_costs(SchedulerKind::Wild);
+            for (i, (d, w)) in dd.iter().zip(&wi).enumerate() {
+                assert!(d < w, "{} run {i}: dd {d} vs wild {w}", eval.workflow);
+            }
+        }
+        let out = run(&matrix);
+        assert!(out.contains("normalized to oracle"));
+    }
+}

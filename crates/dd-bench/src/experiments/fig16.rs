@@ -1,0 +1,122 @@
+//! Fig. 16 — utilization and wasted keep-alive.
+//!
+//! DayDream's cost advantage decomposed: (a) CPU, (b) memory and (c) I/O
+//! utilization are higher than Wild's and far higher than Pegasus's
+//! (right-sized microVMs vs a peak-sized cluster), and (d) the wasted
+//! keep-alive cost is far below Wild's (a runtime-only hot instance is
+//! never "the wrong component").
+
+use crate::report::{section, Table};
+use crate::workloads::{mean, EvaluationMatrix, SchedulerKind};
+
+/// Runs the experiment on a precomputed matrix.
+pub fn run(matrix: &EvaluationMatrix) -> String {
+    let mut util = Table::new([
+        "workflow",
+        "scheduler",
+        "cpu util",
+        "mem util",
+        "io util",
+    ]);
+    let mut waste = Table::new([
+        "workflow",
+        "scheduler",
+        "wasted keep-alive ($)",
+        "share of cost",
+    ]);
+    for eval in &matrix.workflows {
+        for kind in [
+            SchedulerKind::DayDream,
+            SchedulerKind::Wild,
+            SchedulerKind::Pegasus,
+        ] {
+            let outcomes = eval.of(kind);
+            util.row([
+                eval.workflow.name().to_string(),
+                kind.name().to_string(),
+                format!("{:.2}", mean(outcomes.iter().map(|o| o.utilization.cpu()))),
+                format!("{:.2}", mean(outcomes.iter().map(|o| o.utilization.memory()))),
+                format!("{:.2}", mean(outcomes.iter().map(|o| o.utilization.io()))),
+            ]);
+            if kind != SchedulerKind::Pegasus {
+                let wasted = mean(outcomes.iter().map(|o| o.ledger.keep_alive_wasted));
+                let share = mean(
+                    outcomes
+                        .iter()
+                        .map(|o| o.ledger.keep_alive_wasted / o.service_cost().max(1e-12)),
+                );
+                waste.row([
+                    eval.workflow.name().to_string(),
+                    kind.name().to_string(),
+                    format!("{wasted:.4}"),
+                    format!("{:.0}%", share * 100.0),
+                ]);
+            }
+        }
+    }
+    section(
+        "Fig. 16 — (a–c) resource utilization, (d) wasted keep-alive cost",
+        &format!(
+            "(a–c) utilization (used ÷ billed resource-seconds):\n{}\n(d) wasted keep-alive:\n{}",
+            util.render(),
+            waste.render()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::ExperimentContext;
+
+    #[test]
+    fn daydream_utilization_beats_pegasus_and_waste_below_wild() {
+        let matrix = EvaluationMatrix::compute_for(
+            &ExperimentContext {
+                runs_per_workflow: 3,
+                scale_down: 20,
+                ..ExperimentContext::default()
+            },
+            &[
+                SchedulerKind::Oracle,
+                SchedulerKind::DayDream,
+                SchedulerKind::Wild,
+                SchedulerKind::Pegasus,
+            ],
+        );
+        for eval in &matrix.workflows {
+            let dd_cpu = mean(
+                eval.of(SchedulerKind::DayDream)
+                    .iter()
+                    .map(|o| o.utilization.cpu()),
+            );
+            let pe_cpu = mean(
+                eval.of(SchedulerKind::Pegasus)
+                    .iter()
+                    .map(|o| o.utilization.cpu()),
+            );
+            assert!(
+                dd_cpu > pe_cpu,
+                "{}: daydream cpu {dd_cpu:.2} vs pegasus {pe_cpu:.2}",
+                eval.workflow
+            );
+            let dd_waste = mean(
+                eval.of(SchedulerKind::DayDream)
+                    .iter()
+                    .map(|o| o.ledger.keep_alive_wasted),
+            );
+            let wi_waste = mean(
+                eval.of(SchedulerKind::Wild)
+                    .iter()
+                    .map(|o| o.ledger.keep_alive_wasted),
+            );
+            assert!(
+                dd_waste < wi_waste,
+                "{}: daydream waste {dd_waste} vs wild {wi_waste}",
+                eval.workflow
+            );
+        }
+        let out = run(&matrix);
+        assert!(out.contains("wasted keep-alive"));
+    }
+}

@@ -1,0 +1,39 @@
+//! One module per paper figure/table. Each returns the rendered report
+//! section; the `report` binary assembles them.
+//!
+//! Characterization (Sec. III): [`fig02`]–[`fig09`] and [`chi2table`].
+//! Evaluation (Sec. V): [`fig11`]–[`fig18`], [`overhead`], [`startup`].
+//! Extensions: [`sensitivity`] (the paper's p_int / threshold sweeps),
+//! [`limitation`] (Sec. V's runtime-heterogeneity study) and
+//! [`ablations`] (design-choice studies listed in DESIGN.md §5, including
+//! the paper's future-work hybrid scheduler).
+
+pub mod ablations;
+pub mod chi2table;
+pub mod concurrency;
+pub mod distfit;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fixedpool;
+pub mod limitation;
+pub mod overhead;
+pub mod robustness;
+pub mod scaling;
+pub mod sensitivity;
+pub mod startup;

@@ -1,0 +1,138 @@
+//! Straggler robustness (extension / failure injection).
+//!
+//! Real FaaS platforms hiccup: image-pull retries, placement delays,
+//! noisy neighbours. The paper evaluates a clean environment; this study
+//! injects stragglers — a fraction of component starts pay an 8×
+//! start-up — and checks whether DayDream's ranking survives.
+//!
+//! Finding: the ranking survives at every injection rate, but the lead
+//! *compresses* (≈ −9.5 % → −5.5 % vs Wild from 0 % to 10 % stragglers):
+//! a straggling phase's makespan is set by the straggler itself, which
+//! hits every scheduler alike and dilutes their differences. Scheduling
+//! optimizes the common case; tail hiccups need a different tool
+//! (speculative re-execution), which is out of the paper's scope.
+
+use crate::report::{pct_change, section, Table};
+use crate::workloads::{mean, ExperimentContext};
+use daydream_core::{DayDreamHistory, DayDreamScheduler};
+use dd_baselines::{OracleScheduler, WildScheduler};
+use dd_platform::{FaasConfig, FaasExecutor, StartupModel};
+use dd_stats::SeedStream;
+use dd_wfdag::Workflow;
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> String {
+    let gen = ctx.generator(Workflow::ExaFel);
+    let runtimes = gen.spec().runtimes.clone();
+    let mut history = DayDreamHistory::new();
+    history.learn_from_run(&gen.generate(1_000), 0.20, 24);
+    let runs: Vec<_> = (0..ctx.runs_per_workflow.min(3))
+        .map(|i| gen.generate(i))
+        .collect();
+
+    let mut table = Table::new([
+        "straggler rate",
+        "oracle (s)",
+        "daydream (s)",
+        "wild (s)",
+        "daydream vs wild",
+    ]);
+    for fraction in [0.0f64, 0.02, 0.05, 0.10] {
+        let startup = StartupModel {
+            straggler_fraction: fraction,
+            straggler_multiplier: 8.0,
+            ..StartupModel::aws()
+        };
+        let executor = FaasExecutor::new(FaasConfig {
+            vendor: ctx.vendor,
+            ..FaasConfig::default()
+        })
+        .with_startup(startup);
+
+        let mut or = Vec::new();
+        let mut dd = Vec::new();
+        let mut wi = Vec::new();
+        for (idx, run) in runs.iter().enumerate() {
+            let seeds = SeedStream::new(ctx.seed)
+                .derive("robustness")
+                .derive_index(idx as u64);
+            or.push(
+                executor
+                    .execute(run, &runtimes, &mut OracleScheduler::new(run.clone(), 0.20))
+                    .service_time_secs,
+            );
+            dd.push(
+                executor
+                    .execute(run, &runtimes, &mut DayDreamScheduler::aws(&history, seeds))
+                    .service_time_secs,
+            );
+            wi.push(
+                executor
+                    .execute(run, &runtimes, &mut WildScheduler::new())
+                    .service_time_secs,
+            );
+        }
+        table.row([
+            format!("{:.0}%", fraction * 100.0),
+            format!("{:.0}", mean(or.iter().copied())),
+            format!("{:.0}", mean(dd.iter().copied())),
+            format!("{:.0}", mean(wi.iter().copied())),
+            pct_change(mean(dd.iter().copied()), mean(wi.iter().copied())),
+        ]);
+    }
+    section(
+        "Straggler robustness — 8x start-up hiccups injected (ExaFEL)",
+        &format!(
+            "{}\n(the ranking survives but compresses: a straggling phase is dominated by the straggler\n itself, which hits every scheduler alike — tail hiccups need speculation, not scheduling)",
+            table.render()
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranking_survives_stragglers() {
+        let ctx = ExperimentContext {
+            runs_per_workflow: 2,
+            scale_down: 15,
+            ..ExperimentContext::default()
+        };
+        let out = run(&ctx);
+        // Every row's DayDream-vs-Wild delta stays negative.
+        let deltas: Vec<&str> = out
+            .lines()
+            .filter(|l| l.contains('%') && !l.contains("straggler rate") && !l.contains("paper"))
+            .filter_map(|l| l.split_whitespace().last())
+            .filter(|c| c.ends_with('%'))
+            .collect();
+        assert!(deltas.len() >= 4, "{out}");
+        for d in deltas {
+            assert!(d.starts_with('-'), "DayDream must stay ahead: {d}\n{out}");
+        }
+    }
+
+    #[test]
+    fn service_time_grows_with_straggler_rate() {
+        let ctx = ExperimentContext {
+            runs_per_workflow: 1,
+            scale_down: 15,
+            ..ExperimentContext::default()
+        };
+        let out = run(&ctx);
+        let daydream_times: Vec<f64> = out
+            .lines()
+            .filter(|l| l.ends_with('%') && (l.starts_with('0') || l.starts_with('2') || l.starts_with('5') || l.starts_with('1')))
+            .filter_map(|l| {
+                l.split_whitespace().nth(2).and_then(|c| c.parse().ok())
+            })
+            .collect();
+        assert!(daydream_times.len() >= 4, "{out}");
+        assert!(
+            daydream_times[3] > daydream_times[0],
+            "10% stragglers should be slower than 0%: {daydream_times:?}"
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Plain-text rendering helpers for the experiment reports.
+//!
+//! Figures are regenerated as aligned text tables plus ASCII bar charts /
+//! series dumps, so the report is diffable and self-contained (no plotting
+//! dependencies).
+
+/// A simple aligned text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (missing cells render empty; extras are kept).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.header);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let fmt_row = |cells: &[String]| {
+            let mut line = String::new();
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                // Left-align first column, right-align the rest.
+                if i == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            line.trim_end().to_string()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A horizontal ASCII bar scaled to `max_width` characters.
+pub fn bar(value: f64, max_value: f64, max_width: usize) -> String {
+    if max_value <= 0.0 || value <= 0.0 {
+        return String::new();
+    }
+    let w = ((value / max_value) * max_width as f64).round() as usize;
+    "#".repeat(w.min(max_width).max(1))
+}
+
+/// Renders a numeric series as a compact sparkline (8 levels).
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(f64::MIN, f64::max);
+    let min = values.iter().cloned().fold(f64::MAX, f64::min);
+    if values.is_empty() {
+        return String::new();
+    }
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            LEVELS[idx.min(7)]
+        })
+        .collect()
+}
+
+/// Down-samples a series to at most `n` points (strided means).
+pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
+    if values.len() <= n || n == 0 {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(n);
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+        .collect()
+}
+
+/// A titled report section.
+pub fn section(title: &str, body: &str) -> String {
+    format!(
+        "\n=== {title} ===\n{}\n",
+        body.trim_end()
+    )
+}
+
+/// Formats a ratio as `+x.x%` / `-x.x%` relative change.
+pub fn pct_change(new: f64, baseline: f64) -> String {
+    if baseline == 0.0 {
+        return "n/a".to_string();
+    }
+    format!("{:+.1}%", (new / baseline - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]);
+        t.row(["long-name", "123456"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].contains("123456"));
+        // All rows equal width after trimming the last cell padding.
+        assert!(lines[3].len() >= lines[2].len() - 6);
+    }
+
+    #[test]
+    fn bars_scale() {
+        assert_eq!(bar(5.0, 10.0, 10), "#####");
+        assert_eq!(bar(10.0, 10.0, 10), "##########");
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(0.01, 10.0, 10), "#");
+        assert_eq!(bar(100.0, 10.0, 10), "##########");
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        let s = sparkline(&[0.0, 1.0]);
+        assert_eq!(s.chars().count(), 2);
+        assert_eq!(s.chars().next(), Some('▁'));
+        assert_eq!(s.chars().last(), Some('█'));
+        assert_eq!(sparkline(&[]), "");
+        // Constant series should not panic.
+        assert_eq!(sparkline(&[5.0, 5.0]).chars().count(), 2);
+    }
+
+    #[test]
+    fn downsample_bounds() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let d = downsample(&xs, 10);
+        assert!(d.len() <= 10);
+        assert!((d[0] - 4.5).abs() < 1e-9, "first chunk mean");
+        assert_eq!(downsample(&xs, 200).len(), 100);
+    }
+
+    #[test]
+    fn pct_change_formats() {
+        assert_eq!(pct_change(110.0, 100.0), "+10.0%");
+        assert_eq!(pct_change(45.0, 100.0), "-55.0%");
+        assert_eq!(pct_change(1.0, 0.0), "n/a");
+    }
+}

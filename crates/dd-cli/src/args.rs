@@ -1,0 +1,240 @@
+//! Argument parsing for `daydream-cli` (hand-rolled; the workspace's
+//! dependency policy has no CLI crate).
+
+use dd_wfdag::Workflow;
+use std::path::PathBuf;
+
+/// Which scheduler executes the runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerChoice {
+    /// The paper's contribution (default).
+    DayDream,
+    /// Clairvoyant lower bound.
+    Oracle,
+    /// Serverless in the Wild.
+    Wild,
+    /// HPC workflow manager.
+    Pegasus,
+    /// All cold starts.
+    Naive,
+    /// DayDream + Wild combination (the paper's future work).
+    Hybrid,
+}
+
+impl SchedulerChoice {
+    /// Parses a scheduler name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "daydream" => Ok(Self::DayDream),
+            "oracle" => Ok(Self::Oracle),
+            "wild" => Ok(Self::Wild),
+            "pegasus" => Ok(Self::Pegasus),
+            "naive" => Ok(Self::Naive),
+            "hybrid" => Ok(Self::Hybrid),
+            other => Err(format!("unknown scheduler '{other}'")),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::DayDream => "daydream",
+            Self::Oracle => "oracle",
+            Self::Wild => "wild",
+            Self::Pegasus => "pegasus",
+            Self::Naive => "naive",
+            Self::Hybrid => "hybrid",
+        }
+    }
+}
+
+/// Parameters shared by `run` and `verify`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Which workflow.
+    pub workflow: Workflow,
+    /// Number of runs (artifact: 50).
+    pub runs: usize,
+    /// Scheduler.
+    pub scheduler: SchedulerChoice,
+    /// Root seed.
+    pub seed: u64,
+    /// Phase-count divisor (1 = paper scale).
+    pub scale: usize,
+    /// Output directory.
+    pub out: PathBuf,
+    /// Verification tolerance, fractional (verify only; artifact: 0.10).
+    pub tolerance: f64,
+}
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Execute runs and write output files.
+    Run(RunArgs),
+    /// Re-execute and compare against existing output files.
+    Verify(RunArgs),
+    /// Print workload facts.
+    Info,
+    /// Print usage.
+    Help,
+}
+
+fn parse_workflow(s: &str) -> Result<Workflow, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "exafel" => Ok(Workflow::ExaFel),
+        "cosmoscout" | "cosmoscout-vr" | "cosmoscoutvr" => Ok(Workflow::CosmoscoutVr),
+        "ccl" => Ok(Workflow::Ccl),
+        other => Err(format!("unknown workflow '{other}'")),
+    }
+}
+
+/// Parses CLI arguments into a [`Command`].
+pub fn parse_args(args: &[String]) -> Result<Command, String> {
+    let Some(verb) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match verb.as_str() {
+        "help" | "--help" | "-h" => return Ok(Command::Help),
+        "info" => return Ok(Command::Info),
+        "run" | "verify" => {}
+        other => return Err(format!("unknown command '{other}'")),
+    }
+
+    let mut workflow = None;
+    let mut runs = 50usize;
+    let mut scheduler = SchedulerChoice::DayDream;
+    let mut seed = 0xDA1Du64;
+    let mut scale = 1usize;
+    let mut out = None;
+    let mut tolerance = 0.10f64;
+
+    let mut i = 1;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag {
+            "--workflow" => workflow = Some(parse_workflow(value()?)?),
+            "--runs" => {
+                runs = value()?
+                    .parse()
+                    .map_err(|_| "--runs takes a number".to_string())?
+            }
+            "--scheduler" => scheduler = SchedulerChoice::parse(value()?)?,
+            "--seed" => {
+                seed = value()?
+                    .parse()
+                    .map_err(|_| "--seed takes a number".to_string())?
+            }
+            "--scale" => {
+                scale = value()?
+                    .parse()
+                    .map_err(|_| "--scale takes a number".to_string())?
+            }
+            "--out" => out = Some(PathBuf::from(value()?)),
+            "--tolerance" => {
+                let pct: f64 = value()?
+                    .parse()
+                    .map_err(|_| "--tolerance takes a percentage".to_string())?;
+                tolerance = pct / 100.0;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+
+    let run_args = RunArgs {
+        workflow: workflow.ok_or("--workflow is required")?,
+        runs,
+        scheduler,
+        seed,
+        scale,
+        out: out.ok_or("--out is required")?,
+        tolerance,
+    };
+    Ok(if verb == "run" {
+        Command::Run(run_args)
+    } else {
+        Command::Verify(run_args)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_run_command() {
+        let cmd = parse_args(&strs(&[
+            "run", "--workflow", "ccl", "--runs", "5", "--out", "/tmp/x",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.workflow, Workflow::Ccl);
+                assert_eq!(a.runs, 5);
+                assert_eq!(a.scheduler, SchedulerChoice::DayDream);
+                assert_eq!(a.out, PathBuf::from("/tmp/x"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_verify_with_tolerance() {
+        let cmd = parse_args(&strs(&[
+            "verify",
+            "--workflow",
+            "exafel",
+            "--out",
+            "o",
+            "--tolerance",
+            "5",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Verify(a) => {
+                assert_eq!(a.workflow, Workflow::ExaFel);
+                assert!((a.tolerance - 0.05).abs() < 1e-12);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scheduler_names_roundtrip() {
+        for name in ["daydream", "oracle", "wild", "pegasus", "naive", "hybrid"] {
+            assert_eq!(SchedulerChoice::parse(name).unwrap().name(), name);
+        }
+        assert!(SchedulerChoice::parse("slurm").is_err());
+    }
+
+    #[test]
+    fn workflow_aliases() {
+        assert_eq!(parse_workflow("cosmoscout-vr").unwrap(), Workflow::CosmoscoutVr);
+        assert_eq!(parse_workflow("COSMOSCOUT").unwrap(), Workflow::CosmoscoutVr);
+        assert!(parse_workflow("montage").is_err());
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(parse_args(&strs(&["run", "--out", "x"])).is_err());
+        assert!(parse_args(&strs(&["run", "--workflow", "ccl"])).is_err());
+        assert!(parse_args(&strs(&["run", "--workflow"])).is_err());
+        assert!(parse_args(&strs(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn empty_and_help() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strs(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&strs(&["info"])).unwrap(), Command::Info);
+    }
+}

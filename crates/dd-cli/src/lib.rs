@@ -1,0 +1,34 @@
+//! Library side of `daydream-cli`: argument parsing, run execution and
+//! the artifact's per-run output files.
+//!
+//! Kept as a library so the whole command surface is unit-testable
+//! without spawning processes.
+
+pub mod args;
+pub mod output;
+pub mod runner;
+
+pub use args::{parse_args, Command, RunArgs, SchedulerChoice};
+pub use output::{read_series, write_run_outputs, RunFiles};
+pub use runner::{execute_all, run_command, verify_against};
+
+/// CLI usage text.
+pub const USAGE: &str = "\
+daydream-cli — execute dynamic scientific workflows with hot starts
+
+USAGE:
+    daydream-cli run    --workflow <exafel|cosmoscout|ccl> [--runs N] [--scheduler S]
+                        [--seed N] [--scale N] --out <dir>
+    daydream-cli verify --workflow <exafel|cosmoscout|ccl> [--runs N] [--scheduler S]
+                        [--seed N] [--scale N] --out <dir> [--tolerance PCT]
+    daydream-cli info
+    daydream-cli help
+
+SCHEDULERS: daydream (default), oracle, wild, pegasus, naive, hybrid
+
+`run` executes N runs (default 50) and writes run-1/ .. run-N/ under
+--out, each containing phase_time.txt, function_service_time.txt and
+execution_cost.txt — the paper artifact's per-run files. `verify`
+re-executes and compares against existing files, succeeding when every
+aggregate matches within the tolerance (default 10%, the artifact's
+reproduction bound).";

@@ -1,0 +1,35 @@
+//! `daydream-cli` — artifact-parity command line.
+//!
+//! The paper's Zenodo artifact drives each workflow with one
+//! `python3 main.py` invocation that executes all 50 runs and writes, per
+//! run, three files: `phase_time.txt`, `function_service_time.txt` and
+//! `execution_cost.txt`; reproduction is declared when re-generated files
+//! match the shipped baselines within a 10 % error bound.
+//!
+//! This binary mirrors that flow on the simulator:
+//!
+//! ```bash
+//! daydream-cli run    --workflow ccl --runs 50 --out runs/           # generate
+//! daydream-cli run    --workflow exafel --scheduler wild --out w/    # baselines too
+//! daydream-cli verify --workflow ccl --runs 50 --out runs/           # re-run + compare (10% bound)
+//! daydream-cli info                                                  # workload facts
+//! ```
+
+use dd_cli::{parse_args, run_command, Command};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args) {
+        Ok(Command::Help) => println!("{}", dd_cli::USAGE),
+        Ok(cmd) => {
+            if let Err(e) = run_command(&cmd) {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", dd_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,629 @@
+//! The serverless platform executor.
+//!
+//! [`FaasExecutor`] walks a [`WorkflowRun`] phase by phase, exactly as the
+//! paper's three-level stack does (Sec. IV):
+//!
+//! 1. at phase start the DAG scheduler places each component on a pooled
+//!    (hot/warm) instance or cold starts a fresh one;
+//! 2. components run in parallel, each in its own microVM; outputs land in
+//!    the back-end store;
+//! 3. when **half** of the phase's outputs are present, the store notifies
+//!    the scheduler, which requests the next phase's pool (hot starts
+//!    begin booting in the background);
+//! 4. when **all** outputs are present, unused pool instances were already
+//!    terminated at placement time (Algorithm 1 line 11) and the next
+//!    phase starts.
+//!
+//! Timing within a phase is computed analytically (component finish times
+//! are known at start since microVMs don't preempt each other), which
+//! makes the executor exact and fast; the half-phase trigger and pool
+//! readiness interactions across phases are where the actual scheduling
+//! dynamics live.
+
+use crate::des::SimTime;
+use crate::pool::{InstanceId, PoolRequest, PooledInstance};
+use crate::pricing::{CloudVendor, PriceSheet};
+use crate::sched::{observe_phase, RunInfo, ServerlessScheduler, StartKind};
+use crate::startup::StartupModel;
+use crate::storage::BackendStore;
+use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
+use crate::trace::{ComponentTrace, ExecutionTrace, PoolTrace};
+use crate::tier::Tier;
+use dd_wfdag::{LanguageRuntime, WorkflowRun};
+use serde::{Deserialize, Serialize};
+
+/// When the next phase's pool request is issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PoolTrigger {
+    /// When half of the current phase's outputs are in storage —
+    /// DayDream's design (Sec. IV).
+    HalfPhase,
+    /// Only when the phase fully completes (ablation: hot starts then
+    /// race the next phase's start and may not be ready).
+    PhaseComplete,
+}
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaasConfig {
+    /// Cloud vendor (scales start-up latencies and prices).
+    pub vendor: CloudVendor,
+    /// Slowdown threshold classifying high-end-friendly components
+    /// (paper: 20%, with <3% sensitivity over 5–30%).
+    pub friendly_threshold: f64,
+    /// Provisioned concurrency: hard cap on pool size (paper: 1000).
+    pub provisioned_concurrency: usize,
+    /// When the next phase's pool is requested.
+    pub trigger: PoolTrigger,
+    /// Maximum concurrently *executing* instances the platform grants.
+    /// The paper provisions 1000 "so that upon invocation of a component
+    /// there is always a function instance available … and no wait time
+    /// is incurred"; lowering this models a constrained account limit —
+    /// excess components wait for a slot (`report concurrency`).
+    pub invocation_limit: usize,
+}
+
+impl Default for FaasConfig {
+    fn default() -> Self {
+        Self {
+            vendor: CloudVendor::Aws,
+            friendly_threshold: 0.20,
+            provisioned_concurrency: 1_000,
+            trigger: PoolTrigger::HalfPhase,
+            invocation_limit: 1_000,
+        }
+    }
+}
+
+/// The serverless platform simulator.
+#[derive(Debug, Clone)]
+pub struct FaasExecutor {
+    pricing: PriceSheet,
+    startup: StartupModel,
+    config: FaasConfig,
+}
+
+impl FaasExecutor {
+    /// Creates an executor for the configured vendor with calibrated
+    /// pricing and start-up models.
+    pub fn new(config: FaasConfig) -> Self {
+        Self {
+            pricing: PriceSheet::for_vendor(config.vendor),
+            startup: StartupModel::aws()
+                .with_vendor_multiplier(config.vendor.startup_multiplier()),
+            config,
+        }
+    }
+
+    /// AWS executor with paper-default configuration.
+    pub fn aws() -> Self {
+        Self::new(FaasConfig::default())
+    }
+
+    /// Replaces the start-up model (e.g. to inject stragglers or test a
+    /// different calibration). The vendor multiplier of the replacement
+    /// is used as-is.
+    pub fn with_startup(mut self, startup: StartupModel) -> Self {
+        self.startup = startup;
+        self
+    }
+
+    /// The active price sheet.
+    pub fn pricing(&self) -> &PriceSheet {
+        &self.pricing
+    }
+
+    /// The active start-up model.
+    pub fn startup(&self) -> &StartupModel {
+        &self.startup
+    }
+
+    /// Executes `run` under `scheduler` and returns the full outcome.
+    ///
+    /// `runtimes` is the DAG's language-runtime set (pre-loaded into every
+    /// hot instance, per the hot-start mechanism).
+    ///
+    /// # Panics
+    /// Panics if the scheduler returns malformed placements: wrong count,
+    /// an unknown or reused instance id, or a warm instance paired with a
+    /// different component type.
+    pub fn execute(
+        &self,
+        run: &WorkflowRun,
+        runtimes: &[LanguageRuntime],
+        scheduler: &mut dyn ServerlessScheduler,
+    ) -> RunOutcome {
+        self.run_internal(run, runtimes, scheduler, false).0
+    }
+
+    /// Like [`FaasExecutor::execute`], additionally collecting the full
+    /// [`ExecutionTrace`] (every component lifecycle and pool event).
+    pub fn execute_traced(
+        &self,
+        run: &WorkflowRun,
+        runtimes: &[LanguageRuntime],
+        scheduler: &mut dyn ServerlessScheduler,
+    ) -> (RunOutcome, ExecutionTrace) {
+        let (outcome, trace) = self.run_internal(run, runtimes, scheduler, true);
+        (outcome, trace.expect("trace requested"))
+    }
+
+    fn run_internal(
+        &self,
+        run: &WorkflowRun,
+        runtimes: &[LanguageRuntime],
+        scheduler: &mut dyn ServerlessScheduler,
+        collect_trace: bool,
+    ) -> (RunOutcome, Option<ExecutionTrace>) {
+        let mut trace = collect_trace.then(ExecutionTrace::default);
+        let mut ledger = CostLedger::default();
+        let mut utilization = Utilization::default();
+        let mut store = BackendStore::new();
+        let mut records = Vec::with_capacity(run.phases.len());
+        let mut now = SimTime::ZERO;
+        let mut next_instance_id = 0u64;
+
+        let info = RunInfo {
+            workflow: run.label.workflow,
+            runtimes: runtimes.to_vec(),
+            phase_count: run.phases.len(),
+        };
+
+        // Pool for phase 0, requested before the run starts.
+        let mut pool = self.spawn_pool(
+            scheduler.initial_pool(&info),
+            now,
+            runtimes,
+            &mut next_instance_id,
+        );
+
+        for (phase_idx, phase) in run.phases.iter().enumerate() {
+            // Scheduling decision overhead (Sec. V "Overhead").
+            now = now.after(scheduler.overhead_secs());
+            store.begin_phase(phase_idx, phase.components.len());
+            if let Some(t) = trace.as_mut() {
+                t.phase_starts.push(now);
+            }
+
+            let views: Vec<_> = pool.iter().map(Into::into).collect();
+            let placements = scheduler.place(phase, &views, now);
+            assert_eq!(
+                placements.len(),
+                phase.components.len(),
+                "scheduler '{}' returned {} placements for {} components",
+                scheduler.name(),
+                placements.len(),
+                phase.components.len()
+            );
+
+            let mut used = vec![false; pool.len()];
+            let mut overhead_sum = 0.0;
+            let mut warm_starts = 0u32;
+            let mut hot_starts = 0u32;
+            let mut cold_starts = 0u32;
+            // Execution slots: at most `invocation_limit` concurrently
+            // running instances; components beyond it wait for the
+            // earliest finish (wave scheduling, in placement order).
+            let mut slots: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>> =
+                std::collections::BinaryHeap::new();
+
+            for (slot, (component, placement)) in
+                phase.components.iter().zip(&placements).enumerate()
+            {
+                let (tier, kind, start, overhead) = match placement.instance {
+                    Some(id) => {
+                        let slot = pool
+                            .iter()
+                            .position(|i| i.id == id)
+                            .unwrap_or_else(|| panic!("placement on unknown instance {id}"));
+                        assert!(!used[slot], "instance {id} placed twice");
+                        used[slot] = true;
+                        let inst = &pool[slot];
+                        let kind = match inst.preload {
+                            None => StartKind::Hot,
+                            Some(ty) if ty == component.type_id => StartKind::Warm,
+                            Some(other) => panic!(
+                                "warm instance {id} preloaded with {other} used for {}",
+                                component.type_id
+                            ),
+                        };
+                        let start = now.max(inst.ready_at);
+                        let overhead = match kind {
+                            StartKind::Warm => {
+                                self.startup.warm_overhead_secs(component, inst.tier)
+                            }
+                            StartKind::Hot => self.startup.hot_overhead_secs(component, inst.tier),
+                            StartKind::Cold => unreachable!(),
+                        };
+                        (inst.tier, kind, start, overhead)
+                    }
+                    None => {
+                        let tier = placement.tier;
+                        let overhead = self.startup.cold_overhead_secs(component, tier, runtimes);
+                        (tier, StartKind::Cold, now, overhead)
+                    }
+                };
+
+                match kind {
+                    StartKind::Warm => warm_starts += 1,
+                    StartKind::Hot => hot_starts += 1,
+                    StartKind::Cold => cold_starts += 1,
+                }
+
+                // Failure injection: stragglers pay a multiplied start-up.
+                let overhead =
+                    overhead * self.startup.straggler_multiplier_for(phase_idx, slot, 0);
+                // Wait for an execution slot when the platform is at its
+                // concurrency limit.
+                let start = if slots.len() >= self.config.invocation_limit {
+                    let std::cmp::Reverse(free) = slots.pop().expect("non-empty at limit");
+                    start.max(free)
+                } else {
+                    start
+                };
+                // Keep-alive: from request until the component actually
+                // begins (slot waits included), at the instance's rate.
+                if let Some(id) = placement.instance {
+                    let inst = pool.iter().find(|i| i.id == id).expect("validated above");
+                    ledger.keep_alive_used +=
+                        self.pricing.cost(inst.tier, start.since(inst.requested_at));
+                    utilization.record_idle(inst.tier, start.since(inst.requested_at));
+                }
+                let exec = tier.exec_secs(component)
+                    * self.startup.exec_multiplier(kind == StartKind::Cold);
+                let write = self.startup.output_write_secs(component, tier);
+                let finish = start.after(overhead + exec + write);
+                slots.push(std::cmp::Reverse(finish));
+                if let Some(t) = trace.as_mut() {
+                    t.components.push(ComponentTrace {
+                        phase: phase_idx,
+                        slot,
+                        kind,
+                        tier,
+                        instance: placement.instance,
+                        start,
+                        overhead_secs: overhead,
+                        exec_secs: exec,
+                        write_secs: write,
+                    });
+                }
+                let billed = finish.since(start);
+                ledger.execution += self.pricing.cost(tier, billed);
+                overhead_sum += overhead;
+
+                utilization.record_execution(
+                    tier,
+                    exec,
+                    billed,
+                    component.cpu_demand * Tier::HighEnd.vcpus(),
+                    component.mem_gb,
+                    self.startup.data_fetch_secs(component, tier) + write,
+                );
+
+                store.record_read(component.read_mb);
+                store.record_output(phase_idx, finish, component.write_mb);
+            }
+
+            // Unused pool instances are terminated now (Algorithm 1,
+            // line 11); their whole lifetime was wasted keep-alive.
+            let mut wasted = 0u32;
+            for (inst, &was_used) in pool.iter().zip(&used) {
+                if !was_used {
+                    wasted += 1;
+                    ledger.keep_alive_wasted +=
+                        self.pricing.cost(inst.tier, now.since(inst.requested_at));
+                    utilization.record_idle(inst.tier, now.since(inst.requested_at));
+                }
+                if let Some(t) = trace.as_mut() {
+                    t.pool.push(PoolTrace {
+                        instance: inst.id,
+                        tier: inst.tier,
+                        warm: inst.preload.is_some(),
+                        requested_at: inst.requested_at,
+                        ready_at: inst.ready_at,
+                        used: was_used,
+                        released_at: now.max(inst.ready_at),
+                    });
+                }
+            }
+
+            let notifications = store.notifications(phase_idx);
+            let observation = observe_phase(phase, self.config.friendly_threshold);
+
+            records.push(PhaseRecord {
+                index: phase_idx,
+                concurrency: phase.concurrency(),
+                pool_size: pool.len() as u32,
+                warm_starts,
+                hot_starts,
+                cold_starts,
+                used_instances: (warm_starts + hot_starts),
+                wasted_instances: wasted,
+                exec_secs: notifications.complete.since(now),
+                mean_start_overhead_secs: overhead_sum / phase.components.len().max(1) as f64,
+            });
+
+            // Half-phase trigger: request the next phase's pool while this
+            // phase is still running.
+            pool = if phase_idx + 1 < run.phases.len() {
+                let request = scheduler.pool_for_next_phase(phase_idx, &observation);
+                let trigger_at = match self.config.trigger {
+                    PoolTrigger::HalfPhase => notifications.half_complete,
+                    PoolTrigger::PhaseComplete => notifications.complete,
+                };
+                self.spawn_pool(request, trigger_at, runtimes, &mut next_instance_id)
+            } else {
+                Vec::new()
+            };
+
+            scheduler.observe_phase(&observation);
+            now = notifications.complete;
+            if let Some(t) = trace.as_mut() {
+                t.phase_ends.push(now);
+            }
+        }
+
+        // Storage maintenance for the run's whole duration.
+        ledger.storage = self.pricing.storage_per_sec * now.as_secs();
+
+        (
+            RunOutcome {
+                scheduler: scheduler.name().to_string(),
+                service_time_secs: now.as_secs(),
+                ledger,
+                phases: records,
+                utilization,
+            },
+            trace,
+        )
+    }
+
+    /// Materializes a pool request: caps it at provisioned concurrency and
+    /// computes each instance's background-preparation completion time.
+    fn spawn_pool(
+        &self,
+        mut request: PoolRequest,
+        requested_at: SimTime,
+        runtimes: &[LanguageRuntime],
+        next_id: &mut u64,
+    ) -> Vec<PooledInstance> {
+        request.entries.truncate(self.config.provisioned_concurrency);
+        request
+            .entries
+            .iter()
+            .map(|entry| {
+                let prepare = match entry.preload {
+                    None => self.startup.hot_prepare_secs(runtimes),
+                    Some(_) => self.startup.warm_prepare_secs(runtimes),
+                };
+                let id = InstanceId(*next_id);
+                *next_id += 1;
+                PooledInstance {
+                    id,
+                    tier: entry.tier,
+                    preload: entry.preload,
+                    requested_at,
+                    ready_at: requested_at.after(prepare),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::InstanceView;
+    use crate::sched::{Placement, PhaseObservation};
+    use dd_wfdag::{Phase, RunGenerator, Workflow, WorkflowSpec};
+
+    /// A scheduler that cold starts everything on high-end instances.
+    struct AllCold;
+
+    impl ServerlessScheduler for AllCold {
+        fn name(&self) -> &'static str {
+            "all-cold"
+        }
+        fn initial_pool(&mut self, _: &RunInfo) -> PoolRequest {
+            PoolRequest::none()
+        }
+        fn pool_for_next_phase(&mut self, _: usize, _: &PhaseObservation) -> PoolRequest {
+            PoolRequest::none()
+        }
+        fn place(&mut self, phase: &Phase, _: &[InstanceView], _: SimTime) -> Vec<Placement> {
+            phase
+                .components
+                .iter()
+                .map(|_| Placement {
+                    tier: Tier::HighEnd,
+                    instance: None,
+                })
+                .collect()
+        }
+    }
+
+    /// A scheduler that hot starts exactly the next phase's concurrency
+    /// (an oracle for pool *size*, high-end only).
+    struct PerfectHot {
+        run: WorkflowRun,
+    }
+
+    impl ServerlessScheduler for PerfectHot {
+        fn name(&self) -> &'static str {
+            "perfect-hot"
+        }
+        fn initial_pool(&mut self, _: &RunInfo) -> PoolRequest {
+            PoolRequest::hot(self.run.phases[0].components.len(), 0)
+        }
+        fn pool_for_next_phase(&mut self, half_of: usize, _: &PhaseObservation) -> PoolRequest {
+            PoolRequest::hot(self.run.phases[half_of + 1].components.len(), 0)
+        }
+        fn place(&mut self, phase: &Phase, available: &[InstanceView], _: SimTime) -> Vec<Placement> {
+            phase
+                .components
+                .iter()
+                .zip(available)
+                .map(|(_, inst)| Placement {
+                    tier: inst.tier,
+                    instance: Some(inst.id),
+                })
+                .collect()
+        }
+    }
+
+    fn small_run() -> (WorkflowRun, Vec<LanguageRuntime>) {
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(10);
+        let runtimes = spec.runtimes.clone();
+        let run = RunGenerator::new(spec, 7).generate(0);
+        (run, runtimes)
+    }
+
+    #[test]
+    fn all_cold_run_completes() {
+        let (run, runtimes) = small_run();
+        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
+        assert_eq!(outcome.phases.len(), run.phase_count());
+        assert!(outcome.service_time_secs > 0.0);
+        assert!(outcome.ledger.execution > 0.0);
+        assert_eq!(outcome.ledger.keep_alive_used, 0.0);
+        assert_eq!(outcome.ledger.keep_alive_wasted, 0.0);
+        let (w, h, c) = outcome.start_counts();
+        assert_eq!(w, 0);
+        assert_eq!(h, 0);
+        assert_eq!(c as usize, run.total_components());
+    }
+
+    #[test]
+    fn perfect_hot_beats_all_cold_on_time() {
+        let (run, runtimes) = small_run();
+        let exec = FaasExecutor::aws();
+        let cold = exec.execute(&run, &runtimes, &mut AllCold);
+        let hot = exec.execute(
+            &run,
+            &runtimes,
+            &mut PerfectHot { run: run.clone() },
+        );
+        assert!(
+            hot.service_time_secs < cold.service_time_secs,
+            "hot {:.1}s vs cold {:.1}s",
+            hot.service_time_secs,
+            cold.service_time_secs
+        );
+        // Perfect sizing wastes nothing.
+        assert_eq!(hot.ledger.keep_alive_wasted, 0.0);
+        assert_eq!(hot.mean_prediction_error(), 0.0);
+        assert_eq!(hot.mean_preload_success(), 1.0);
+    }
+
+    #[test]
+    fn phase_times_sum_to_service_time() {
+        let (run, runtimes) = small_run();
+        let mut sched = AllCold;
+        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut sched);
+        let phase_sum: f64 = outcome.phases.iter().map(|p| p.exec_secs).sum();
+        let overheads = run.phase_count() as f64 * sched.overhead_secs();
+        assert!(
+            (phase_sum + overheads - outcome.service_time_secs).abs() < 1e-6,
+            "phases {phase_sum} + overhead {overheads} vs service {}",
+            outcome.service_time_secs
+        );
+    }
+
+    #[test]
+    fn storage_cost_scales_with_time() {
+        let (run, runtimes) = small_run();
+        let exec = FaasExecutor::aws();
+        let outcome = exec.execute(&run, &runtimes, &mut AllCold);
+        let want = exec.pricing().storage_per_sec * outcome.service_time_secs;
+        assert!((outcome.ledger.storage - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn provisioned_concurrency_caps_pool() {
+        let (run, runtimes) = small_run();
+        let exec = FaasExecutor::new(FaasConfig {
+            provisioned_concurrency: 2,
+            ..FaasConfig::default()
+        });
+
+        /// Requests an absurd pool; the cap must hold it to 2.
+        struct Greedy;
+        impl ServerlessScheduler for Greedy {
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+            fn initial_pool(&mut self, _: &RunInfo) -> PoolRequest {
+                PoolRequest::hot(10_000, 0)
+            }
+            fn pool_for_next_phase(&mut self, _: usize, _: &PhaseObservation) -> PoolRequest {
+                PoolRequest::hot(10_000, 0)
+            }
+            fn place(
+                &mut self,
+                phase: &Phase,
+                available: &[InstanceView],
+                _: SimTime,
+            ) -> Vec<Placement> {
+                let mut avail = available.iter();
+                phase
+                    .components
+                    .iter()
+                    .map(|_| match avail.next() {
+                        Some(i) => Placement {
+                            tier: i.tier,
+                            instance: Some(i.id),
+                        },
+                        None => Placement {
+                            tier: Tier::HighEnd,
+                            instance: None,
+                        },
+                    })
+                    .collect()
+            }
+        }
+
+        let outcome = exec.execute(&run, &runtimes, &mut Greedy);
+        for p in &outcome.phases {
+            assert!(p.pool_size <= 2, "pool {} exceeds cap", p.pool_size);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "placements")]
+    fn wrong_placement_count_panics() {
+        struct Broken;
+        impl ServerlessScheduler for Broken {
+            fn name(&self) -> &'static str {
+                "broken"
+            }
+            fn initial_pool(&mut self, _: &RunInfo) -> PoolRequest {
+                PoolRequest::none()
+            }
+            fn pool_for_next_phase(&mut self, _: usize, _: &PhaseObservation) -> PoolRequest {
+                PoolRequest::none()
+            }
+            fn place(&mut self, _: &Phase, _: &[InstanceView], _: SimTime) -> Vec<Placement> {
+                vec![]
+            }
+        }
+        let (run, runtimes) = small_run();
+        let _ = FaasExecutor::aws().execute(&run, &runtimes, &mut Broken);
+    }
+
+    #[test]
+    fn vendor_multiplier_slows_service_time() {
+        let (run, runtimes) = small_run();
+        let aws = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
+        let azure = FaasExecutor::new(FaasConfig {
+            vendor: CloudVendor::Azure,
+            ..FaasConfig::default()
+        })
+        .execute(&run, &runtimes, &mut AllCold);
+        assert!(
+            azure.service_time_secs > aws.service_time_secs,
+            "azure {:.1}s vs aws {:.1}s",
+            azure.service_time_secs,
+            aws.service_time_secs
+        );
+    }
+}

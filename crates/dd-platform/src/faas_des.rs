@@ -1,0 +1,609 @@
+//! Event-driven executor: the DES cross-check of [`crate::faas`].
+//!
+//! [`crate::faas::FaasExecutor`] computes each phase analytically (legal
+//! because microVMs don't preempt each other, so completion times are
+//! known at start). This module re-implements the *same semantics* on the
+//! discrete-event core ([`crate::des::EventQueue`]): component
+//! completions, the half-phase storage notification and phase boundaries
+//! are all explicit events popped in time order.
+//!
+//! The two implementations must agree **exactly** — same service time,
+//! same ledger, same phase records — for every scheduler; the test suite
+//! (and `tests/end_to_end.rs` at the workspace root) asserts it. A
+//! divergence means one of the two models has a semantics bug, which is
+//! precisely what an analytic shortcut can otherwise hide.
+
+use crate::des::{EventQueue, SimTime};
+use crate::faas::{FaasConfig, FaasExecutor, PoolTrigger};
+use crate::pool::{InstanceId, PoolRequest, PooledInstance};
+use crate::sched::{observe_phase, RunInfo, ServerlessScheduler, StartKind};
+use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
+use crate::tier::Tier;
+use dd_wfdag::{LanguageRuntime, WorkflowRun};
+
+/// Events of the serverless execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Event {
+    /// A phase begins (placement happens here).
+    PhaseStart { phase: usize },
+    /// A component's output reached the back-end store.
+    ComponentDone { phase: usize },
+}
+
+/// Per-phase mutable state while its components run.
+#[derive(Debug, Default)]
+struct PhaseProgress {
+    expected: usize,
+    completed: usize,
+    half_fired: bool,
+    warm: u32,
+    hot: u32,
+    cold: u32,
+    wasted: u32,
+    pool_size: u32,
+    overhead_sum: f64,
+    started_at: SimTime,
+}
+
+/// The event-driven executor.
+///
+/// Construction mirrors [`FaasExecutor`]; the `execute` method produces a
+/// [`RunOutcome`] through event flow instead of per-phase arithmetic.
+#[derive(Debug, Clone)]
+pub struct DesFaasExecutor {
+    analytic: FaasExecutor,
+    config: FaasConfig,
+}
+
+impl DesFaasExecutor {
+    /// Creates an event-driven executor with the given configuration.
+    pub fn new(config: FaasConfig) -> Self {
+        Self {
+            analytic: FaasExecutor::new(config),
+            config,
+        }
+    }
+
+    /// AWS configuration.
+    pub fn aws() -> Self {
+        Self::new(FaasConfig::default())
+    }
+
+    /// Replaces the start-up model (mirrors
+    /// [`FaasExecutor::with_startup`]).
+    pub fn with_startup(mut self, startup: crate::startup::StartupModel) -> Self {
+        self.analytic = self.analytic.with_startup(startup);
+        self
+    }
+
+    /// Executes `run` under `scheduler`, event by event.
+    ///
+    /// The scheduler callback order is identical to the analytic
+    /// executor's (initial pool → per phase: place, half-phase pool
+    /// request, observation), so a deterministic scheduler produces the
+    /// same decisions under both.
+    pub fn execute(
+        &self,
+        run: &WorkflowRun,
+        runtimes: &[LanguageRuntime],
+        scheduler: &mut dyn ServerlessScheduler,
+    ) -> RunOutcome {
+        let pricing = *self.analytic.pricing();
+        let startup = *self.analytic.startup();
+
+        let mut ledger = CostLedger::default();
+        let mut utilization = Utilization::default();
+        let mut records: Vec<PhaseRecord> = Vec::with_capacity(run.phases.len());
+        let mut next_instance_id = 0u64;
+
+        let info = RunInfo {
+            workflow: run.label.workflow,
+            runtimes: runtimes.to_vec(),
+            phase_count: run.phases.len(),
+        };
+
+        // Pool awaiting the next phase start.
+        let mut pending_pool: Vec<PooledInstance> = spawn(
+            &startup,
+            scheduler.initial_pool(&info),
+            SimTime::ZERO,
+            runtimes,
+            &mut next_instance_id,
+            self.config.provisioned_concurrency,
+        );
+
+        let mut queue: EventQueue<Event> = EventQueue::new();
+        let mut progress: Vec<PhaseProgress> = Vec::with_capacity(run.phases.len());
+        // Completion times per phase, to resolve half/complete instants.
+        let mut completions: Vec<Vec<SimTime>> = vec![Vec::new(); run.phases.len()];
+        let mut end_time = SimTime::ZERO;
+
+        if !run.phases.is_empty() {
+            queue.push(SimTime::ZERO, Event::PhaseStart { phase: 0 });
+        }
+
+        while let Some((at, event)) = queue.pop() {
+            match event {
+                Event::PhaseStart { phase } => {
+                    let now = at.after(scheduler.overhead_secs());
+                    let phase_ref = &run.phases[phase];
+                    let pool = std::mem::take(&mut pending_pool);
+                    let views: Vec<_> = pool.iter().map(Into::into).collect();
+                    let placements = scheduler.place(phase_ref, &views, now);
+                    assert_eq!(placements.len(), phase_ref.components.len());
+
+                    let mut prog = PhaseProgress {
+                        expected: phase_ref.components.len(),
+                        pool_size: pool.len() as u32,
+                        started_at: now,
+                        ..PhaseProgress::default()
+                    };
+
+                    let mut used = vec![false; pool.len()];
+                    let mut slots: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>> =
+                        std::collections::BinaryHeap::new();
+                    for (comp_slot, (component, placement)) in
+                        phase_ref.components.iter().zip(&placements).enumerate()
+                    {
+                        let (tier, kind, start, overhead) = match placement.instance {
+                            Some(id) => {
+                                let slot = pool
+                                    .iter()
+                                    .position(|i| i.id == id)
+                                    .unwrap_or_else(|| panic!("unknown instance {id}"));
+                                assert!(!used[slot], "instance {id} reused");
+                                used[slot] = true;
+                                let inst = &pool[slot];
+                                let kind = match inst.preload {
+                                    None => StartKind::Hot,
+                                    Some(ty) if ty == component.type_id => StartKind::Warm,
+                                    Some(_) => panic!("mispaired warm instance"),
+                                };
+                                let start = now.max(inst.ready_at);
+                                let overhead = match kind {
+                                    StartKind::Warm => {
+                                        startup.warm_overhead_secs(component, inst.tier)
+                                    }
+                                    StartKind::Hot => {
+                                        startup.hot_overhead_secs(component, inst.tier)
+                                    }
+                                    StartKind::Cold => unreachable!(),
+                                };
+                                (inst.tier, kind, start, overhead)
+                            }
+                            None => {
+                                let tier = placement.tier;
+                                (
+                                    tier,
+                                    StartKind::Cold,
+                                    now,
+                                    startup.cold_overhead_secs(component, tier, runtimes),
+                                )
+                            }
+                        };
+                        match kind {
+                            StartKind::Warm => prog.warm += 1,
+                            StartKind::Hot => prog.hot += 1,
+                            StartKind::Cold => prog.cold += 1,
+                        }
+                        let overhead =
+                            overhead * startup.straggler_multiplier_for(phase, comp_slot, 0);
+                        let start = if slots.len() >= self.config.invocation_limit {
+                            let std::cmp::Reverse(free) = slots.pop().expect("at limit");
+                            start.max(free)
+                        } else {
+                            start
+                        };
+                        if let Some(id) = placement.instance {
+                            let inst =
+                                pool.iter().find(|i| i.id == id).expect("validated above");
+                            ledger.keep_alive_used +=
+                                pricing.cost(inst.tier, start.since(inst.requested_at));
+                            utilization.record_idle(inst.tier, start.since(inst.requested_at));
+                        }
+                        let exec = tier.exec_secs(component)
+                            * startup.exec_multiplier(kind == StartKind::Cold);
+                        let write = startup.output_write_secs(component, tier);
+                        let finish = start.after(overhead + exec + write);
+                        slots.push(std::cmp::Reverse(finish));
+                        let billed = finish.since(start);
+                        ledger.execution += pricing.cost(tier, billed);
+                        prog.overhead_sum += overhead;
+                        utilization.record_execution(
+                            tier,
+                            exec,
+                            billed,
+                            component.cpu_demand * Tier::HighEnd.vcpus(),
+                            component.mem_gb,
+                            startup.data_fetch_secs(component, tier) + write,
+                        );
+                        queue.push(finish, Event::ComponentDone { phase });
+                    }
+
+                    for (inst, &was_used) in pool.iter().zip(&used) {
+                        if !was_used {
+                            prog.wasted += 1;
+                            ledger.keep_alive_wasted +=
+                                pricing.cost(inst.tier, now.since(inst.requested_at));
+                            utilization.record_idle(inst.tier, now.since(inst.requested_at));
+                        }
+                    }
+                    debug_assert_eq!(progress.len(), phase);
+                    progress.push(prog);
+                }
+                Event::ComponentDone { phase } => {
+                    completions[phase].push(at);
+                    let prog = &mut progress[phase];
+                    prog.completed += 1;
+
+                    let half_threshold = prog.expected.div_ceil(2);
+                    let phase_done = prog.completed == prog.expected;
+                    let half_reached = prog.completed >= half_threshold && !prog.half_fired;
+
+                    // Half-phase trigger (or phase-complete, per config).
+                    let trigger_now = match self.config.trigger {
+                        PoolTrigger::HalfPhase => half_reached,
+                        PoolTrigger::PhaseComplete => phase_done && !prog.half_fired,
+                    };
+                    if trigger_now && phase + 1 < run.phases.len() {
+                        prog.half_fired = true;
+                        let observation =
+                            observe_phase(&run.phases[phase], self.config.friendly_threshold);
+                        let request = scheduler.pool_for_next_phase(phase, &observation);
+                        pending_pool = spawn(
+                            &startup,
+                            request,
+                            at,
+                            runtimes,
+                            &mut next_instance_id,
+                            self.config.provisioned_concurrency,
+                        );
+                    } else if trigger_now {
+                        prog.half_fired = true;
+                    }
+
+                    if phase_done {
+                        let observation =
+                            observe_phase(&run.phases[phase], self.config.friendly_threshold);
+                        scheduler.observe_phase(&observation);
+                        records.push(PhaseRecord {
+                            index: phase,
+                            concurrency: prog.expected as u32,
+                            pool_size: prog.pool_size,
+                            warm_starts: prog.warm,
+                            hot_starts: prog.hot,
+                            cold_starts: prog.cold,
+                            used_instances: prog.warm + prog.hot,
+                            wasted_instances: prog.wasted,
+                            exec_secs: at.since(prog.started_at),
+                            mean_start_overhead_secs: prog.overhead_sum
+                                / prog.expected.max(1) as f64,
+                        });
+                        end_time = at;
+                        if phase + 1 < run.phases.len() {
+                            queue.push(at, Event::PhaseStart { phase: phase + 1 });
+                        }
+                    }
+                }
+            }
+        }
+
+        ledger.storage = pricing.storage_per_sec * end_time.as_secs();
+        RunOutcome {
+            scheduler: scheduler.name().to_string(),
+            service_time_secs: end_time.as_secs(),
+            ledger,
+            phases: records,
+            utilization,
+        }
+    }
+}
+
+/// Materializes a pool request (identical arithmetic to the analytic
+/// executor's `spawn_pool`).
+fn spawn(
+    startup: &crate::startup::StartupModel,
+    mut request: PoolRequest,
+    requested_at: SimTime,
+    runtimes: &[LanguageRuntime],
+    next_id: &mut u64,
+    cap: usize,
+) -> Vec<PooledInstance> {
+    request.entries.truncate(cap);
+    request
+        .entries
+        .iter()
+        .map(|entry| {
+            let prepare = match entry.preload {
+                None => startup.hot_prepare_secs(runtimes),
+                Some(_) => startup.warm_prepare_secs(runtimes),
+            };
+            let id = InstanceId(*next_id);
+            *next_id += 1;
+            PooledInstance {
+                id,
+                tier: entry.tier,
+                preload: entry.preload,
+                requested_at,
+                ready_at: requested_at.after(prepare),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::InstanceView;
+    use crate::sched::{Placement, PhaseObservation};
+    use dd_wfdag::{Phase, RunGenerator, Workflow, WorkflowSpec};
+
+    /// A deterministic scheduler exercising hot pools: requests the
+    /// previous phase's concurrency, places greedily.
+    struct Echo {
+        last: usize,
+    }
+
+    impl ServerlessScheduler for Echo {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn initial_pool(&mut self, _: &RunInfo) -> PoolRequest {
+            PoolRequest::hot(4, 4)
+        }
+        fn pool_for_next_phase(&mut self, _: usize, obs: &PhaseObservation) -> PoolRequest {
+            self.last = obs.concurrency as usize;
+            PoolRequest::hot(self.last / 2, self.last - self.last / 2)
+        }
+        fn place(
+            &mut self,
+            phase: &Phase,
+            available: &[InstanceView],
+            _: SimTime,
+        ) -> Vec<Placement> {
+            let mut pool = available.iter();
+            phase
+                .components
+                .iter()
+                .map(|_| match pool.next() {
+                    Some(i) => Placement {
+                        tier: i.tier,
+                        instance: Some(i.id),
+                    },
+                    None => Placement {
+                        tier: Tier::HighEnd,
+                        instance: None,
+                    },
+                })
+                .collect()
+        }
+    }
+
+    fn sample() -> (WorkflowRun, Vec<LanguageRuntime>) {
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(8);
+        let runtimes = spec.runtimes.clone();
+        (RunGenerator::new(spec, 17).generate(0), runtimes)
+    }
+
+    fn assert_outcomes_equal(a: &RunOutcome, b: &RunOutcome) {
+        assert_eq!(a.phases.len(), b.phases.len());
+        for (pa, pb) in a.phases.iter().zip(&b.phases) {
+            assert_eq!(pa.index, pb.index);
+            assert_eq!(pa.concurrency, pb.concurrency);
+            assert_eq!(pa.pool_size, pb.pool_size);
+            assert_eq!(
+                (pa.warm_starts, pa.hot_starts, pa.cold_starts),
+                (pb.warm_starts, pb.hot_starts, pb.cold_starts),
+                "phase {}",
+                pa.index
+            );
+            assert!(
+                (pa.exec_secs - pb.exec_secs).abs() < 1e-9,
+                "phase {} exec {} vs {}",
+                pa.index,
+                pa.exec_secs,
+                pb.exec_secs
+            );
+        }
+        assert!(
+            (a.service_time_secs - b.service_time_secs).abs() < 1e-9,
+            "service time {} vs {}",
+            a.service_time_secs,
+            b.service_time_secs
+        );
+        for (x, y) in [
+            (a.ledger.execution, b.ledger.execution),
+            (a.ledger.keep_alive_used, b.ledger.keep_alive_used),
+            (a.ledger.keep_alive_wasted, b.ledger.keep_alive_wasted),
+            (a.ledger.storage, b.ledger.storage),
+        ] {
+            assert!((x - y).abs() < 1e-9, "ledger {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn des_and_analytic_agree_exactly() {
+        let (run, runtimes) = sample();
+        let analytic = FaasExecutor::aws().execute(&run, &runtimes, &mut Echo { last: 0 });
+        let des = DesFaasExecutor::aws().execute(&run, &runtimes, &mut Echo { last: 0 });
+        assert_outcomes_equal(&analytic, &des);
+    }
+
+    #[test]
+    fn des_and_analytic_agree_with_phase_end_trigger() {
+        let (run, runtimes) = sample();
+        let config = FaasConfig {
+            trigger: PoolTrigger::PhaseComplete,
+            ..FaasConfig::default()
+        };
+        let analytic =
+            FaasExecutor::new(config).execute(&run, &runtimes, &mut Echo { last: 0 });
+        let des = DesFaasExecutor::new(config).execute(&run, &runtimes, &mut Echo { last: 0 });
+        assert_outcomes_equal(&analytic, &des);
+    }
+
+    #[test]
+    fn des_handles_empty_run() {
+        let (mut run, runtimes) = sample();
+        run.phases.clear();
+        let out = DesFaasExecutor::aws().execute(&run, &runtimes, &mut Echo { last: 0 });
+        assert_eq!(out.service_time_secs, 0.0);
+        assert!(out.phases.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod limit_tests {
+    use super::*;
+    use crate::faas::FaasExecutor;
+    use crate::pool::InstanceView;
+    use crate::sched::{Placement, PhaseObservation};
+    use dd_wfdag::{Phase, RunGenerator, Workflow, WorkflowSpec};
+
+    struct AllCold;
+    impl ServerlessScheduler for AllCold {
+        fn name(&self) -> &'static str {
+            "all-cold"
+        }
+        fn initial_pool(&mut self, _: &RunInfo) -> PoolRequest {
+            PoolRequest::none()
+        }
+        fn pool_for_next_phase(&mut self, _: usize, _: &PhaseObservation) -> PoolRequest {
+            PoolRequest::none()
+        }
+        fn place(&mut self, phase: &Phase, _: &[InstanceView], _: SimTime) -> Vec<Placement> {
+            phase
+                .components
+                .iter()
+                .map(|_| Placement {
+                    tier: Tier::HighEnd,
+                    instance: None,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn invocation_limit_binds_and_both_executors_agree() {
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(15);
+        let runtimes = spec.runtimes.clone();
+        let run = RunGenerator::new(spec, 5).generate(0);
+
+        let unconstrained = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
+        let config = FaasConfig {
+            invocation_limit: 2,
+            ..FaasConfig::default()
+        };
+        let constrained = FaasExecutor::new(config).execute(&run, &runtimes, &mut AllCold);
+        assert!(
+            constrained.service_time_secs > unconstrained.service_time_secs * 1.5,
+            "a 2-slot limit must serialize phases: {:.1}s vs {:.1}s",
+            constrained.service_time_secs,
+            unconstrained.service_time_secs
+        );
+
+        // DES agreement under the binding limit.
+        let des = DesFaasExecutor::new(config).execute(&run, &runtimes, &mut AllCold);
+        assert!(
+            (des.service_time_secs - constrained.service_time_secs).abs() < 1e-9,
+            "des {:.3} vs analytic {:.3}",
+            des.service_time_secs,
+            constrained.service_time_secs
+        );
+        assert!((des.service_cost() - constrained.service_cost()).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod straggler_tests {
+    use super::*;
+    use crate::pool::InstanceView;
+    use crate::sched::{Placement, PhaseObservation};
+    use crate::startup::StartupModel;
+    use dd_wfdag::{Phase, RunGenerator, Workflow, WorkflowSpec};
+
+    struct AllCold;
+    impl ServerlessScheduler for AllCold {
+        fn name(&self) -> &'static str {
+            "all-cold"
+        }
+        fn initial_pool(&mut self, _: &RunInfo) -> PoolRequest {
+            PoolRequest::none()
+        }
+        fn pool_for_next_phase(&mut self, _: usize, _: &PhaseObservation) -> PoolRequest {
+            PoolRequest::none()
+        }
+        fn place(&mut self, phase: &Phase, _: &[InstanceView], _: SimTime) -> Vec<Placement> {
+            phase
+                .components
+                .iter()
+                .map(|_| Placement {
+                    tier: Tier::HighEnd,
+                    instance: None,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn stragglers_inflate_service_time_deterministically() {
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(12);
+        let runtimes = spec.runtimes.clone();
+        let run = RunGenerator::new(spec, 6).generate(0);
+
+        let clean = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
+        let faulty_model = StartupModel {
+            straggler_fraction: 0.10,
+            straggler_multiplier: 8.0,
+            ..StartupModel::aws()
+        };
+        let faulty = FaasExecutor::aws()
+            .with_startup(faulty_model)
+            .execute(&run, &runtimes, &mut AllCold);
+        assert!(
+            faulty.service_time_secs > clean.service_time_secs * 1.05,
+            "10% 8x stragglers should hurt: {:.1}s vs {:.1}s",
+            faulty.service_time_secs,
+            clean.service_time_secs
+        );
+        // Deterministic: same model, same outcome.
+        let again = FaasExecutor::aws()
+            .with_startup(faulty_model)
+            .execute(&run, &runtimes, &mut AllCold);
+        assert_eq!(faulty.service_time_secs, again.service_time_secs);
+
+        // And the DES executor agrees exactly.
+        let des = DesFaasExecutor::aws()
+            .with_startup(faulty_model)
+            .execute(&run, &runtimes, &mut AllCold);
+        assert!(
+            (des.service_time_secs - faulty.service_time_secs).abs() < 1e-9,
+            "des {:.3} vs analytic {:.3}",
+            des.service_time_secs,
+            faulty.service_time_secs
+        );
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let m = StartupModel::aws();
+        for phase in 0..50 {
+            for slot in 0..20 {
+                assert_eq!(m.straggler_multiplier_for(phase, slot, 0), 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn straggler_rate_matches_fraction() {
+        let m = StartupModel {
+            straggler_fraction: 0.2,
+            ..StartupModel::aws()
+        };
+        let hits = (0..100_000)
+            .filter(|&i| m.straggler_multiplier_for(i / 100, i % 100, 7) > 1.0)
+            .count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.2).abs() < 0.01, "straggler rate {rate}");
+    }
+}

@@ -1,0 +1,64 @@
+//! # dd-platform — execution substrates
+//!
+//! The cloud infrastructure the DayDream paper runs on, rebuilt as
+//! simulators:
+//!
+//! * [`faas`] — the serverless platform: a pool of two-tier microVM
+//!   function instances with hot / warm / cold start semantics, driven by
+//!   a pluggable [`sched::ServerlessScheduler`] (DayDream, Wild, Oracle all
+//!   implement it),
+//! * [`cluster`] — fixed-size node clusters with co-location contention,
+//!   the substrate of the Pegasus baseline and of the Fig. 4
+//!   HPC / VM / container / microVM comparison,
+//! * [`des`] — a small discrete-event simulation core,
+//! * [`tier`], [`pricing`], [`startup`], [`contention`], [`storage`] — the
+//!   resource envelopes, billing, start-up latency, CPU-steal, and
+//!   back-end storage models, each calibrated to the constants the paper
+//!   reports (Sec. IV–V),
+//! * [`pool`], [`telemetry`] — instance-pool bookkeeping and the cost /
+//!   metrics ledger every experiment reads.
+//!
+//! ```
+//! use dd_platform::{BackendStore, SimTime};
+//!
+//! // The control plane: the store notifies at half completion (DayDream's
+//! // hot-start trigger) and at full completion (next phase starts).
+//! let mut store = BackendStore::new();
+//! store.begin_phase(0, 4);
+//! for (i, t) in [4.0, 1.0, 3.0, 2.0].into_iter().enumerate() {
+//!     store.record_output(0, SimTime::from_secs(t), i as f64);
+//! }
+//! let n = store.notifications(0);
+//! assert_eq!(n.half_complete, SimTime::from_secs(2.0));
+//! assert_eq!(n.complete, SimTime::from_secs(4.0));
+//! ```
+
+pub mod cluster;
+pub mod contention;
+pub mod des;
+pub mod faas;
+pub mod faas_des;
+pub mod instance;
+pub mod pool;
+pub mod pricing;
+pub mod sched;
+pub mod startup;
+pub mod storage;
+pub mod telemetry;
+pub mod tier;
+pub mod trace;
+
+pub use cluster::{ClusterKind, ClusterSim};
+pub use contention::ContentionModel;
+pub use des::{EventQueue, SimTime};
+pub use faas::{FaasConfig, FaasExecutor, PoolTrigger};
+pub use faas_des::DesFaasExecutor;
+pub use instance::{InstanceLifecycle, InstanceState};
+pub use pool::{InstanceId, InstanceView, PoolRequest, PooledInstance};
+pub use pricing::{CloudVendor, PriceSheet};
+pub use sched::{Placement, PhaseObservation, RunInfo, ServerlessScheduler, StartKind};
+pub use startup::StartupModel;
+pub use storage::BackendStore;
+pub use telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
+pub use tier::Tier;
+pub use trace::{ComponentTrace, ExecutionTrace, PoolTrace};

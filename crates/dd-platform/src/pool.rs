@@ -1,0 +1,179 @@
+//! The serverless function instance pool.
+//!
+//! Hot- and warm-started instances waiting for work (paper Sec. IV,
+//! "Serverless Function Instance Pool"). Each pooled instance knows its
+//! tier, what is pre-loaded into it (nothing but runtimes for hot starts;
+//! a specific component for Wild-style warm starts), when it was
+//! requested, and when its background preparation completes.
+
+use crate::des::SimTime;
+use crate::tier::Tier;
+use dd_wfdag::ComponentTypeId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a pooled instance within one run's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InstanceId(pub u64);
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// One entry of a pool request: start an instance of `tier`, optionally
+/// pre-pairing a specific component (`Some` = warm start, `None` = hot
+/// start: runtimes only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolEntryRequest {
+    /// Requested tier.
+    pub tier: Tier,
+    /// Component to pre-load, or `None` for a hot (runtime-only) start.
+    pub preload: Option<ComponentTypeId>,
+}
+
+/// A batch of instances a scheduler asks the platform to start.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PoolRequest {
+    /// The instances to start.
+    pub entries: Vec<PoolEntryRequest>,
+}
+
+impl PoolRequest {
+    /// An empty request (no pre-starting at all — everything cold).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A hot-start request: `high_end` + `low_end` runtime-only instances.
+    pub fn hot(high_end: usize, low_end: usize) -> Self {
+        let mut entries = Vec::with_capacity(high_end + low_end);
+        entries.extend(
+            std::iter::repeat_n(PoolEntryRequest {
+                tier: Tier::HighEnd,
+                preload: None,
+            }, high_end),
+        );
+        entries.extend(
+            std::iter::repeat_n(PoolEntryRequest {
+                tier: Tier::LowEnd,
+                preload: None,
+            }, low_end),
+        );
+        Self { entries }
+    }
+
+    /// A warm-start request: one instance per `(tier, component)` pair.
+    pub fn warm(pairs: impl IntoIterator<Item = (Tier, ComponentTypeId)>) -> Self {
+        Self {
+            entries: pairs
+                .into_iter()
+                .map(|(tier, ty)| PoolEntryRequest {
+                    tier,
+                    preload: Some(ty),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total requested instances.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is requested.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Count of requested instances on `tier`.
+    pub fn count(&self, tier: Tier) -> usize {
+        self.entries.iter().filter(|e| e.tier == tier).count()
+    }
+}
+
+/// A live pooled instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PooledInstance {
+    /// Identifier.
+    pub id: InstanceId,
+    /// Tier.
+    pub tier: Tier,
+    /// Pre-loaded component (warm) or `None` (hot).
+    pub preload: Option<ComponentTypeId>,
+    /// When the scheduler requested it (keep-alive billing starts here).
+    pub requested_at: SimTime,
+    /// When background preparation finishes and it can accept work.
+    pub ready_at: SimTime,
+}
+
+/// Read-only view of a pooled instance handed to schedulers for placement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InstanceView {
+    /// Identifier to reference in a [`crate::sched::Placement`].
+    pub id: InstanceId,
+    /// Tier.
+    pub tier: Tier,
+    /// Pre-loaded component, if warm-started.
+    pub preload: Option<ComponentTypeId>,
+    /// When it becomes ready.
+    pub ready_at: SimTime,
+}
+
+impl From<&PooledInstance> for InstanceView {
+    fn from(i: &PooledInstance) -> Self {
+        Self {
+            id: i.id,
+            tier: i.tier,
+            preload: i.preload,
+            ready_at: i.ready_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_request_counts() {
+        let r = PoolRequest::hot(3, 2);
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.count(Tier::HighEnd), 3);
+        assert_eq!(r.count(Tier::LowEnd), 2);
+        assert!(r.entries.iter().all(|e| e.preload.is_none()));
+    }
+
+    #[test]
+    fn warm_request_pairs() {
+        let r = PoolRequest::warm([
+            (Tier::HighEnd, ComponentTypeId(4)),
+            (Tier::HighEnd, ComponentTypeId(9)),
+        ]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.entries[0].preload, Some(ComponentTypeId(4)));
+        assert_eq!(r.entries[1].preload, Some(ComponentTypeId(9)));
+    }
+
+    #[test]
+    fn empty_request() {
+        let r = PoolRequest::none();
+        assert!(r.is_empty());
+        assert_eq!(r.count(Tier::HighEnd), 0);
+    }
+
+    #[test]
+    fn view_from_instance() {
+        let inst = PooledInstance {
+            id: InstanceId(3),
+            tier: Tier::LowEnd,
+            preload: None,
+            requested_at: SimTime::from_secs(1.0),
+            ready_at: SimTime::from_secs(2.0),
+        };
+        let view = InstanceView::from(&inst);
+        assert_eq!(view.id, InstanceId(3));
+        assert_eq!(view.tier, Tier::LowEnd);
+        assert_eq!(view.ready_at, SimTime::from_secs(2.0));
+    }
+}

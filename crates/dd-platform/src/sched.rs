@@ -1,0 +1,176 @@
+//! The scheduler interface the serverless platform drives.
+//!
+//! The FaaS executor ([`crate::faas::FaasExecutor`]) walks a workflow run
+//! phase by phase and calls back into a [`ServerlessScheduler`] at the
+//! paper's decision points:
+//!
+//! 1. before the run — pool for phase 0 ([`ServerlessScheduler::initial_pool`]);
+//! 2. at *half completion* of each phase — pool for the next phase
+//!    ([`ServerlessScheduler::pool_for_next_phase`]), DayDream's trigger;
+//! 3. at each phase start — component placement
+//!    ([`ServerlessScheduler::place`]);
+//! 4. after each phase — observation feedback
+//!    ([`ServerlessScheduler::observe_phase`]) for predictors and tiering.
+//!
+//! DayDream, Oracle and the Wild baseline all implement this trait; they
+//! differ only in *what* they request and *how* they place.
+
+use crate::des::SimTime;
+use crate::pool::{InstanceId, InstanceView, PoolRequest};
+use crate::tier::Tier;
+use dd_wfdag::{ComponentTypeId, LanguageRuntime, Phase, Workflow};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Static facts about the run, available before execution starts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunInfo {
+    /// Which workflow is executing.
+    pub workflow: Workflow,
+    /// Language runtimes the DAG uses (all pre-loaded on hot starts).
+    pub runtimes: Vec<LanguageRuntime>,
+    /// Number of phases in the run. Visible because the DAG structure is
+    /// stored in the back-end server; the *content* of future phases (the
+    /// path actually taken) is what stays unknown until execution.
+    pub phase_count: usize,
+}
+
+/// What the platform observed about a completed (or half-completed) phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseObservation {
+    /// Phase index.
+    pub index: usize,
+    /// Observed phase concurrency (total component instances).
+    pub concurrency: u32,
+    /// Observed per-type component concurrency.
+    pub component_counts: BTreeMap<ComponentTypeId, u32>,
+    /// Observed fraction of high-end-friendly components (at the
+    /// scheduler-configured threshold).
+    pub friendly_fraction: f64,
+}
+
+/// How a component was started (paper terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StartKind {
+    /// Pre-paired component + runtime (Wild-style).
+    Warm,
+    /// Runtime-only pre-load; component attached at invocation (DayDream).
+    Hot,
+    /// Nothing pre-loaded.
+    Cold,
+}
+
+impl StartKind {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StartKind::Warm => "warm",
+            StartKind::Hot => "hot",
+            StartKind::Cold => "cold",
+        }
+    }
+}
+
+/// A placement decision for one component of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Tier to execute on (the γ parameter of the paper's optimization).
+    pub tier: Tier,
+    /// Pooled instance to run on, or `None` to cold start a fresh one
+    /// (the δ parameter: `Some` ⇒ δ = 1, `None` ⇒ δ = 0).
+    pub instance: Option<InstanceId>,
+}
+
+/// A scheduler of serverless workflow execution.
+pub trait ServerlessScheduler {
+    /// Scheduler name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Pool request for phase 0, issued before the run starts.
+    fn initial_pool(&mut self, info: &RunInfo) -> PoolRequest;
+
+    /// Pool request for phase `half_of + 1`, issued when half of phase
+    /// `half_of`'s components have finished (the back-end store's
+    /// notification). `observed_so_far` describes phase `half_of`.
+    fn pool_for_next_phase(
+        &mut self,
+        half_of: usize,
+        observed_so_far: &PhaseObservation,
+    ) -> PoolRequest;
+
+    /// Places each component of `phase` onto the available pool (or a
+    /// cold start). `now` is the phase start instant (instances whose
+    /// `ready_at` is later will be waited on). Must return exactly one
+    /// placement per component, and must not reference the same instance
+    /// twice (one component per instance — they are microVMs, not nodes).
+    fn place(&mut self, phase: &Phase, available: &[InstanceView], now: SimTime)
+        -> Vec<Placement>;
+
+    /// Fixed decision overhead charged per phase, in seconds. The paper
+    /// reports 0.028% (DayDream), 0.036% (Pegasus) and 0.043% (Wild) of a
+    /// component execution time per decision.
+    fn overhead_secs(&self) -> f64 {
+        0.001
+    }
+
+    /// Feedback after a phase fully completes. Default: ignore.
+    fn observe_phase(&mut self, observation: &PhaseObservation) {
+        let _ = observation;
+    }
+}
+
+/// Builds the [`PhaseObservation`] of a phase under `threshold` for
+/// high-end friendliness.
+pub fn observe_phase(phase: &Phase, threshold: f64) -> PhaseObservation {
+    PhaseObservation {
+        index: phase.index,
+        concurrency: phase.concurrency(),
+        component_counts: phase.component_concurrency(),
+        friendly_fraction: phase.high_end_friendly_fraction(threshold),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dd_wfdag::ComponentInstance;
+
+    #[test]
+    fn observation_from_phase() {
+        let phase = Phase {
+            index: 2,
+            components: vec![
+                ComponentInstance {
+                    type_id: ComponentTypeId(1),
+                    exec_he_secs: 1.0,
+                    exec_le_secs: 1.5, // 50% slowdown → friendly
+                    read_mb: 1.0,
+                    write_mb: 1.0,
+                    cpu_demand: 0.5,
+                    mem_gb: 1.0,
+                },
+                ComponentInstance {
+                    type_id: ComponentTypeId(1),
+                    exec_he_secs: 1.0,
+                    exec_le_secs: 1.05, // 5% → not friendly
+                    read_mb: 1.0,
+                    write_mb: 1.0,
+                    cpu_demand: 0.5,
+                    mem_gb: 1.0,
+                },
+            ],
+        };
+        let obs = observe_phase(&phase, 0.2);
+        assert_eq!(obs.index, 2);
+        assert_eq!(obs.concurrency, 2);
+        assert_eq!(obs.component_counts[&ComponentTypeId(1)], 2);
+        assert!((obs.friendly_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn start_kind_names() {
+        assert_eq!(StartKind::Warm.name(), "warm");
+        assert_eq!(StartKind::Hot.name(), "hot");
+        assert_eq!(StartKind::Cold.name(), "cold");
+    }
+}

@@ -1,0 +1,318 @@
+//! ARIMA(p, d, q) time-series modeling.
+//!
+//! This is the prediction engine behind the "Serverless in the Wild"
+//! baseline (Shahrad et al., ATC'20), which the paper applies to phase
+//! concurrency in Fig. 8 — and which fails there precisely because the
+//! concurrency series is (near) i.i.d. rather than temporally correlated.
+//!
+//! Estimation uses the Hannan–Rissanen procedure: a long autoregression
+//! provides innovation estimates, then the ARMA coefficients are obtained
+//! by ordinary least squares on lagged values and lagged innovations. That
+//! is entirely adequate for the short, noisy series this repository feeds
+//! it, and avoids iterative maximum-likelihood machinery.
+
+use crate::linalg::least_squares_ridge;
+use crate::series::mean;
+use serde::{Deserialize, Serialize};
+
+/// Order specification for an ARIMA model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArimaConfig {
+    /// Autoregressive order (number of lagged values).
+    pub p: usize,
+    /// Degree of differencing.
+    pub d: usize,
+    /// Moving-average order (number of lagged innovations).
+    pub q: usize,
+}
+
+impl ArimaConfig {
+    /// The configuration used by the Wild baseline in this repository:
+    /// ARIMA(3, 1, 1), a standard choice for bursty arrival series.
+    pub fn wild_default() -> Self {
+        Self { p: 3, d: 1, q: 1 }
+    }
+}
+
+/// A fitted ARIMA model, ready to forecast.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Arima {
+    config: ArimaConfig,
+    /// AR coefficients φ₁…φ_p on the differenced series.
+    ar: Vec<f64>,
+    /// MA coefficients θ₁…θ_q.
+    ma: Vec<f64>,
+    /// Intercept of the differenced series.
+    intercept: f64,
+    /// Tail of the differenced series (most recent last), for forecasting.
+    diff_tail: Vec<f64>,
+    /// Tail of the innovation estimates (most recent last).
+    resid_tail: Vec<f64>,
+    /// Last `d` levels of the original series, for integration.
+    last_levels: Vec<f64>,
+}
+
+impl Arima {
+    /// Fits an ARIMA model to `series` with the given orders.
+    ///
+    /// Returns `None` when the series is too short to estimate the
+    /// requested orders (fewer than `p + q + d + 2` usable points) or the
+    /// regression is singular. Callers should fall back to a mean forecast
+    /// in that case (see [`Arima::forecast_or_mean`]).
+    pub fn fit(series: &[f64], config: ArimaConfig) -> Option<Self> {
+        let ArimaConfig { p, d, q } = config;
+        if series.len() < p + q + d + 2 {
+            return None;
+        }
+
+        // 1. Difference d times, remembering the last level at each stage
+        //    so forecasts can be integrated back.
+        let mut diff = series.to_vec();
+        let mut last_levels = Vec::with_capacity(d);
+        for _ in 0..d {
+            last_levels.push(*diff.last().expect("non-empty by length check"));
+            diff = diff.windows(2).map(|w| w[1] - w[0]).collect();
+            if diff.len() < p + q + 2 {
+                return None;
+            }
+        }
+
+        // 2. Long autoregression for innovation estimates.
+        let long = (p + q + 2).min(diff.len().saturating_sub(1)).max(1);
+        let residuals = long_ar_residuals(&diff, long)?;
+
+        // 3. OLS on p value lags and q innovation lags.
+        //    Row t predicts diff[t] from diff[t−1..t−p] and resid[t−1..t−q].
+        let start = long + p.max(q);
+        if start >= diff.len() {
+            return None;
+        }
+        let mut design = Vec::with_capacity(diff.len() - start);
+        let mut target = Vec::with_capacity(diff.len() - start);
+        for t in start..diff.len() {
+            let mut row = Vec::with_capacity(1 + p + q);
+            row.push(1.0);
+            for lag in 1..=p {
+                row.push(diff[t - lag]);
+            }
+            for lag in 1..=q {
+                // residuals[i] estimates the innovation of diff[long + i].
+                let idx = t - lag;
+                row.push(residuals[idx - long]);
+            }
+            design.push(row);
+            target.push(diff[t]);
+        }
+        let beta = least_squares_ridge(&design, &target, 1e-6).ok()?;
+        if beta.iter().any(|b| !b.is_finite()) {
+            return None;
+        }
+
+        let intercept = beta[0];
+        let ar = beta[1..=p].to_vec();
+        let ma = beta[p + 1..].to_vec();
+
+        // Keep the tails needed to roll the recursion forward.
+        let keep_v = p.max(1);
+        let keep_r = q.max(1);
+        let diff_tail = diff[diff.len().saturating_sub(keep_v)..].to_vec();
+        let resid_tail = residuals[residuals.len().saturating_sub(keep_r)..].to_vec();
+
+        Some(Self {
+            config,
+            ar,
+            ma,
+            intercept,
+            diff_tail,
+            resid_tail,
+            last_levels,
+        })
+    }
+
+    /// Model orders.
+    pub fn config(&self) -> ArimaConfig {
+        self.config
+    }
+
+    /// AR coefficients on the differenced series.
+    pub fn ar_coefficients(&self) -> &[f64] {
+        &self.ar
+    }
+
+    /// MA coefficients.
+    pub fn ma_coefficients(&self) -> &[f64] {
+        &self.ma
+    }
+
+    /// Forecasts `steps` future values of the *original* series.
+    ///
+    /// Future innovations are set to zero (the conditional expectation);
+    /// differencing is undone against the recorded last levels.
+    pub fn forecast(&self, steps: usize) -> Vec<f64> {
+        let mut values = self.diff_tail.clone();
+        let mut resids = self.resid_tail.clone();
+        let mut diffs = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            let mut next = self.intercept;
+            for (lag, phi) in self.ar.iter().enumerate() {
+                if let Some(&v) = values.get(values.len().wrapping_sub(lag + 1)) {
+                    next += phi * v;
+                }
+            }
+            for (lag, theta) in self.ma.iter().enumerate() {
+                if let Some(&r) = resids.get(resids.len().wrapping_sub(lag + 1)) {
+                    next += theta * r;
+                }
+            }
+            values.push(next);
+            resids.push(0.0);
+            diffs.push(next);
+        }
+
+        // Integrate d times. Each integration pass undoes one differencing,
+        // starting from the innermost recorded level.
+        let mut out = diffs;
+        for level in self.last_levels.iter().rev() {
+            let mut acc = *level;
+            for v in out.iter_mut() {
+                acc += *v;
+                *v = acc;
+            }
+        }
+        out
+    }
+
+    /// One-step-ahead forecast of the original series.
+    pub fn forecast_one(&self) -> f64 {
+        self.forecast(1)[0]
+    }
+
+    /// Fits and produces a one-step forecast, falling back to the series
+    /// mean when fitting is impossible. Never panics on short input; an
+    /// empty series forecasts `0.0`.
+    pub fn forecast_or_mean(series: &[f64], config: ArimaConfig) -> f64 {
+        match Self::fit(series, config) {
+            Some(model) => model.forecast_one(),
+            None => mean(series),
+        }
+    }
+}
+
+/// Fits a long AR(`order`) by OLS and returns the in-sample residuals
+/// (one per predicted point, i.e. `series.len() − order` values).
+fn long_ar_residuals(series: &[f64], order: usize) -> Option<Vec<f64>> {
+    if series.len() <= order {
+        return None;
+    }
+    let mut design = Vec::with_capacity(series.len() - order);
+    let mut target = Vec::with_capacity(series.len() - order);
+    for t in order..series.len() {
+        let mut row = Vec::with_capacity(order + 1);
+        row.push(1.0);
+        for lag in 1..=order {
+            row.push(series[t - lag]);
+        }
+        design.push(row);
+        target.push(series[t]);
+    }
+    let beta = match least_squares_ridge(&design, &target, 1e-6) {
+        Ok(b) => b,
+        // Constant or collinear series: innovations are deviations from
+        // the mean, which for a constant series are all zero.
+        Err(_) => {
+            let m = mean(&target);
+            return Some(target.iter().map(|&y| y - m).collect());
+        }
+    };
+    Some(
+        design
+            .iter()
+            .zip(&target)
+            .map(|(row, &y)| y - row.iter().zip(&beta).map(|(x, b)| x * b).sum::<f64>())
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedStream;
+    use rand::Rng;
+
+    #[test]
+    fn too_short_series_is_none() {
+        assert!(Arima::fit(&[1.0, 2.0], ArimaConfig { p: 3, d: 1, q: 1 }).is_none());
+        assert!(Arima::fit(&[], ArimaConfig::wild_default()).is_none());
+    }
+
+    #[test]
+    fn forecast_or_mean_falls_back() {
+        let f = Arima::forecast_or_mean(&[4.0, 6.0], ArimaConfig::wild_default());
+        assert!((f - 5.0).abs() < 1e-12);
+        assert_eq!(Arima::forecast_or_mean(&[], ArimaConfig::wild_default()), 0.0);
+    }
+
+    #[test]
+    fn fits_linear_trend_with_differencing() {
+        // x_t = 2t: after one difference the series is constant 2, so the
+        // forecast must continue the line.
+        let series: Vec<f64> = (0..60).map(|t| 2.0 * t as f64).collect();
+        let model = Arima::fit(&series, ArimaConfig { p: 1, d: 1, q: 0 }).unwrap();
+        let f = model.forecast(3);
+        for (i, &v) in f.iter().enumerate() {
+            let want = 2.0 * (60 + i) as f64;
+            assert!((v - want).abs() < 0.5, "step {i}: {v} vs {want}");
+        }
+    }
+
+    #[test]
+    fn fits_ar1_process() {
+        // Simulate x_t = 0.8·x_{t−1} + ε and check the AR coefficient.
+        let mut rng = SeedStream::new(3).rng();
+        let mut series = vec![0.0f64];
+        for _ in 0..3000 {
+            let eps: f64 = rng.gen::<f64>() - 0.5;
+            let prev = *series.last().unwrap();
+            series.push(0.8 * prev + eps);
+        }
+        let model = Arima::fit(&series, ArimaConfig { p: 1, d: 0, q: 0 }).unwrap();
+        let phi = model.ar_coefficients()[0];
+        assert!((phi - 0.8).abs() < 0.05, "phi = {phi}");
+    }
+
+    #[test]
+    fn forecast_of_constant_series_is_constant() {
+        let series = vec![7.0; 50];
+        let f = Arima::forecast_or_mean(&series, ArimaConfig { p: 2, d: 0, q: 1 });
+        assert!((f - 7.0).abs() < 1e-6, "forecast = {f}");
+    }
+
+    #[test]
+    fn forecast_horizon_length() {
+        let series: Vec<f64> = (0..40).map(|t| (t as f64 * 0.3).sin() + 5.0).collect();
+        let model = Arima::fit(&series, ArimaConfig { p: 2, d: 0, q: 1 }).unwrap();
+        assert_eq!(model.forecast(7).len(), 7);
+    }
+
+    #[test]
+    fn iid_noise_forecast_near_mean() {
+        // For i.i.d. noise the best ARIMA can do is ~the mean; verify the
+        // forecast does not explode (the failure mode the paper exposes is
+        // *error*, not divergence).
+        let mut rng = SeedStream::new(8).rng();
+        let series: Vec<f64> = (0..300).map(|_| 10.0 + (rng.gen::<f64>() - 0.5) * 8.0).collect();
+        let f = Arima::forecast_or_mean(&series, ArimaConfig::wild_default());
+        assert!((f - 10.0).abs() < 3.0, "forecast = {f}");
+    }
+
+    #[test]
+    fn seasonal_pattern_partially_captured() {
+        // A strongly periodic series with period 4 and p = 4: ARIMA should
+        // do clearly better than the mean.
+        let series: Vec<f64> = (0..200).map(|t| [1.0, 5.0, 9.0, 5.0][t % 4]).collect();
+        let model = Arima::fit(&series, ArimaConfig { p: 4, d: 0, q: 0 }).unwrap();
+        let f = model.forecast_one();
+        // Next value (t = 200) should be 1.0.
+        assert!((f - 1.0).abs() < 1.0, "forecast = {f}");
+    }
+}

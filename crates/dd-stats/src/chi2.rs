@@ -1,0 +1,248 @@
+//! χ² statistics and goodness-of-fit machinery.
+//!
+//! The paper uses χ² in two roles:
+//!
+//! 1. **Eq. 2** — the grid-search objective when re-fitting the Weibull
+//!    parameters of the running phase-concurrency histogram:
+//!    `Σ (Oᵢ − Eᵢ)² / Eᵢ`.
+//! 2. **Sec. III characterization** — "normalized χ² error" of polynomial /
+//!    sinusoidal / logarithmic fits to the temporal concurrency series
+//!    (values ≈ 0.8–0.94 demonstrate that no temporal model fits).
+//!
+//! For (2) the paper does not spell out the normalization; we use
+//! `1 − R² = SS_res / SS_tot` clipped to `[0, 1]`, which matches the
+//! reported behaviour (≈ 1 for useless fits, ≈ 0 for perfect ones) and is
+//! documented here so results are interpretable.
+
+/// Pearson χ² statistic `Σ (Oᵢ − Eᵢ)² / Eᵢ` over paired observed/expected
+/// slices. Bins with `Eᵢ = 0` are skipped, matching the usual convention
+/// (they carry no information and would divide by zero).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn chi2_statistic(observed: &[f64], expected: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed/expected length mismatch"
+    );
+    observed
+        .iter()
+        .zip(expected)
+        .filter(|(_, &e)| e > 0.0)
+        .map(|(&o, &e)| {
+            let d = o - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// χ² statistic with a small regularizer added to each expected count.
+///
+/// The grid search of Eq. 2 evaluates candidate (α, β) pairs whose expected
+/// histogram may assign ~0 mass to bins that were actually observed; a bare
+/// χ² would either skip those bins (hiding the mismatch) or blow up. Adding
+/// `eps` to every expected bin keeps such candidates finite but heavily
+/// penalized, which is what the argmin needs.
+pub fn chi2_statistic_regularized(observed: &[f64], expected: &[f64], eps: f64) -> f64 {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed/expected length mismatch"
+    );
+    observed
+        .iter()
+        .zip(expected)
+        .map(|(&o, &e)| {
+            let e = e + eps;
+            let d = o - e;
+            d * d / e
+        })
+        .sum()
+}
+
+/// Normalized χ² error of a fitted curve: `SS_res / SS_tot`, clipped to
+/// `[0, 1]`.
+///
+/// `0` means a perfect fit, `1` means the fit explains nothing beyond the
+/// mean (or is worse). This is the metric reported in the Sec. III
+/// characterization table of the paper.
+pub fn normalized_chi2_error(observed: &[f64], fitted: &[f64]) -> f64 {
+    assert_eq!(observed.len(), fitted.len(), "length mismatch");
+    if observed.is_empty() {
+        return 0.0;
+    }
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|&o| (o - mean) * (o - mean)).sum();
+    let ss_res: f64 = observed
+        .iter()
+        .zip(fitted)
+        .map(|(&o, &f)| (o - f) * (o - f))
+        .sum();
+    if ss_tot <= f64::EPSILON {
+        // A constant series: any fit that reproduces the constant is
+        // perfect, anything else is maximally wrong.
+        return if ss_res <= f64::EPSILON { 0.0 } else { 1.0 };
+    }
+    (ss_res / ss_tot).clamp(0.0, 1.0)
+}
+
+/// Upper-tail p-value of the χ² distribution with `dof` degrees of freedom,
+/// i.e. `P(X ≥ statistic)`.
+///
+/// Implemented via the regularized incomplete gamma function
+/// `Q(dof/2, statistic/2)`.
+pub fn chi2_p_value(statistic: f64, dof: usize) -> f64 {
+    if dof == 0 {
+        return if statistic > 0.0 { 0.0 } else { 1.0 };
+    }
+    1.0 - regularized_lower_gamma(dof as f64 / 2.0, statistic / 2.0)
+}
+
+/// Regularized lower incomplete gamma function `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes §6.2). Accurate to ~1e-12 over the ranges used here.
+pub fn regularized_lower_gamma(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "invalid incomplete gamma arguments");
+    if x == 0.0 {
+        return 0.0;
+    }
+    let ln_gamma_a = ln_gamma(a);
+    if x < a + 1.0 {
+        // Series representation.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma_a).exp()
+    } else {
+        // Continued fraction for Q(a, x); P = 1 − Q.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma_a).exp() * h;
+        1.0 - q
+    }
+}
+
+/// Natural log of the gamma function (Lanczos, g = 7).
+fn ln_gamma(x: f64) -> f64 {
+    crate::weibull::gamma(x).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chi2_zero_for_perfect_match() {
+        let o = [5.0, 10.0, 15.0];
+        assert_eq!(chi2_statistic(&o, &o), 0.0);
+    }
+
+    #[test]
+    fn chi2_known_value() {
+        // Dice example: observed [22,24,38,30,46,44], expected 34 each.
+        // Σ dᵢ²/34 = (144+100+16+16+144+100)/34 = 520/34.
+        let o = [22.0, 24.0, 38.0, 30.0, 46.0, 44.0];
+        let e = [34.0; 6];
+        let stat = chi2_statistic(&o, &e);
+        assert!((stat - 520.0 / 34.0).abs() < 1e-9, "stat = {stat}");
+    }
+
+    #[test]
+    fn chi2_skips_zero_expected() {
+        let o = [1.0, 2.0];
+        let e = [0.0, 2.0];
+        assert_eq!(chi2_statistic(&o, &e), 0.0);
+    }
+
+    #[test]
+    fn regularized_penalizes_zero_expected() {
+        let o = [10.0, 2.0];
+        let e = [0.0, 2.0];
+        let stat = chi2_statistic_regularized(&o, &e, 0.5);
+        assert!(stat > 100.0, "zero-expected bin must be penalized: {stat}");
+    }
+
+    #[test]
+    fn normalized_error_bounds() {
+        let obs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(normalized_chi2_error(&obs, &obs), 0.0);
+        // Fitting the mean everywhere gives exactly 1.
+        let mean_fit = [2.5; 4];
+        assert!((normalized_chi2_error(&obs, &mean_fit) - 1.0).abs() < 1e-12);
+        // A fit worse than the mean is clipped to 1.
+        let bad = [10.0, -10.0, 10.0, -10.0];
+        assert_eq!(normalized_chi2_error(&obs, &bad), 1.0);
+    }
+
+    #[test]
+    fn normalized_error_constant_series() {
+        let obs = [3.0; 5];
+        assert_eq!(normalized_chi2_error(&obs, &obs), 0.0);
+        let off = [4.0; 5];
+        assert_eq!(normalized_chi2_error(&obs, &off), 1.0);
+    }
+
+    #[test]
+    fn incomplete_gamma_known_values() {
+        // P(1, x) = 1 − e^(−x).
+        for x in [0.1, 0.5, 1.0, 2.0, 5.0] {
+            let p = regularized_lower_gamma(1.0, x);
+            assert!((p - (1.0 - (-x).exp())).abs() < 1e-10, "x = {x}");
+        }
+        // P(a, 0) = 0; P(a, ∞) → 1.
+        assert_eq!(regularized_lower_gamma(3.0, 0.0), 0.0);
+        assert!(regularized_lower_gamma(3.0, 100.0) > 0.999_999);
+    }
+
+    #[test]
+    fn chi2_p_value_known() {
+        // χ²(dof=1): P(X ≥ 3.841) ≈ 0.05.
+        let p = chi2_p_value(3.841, 1);
+        assert!((p - 0.05).abs() < 0.001, "p = {p}");
+        // χ²(dof=5): P(X ≥ 11.07) ≈ 0.05.
+        let p = chi2_p_value(11.07, 5);
+        assert!((p - 0.05).abs() < 0.001, "p = {p}");
+        // Statistic of 0 is certain.
+        assert!((chi2_p_value(0.0, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p_value_monotone_in_statistic() {
+        let mut prev = 1.0;
+        for s in 1..40 {
+            let p = chi2_p_value(s as f64, 6);
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+}

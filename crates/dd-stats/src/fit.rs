@@ -1,0 +1,408 @@
+//! Curve and distribution fitting.
+//!
+//! Two families:
+//!
+//! * **Weibull fitting** ([`fit_weibull_grid`], [`fit_weibull_moments`]) —
+//!   the χ² grid search of paper Eq. 2, used by DayDream's predictor to
+//!   re-fit the running phase-concurrency histogram, plus a fast
+//!   method-of-moments initializer.
+//! * **Temporal fits** ([`fit_polynomial`], [`fit_sinusoid`],
+//!   [`fit_logarithmic`]) — the models the paper shows *failing* to capture
+//!   concurrency over time (normalized χ² errors of 0.8–0.94, Sec. III).
+
+use crate::chi2::{chi2_statistic_regularized, normalized_chi2_error};
+use crate::histogram::Histogram;
+use crate::linalg::least_squares;
+use crate::weibull::{gamma, Weibull};
+use serde::{Deserialize, Serialize};
+
+/// Result of a Weibull fit: the distribution and its χ² objective value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeibullFit {
+    /// The fitted distribution.
+    pub dist: Weibull,
+    /// The χ² objective at the optimum (Eq. 2, regularized).
+    pub chi2: f64,
+    /// Fraction of histogram mass explained, in `[0, 1]`
+    /// (1 − normalized error of the expected vs observed counts).
+    pub fit_fraction: f64,
+}
+
+/// Fits a Weibull distribution to an integer histogram by χ² grid search —
+/// the optimization of paper Eq. 2.
+///
+/// Candidate scales `α ∈ A` and shapes `β ∈ B` are taken from inclusive
+/// ranges discretized into `steps` points each; for each candidate the
+/// expected histogram is `total · bin_mass(k)` and the regularized χ²
+/// statistic is minimized.
+///
+/// Returns `None` for an empty histogram or degenerate ranges.
+pub fn fit_weibull_grid(
+    hist: &Histogram,
+    alpha_range: (f64, f64),
+    beta_range: (f64, f64),
+    steps: usize,
+) -> Option<WeibullFit> {
+    if hist.is_empty() || steps < 2 {
+        return None;
+    }
+    let (a_lo, a_hi) = alpha_range;
+    let (b_lo, b_hi) = beta_range;
+    if !(a_lo > 0.0 && a_hi >= a_lo && b_lo > 0.0 && b_hi >= b_lo) {
+        return None;
+    }
+
+    let len = hist.trimmed_len().max(1);
+    let observed: Vec<f64> = hist.counts()[..len].iter().map(|&c| c as f64).collect();
+    let total = hist.total() as f64;
+
+    let mut best: Option<(f64, Weibull)> = None;
+    let mut expected = vec![0.0; len];
+    for ai in 0..steps {
+        let alpha = lerp(a_lo, a_hi, ai as f64 / (steps - 1) as f64);
+        for bi in 0..steps {
+            let beta = lerp(b_lo, b_hi, bi as f64 / (steps - 1) as f64);
+            let Ok(w) = Weibull::new(alpha, beta) else {
+                continue;
+            };
+            for (k, e) in expected.iter_mut().enumerate() {
+                *e = total * w.bin_mass(k as u32);
+            }
+            let stat = chi2_statistic_regularized(&observed, &expected, 0.5);
+            if best.is_none_or(|(s, _)| stat < s) {
+                best = Some((stat, w));
+            }
+        }
+    }
+
+    best.map(|(chi2, dist)| {
+        let fitted: Vec<f64> = (0..len)
+            .map(|k| total * dist.bin_mass(k as u32))
+            .collect();
+        WeibullFit {
+            dist,
+            chi2,
+            fit_fraction: 1.0 - normalized_chi2_error(&observed, &fitted),
+        }
+    })
+}
+
+/// Method-of-moments Weibull fit: matches the sample mean and variance.
+///
+/// Solves `CV² = Γ(1+2/β)/Γ(1+1/β)² − 1` for β by bisection, then
+/// `α = mean / Γ(1+1/β)`. Fast and a good initializer / sanity check for
+/// the grid search. Returns `None` when the histogram has fewer than two
+/// distinct values (variance 0) or zero mean.
+pub fn fit_weibull_moments(hist: &Histogram) -> Option<Weibull> {
+    let mean = hist.mean();
+    let var = hist.variance();
+    if hist.total() < 2 || mean <= 0.0 || var <= 0.0 {
+        return None;
+    }
+    let cv2 = var / (mean * mean);
+
+    // CV² is strictly decreasing in β; bisect on [0.05, 50].
+    let cv2_of = |beta: f64| {
+        let g1 = gamma(1.0 + 1.0 / beta);
+        let g2 = gamma(1.0 + 2.0 / beta);
+        g2 / (g1 * g1) - 1.0
+    };
+    let (mut lo, mut hi) = (0.05_f64, 50.0_f64);
+    if cv2 > cv2_of(lo) || cv2 < cv2_of(hi) {
+        return None;
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if cv2_of(mid) > cv2 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let beta = 0.5 * (lo + hi);
+    let alpha = mean / gamma(1.0 + 1.0 / beta);
+    Weibull::new(alpha, beta).ok()
+}
+
+/// A fitted temporal model together with its quality metric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FitReport {
+    /// Human-readable model name (e.g. `"poly2"`, `"sinusoid"`).
+    pub model: String,
+    /// Fitted values at the observation abscissas.
+    pub fitted: Vec<f64>,
+    /// Normalized χ² error in `[0, 1]` (0 = perfect; see
+    /// [`crate::chi2::normalized_chi2_error`]).
+    pub error: f64,
+}
+
+/// Least-squares polynomial fit of the given `degree` to `ys` observed at
+/// abscissas `0, 1, 2, …`.
+///
+/// Falls back to the mean (a degree-0 fit) when the normal equations are
+/// singular, e.g. for series shorter than `degree + 1`.
+pub fn fit_polynomial(ys: &[f64], degree: usize) -> FitReport {
+    let n = ys.len();
+    let model = format!("poly{degree}");
+    if n == 0 {
+        return FitReport {
+            model,
+            fitted: vec![],
+            error: 0.0,
+        };
+    }
+    // Scale abscissas to [0, 1] to keep the Vandermonde system conditioned.
+    let scale = (n.max(2) - 1) as f64;
+    let design: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let t = i as f64 / scale;
+            (0..=degree).map(|d| t.powi(d as i32)).collect()
+        })
+        .collect();
+    let fitted = match least_squares(&design, ys) {
+        Ok(beta) => design
+            .iter()
+            .map(|row| row.iter().zip(&beta).map(|(x, b)| x * b).sum())
+            .collect(),
+        Err(_) => vec![crate::series::mean(ys); n],
+    };
+    let error = normalized_chi2_error(ys, &fitted);
+    FitReport {
+        model,
+        fitted,
+        error,
+    }
+}
+
+/// Least-squares sinusoidal fit `y = a·sin(ωt) + b·cos(ωt) + c`, with the
+/// angular frequency ω selected by a coarse log-spaced grid over
+/// `freq_steps` candidates spanning 0.5–32 cycles across the series,
+/// followed by a fine linear refinement around the best coarse candidate.
+pub fn fit_sinusoid(ys: &[f64], freq_steps: usize) -> FitReport {
+    let n = ys.len();
+    let model = "sinusoid".to_string();
+    if n < 4 {
+        return FitReport {
+            model,
+            fitted: vec![crate::series::mean(ys); n],
+            error: if n == 0 { 0.0 } else { 1.0 },
+        };
+    }
+    let span = (n - 1) as f64;
+    let steps = freq_steps.max(2);
+
+    // For a candidate cycle count, solve the linear subproblem and score.
+    let eval = |cycles: f64| -> Option<(f64, Vec<f64>)> {
+        let omega = 2.0 * std::f64::consts::PI * cycles / span;
+        let design: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                vec![(omega * t).sin(), (omega * t).cos(), 1.0]
+            })
+            .collect();
+        let beta = least_squares(&design, ys).ok()?;
+        let fitted: Vec<f64> = design
+            .iter()
+            .map(|row| row.iter().zip(&beta).map(|(x, b)| x * b).sum())
+            .collect();
+        let err = normalized_chi2_error(ys, &fitted);
+        Some((err, fitted))
+    };
+
+    // Coarse pass: log-spaced cycle counts.
+    let mut best: Option<(f64, f64, Vec<f64>)> = None;
+    for s in 0..steps {
+        let cycles = 0.5 * 64f64.powf(s as f64 / (steps - 1) as f64);
+        if let Some((err, fitted)) = eval(cycles) {
+            if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
+                best = Some((err, cycles, fitted));
+            }
+        }
+    }
+
+    // Fine pass: linear sweep ± one coarse step around the winner, which
+    // pins the frequency well enough that phase drift over the series
+    // becomes negligible.
+    if let Some((_, coarse_cycles, _)) = best {
+        let ratio = 64f64.powf(1.0 / (steps - 1) as f64);
+        let lo = coarse_cycles / ratio;
+        let hi = coarse_cycles * ratio;
+        for s in 0..=64 {
+            let cycles = lo + (hi - lo) * s as f64 / 64.0;
+            if let Some((err, fitted)) = eval(cycles) {
+                if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
+                    best = Some((err, cycles, fitted));
+                }
+            }
+        }
+    }
+
+    match best {
+        Some((error, _, fitted)) => FitReport {
+            model,
+            fitted,
+            error,
+        },
+        None => FitReport {
+            model,
+            fitted: vec![crate::series::mean(ys); n],
+            error: 1.0,
+        },
+    }
+}
+
+/// Least-squares logarithmic fit `y = a·ln(t + 1) + b` at abscissas
+/// `t = 0, 1, 2, …`.
+pub fn fit_logarithmic(ys: &[f64]) -> FitReport {
+    let n = ys.len();
+    let model = "logarithmic".to_string();
+    if n < 2 {
+        return FitReport {
+            model,
+            fitted: ys.to_vec(),
+            error: 0.0,
+        };
+    }
+    let design: Vec<Vec<f64>> = (0..n)
+        .map(|i| vec![(i as f64 + 1.0).ln(), 1.0])
+        .collect();
+    let fitted = match least_squares(&design, ys) {
+        Ok(beta) => design
+            .iter()
+            .map(|row| row.iter().zip(&beta).map(|(x, b)| x * b).sum())
+            .collect(),
+        Err(_) => vec![crate::series::mean(ys); n],
+    };
+    let error = normalized_chi2_error(ys, &fitted);
+    FitReport {
+        model,
+        fitted,
+        error,
+    }
+}
+
+fn lerp(lo: f64, hi: f64, t: f64) -> f64 {
+    lo + (hi - lo) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedStream;
+
+    fn sample_hist(w: &Weibull, n: usize, seed: u64) -> Histogram {
+        let mut rng = SeedStream::new(seed).rng();
+        (0..n).map(|_| w.sample_count(&mut rng)).collect()
+    }
+
+    #[test]
+    fn grid_fit_recovers_generating_parameters() {
+        let truth = Weibull::new(10.0, 3.2).unwrap();
+        let hist = sample_hist(&truth, 5000, 7);
+        let fit = fit_weibull_grid(&hist, (1.0, 20.0), (0.5, 10.0), 40).unwrap();
+        assert!(
+            (fit.dist.alpha() - 10.0).abs() < 1.0,
+            "alpha = {}",
+            fit.dist.alpha()
+        );
+        assert!(
+            (fit.dist.beta() - 3.2).abs() < 0.8,
+            "beta = {}",
+            fit.dist.beta()
+        );
+        assert!(fit.fit_fraction > 0.9, "fit = {}", fit.fit_fraction);
+    }
+
+    #[test]
+    fn grid_fit_empty_none() {
+        assert!(fit_weibull_grid(&Histogram::new(), (1.0, 10.0), (1.0, 5.0), 10).is_none());
+    }
+
+    #[test]
+    fn grid_fit_degenerate_ranges_none() {
+        let hist = Histogram::from_samples([1, 2, 3]);
+        assert!(fit_weibull_grid(&hist, (-1.0, 10.0), (1.0, 5.0), 10).is_none());
+        assert!(fit_weibull_grid(&hist, (1.0, 10.0), (1.0, 5.0), 1).is_none());
+        assert!(fit_weibull_grid(&hist, (10.0, 1.0), (1.0, 5.0), 10).is_none());
+    }
+
+    #[test]
+    fn moments_fit_recovers_parameters() {
+        let truth = Weibull::new(6.0, 3.0).unwrap();
+        let hist = sample_hist(&truth, 20_000, 9);
+        let fit = fit_weibull_moments(&hist).unwrap();
+        assert!((fit.alpha() - 6.0).abs() < 0.5, "alpha = {}", fit.alpha());
+        assert!((fit.beta() - 3.0).abs() < 0.6, "beta = {}", fit.beta());
+    }
+
+    #[test]
+    fn moments_fit_degenerate_none() {
+        assert!(fit_weibull_moments(&Histogram::new()).is_none());
+        assert!(fit_weibull_moments(&Histogram::from_samples([5, 5, 5])).is_none());
+        assert!(fit_weibull_moments(&Histogram::from_samples([0, 0, 0])).is_none());
+    }
+
+    #[test]
+    fn polynomial_fits_exact_polynomial() {
+        // Quadratic data must be fit perfectly by poly2 (and poly3, poly4).
+        let ys: Vec<f64> = (0..30).map(|i| 2.0 + 0.5 * (i * i) as f64).collect();
+        for degree in [2, 3, 4] {
+            let rep = fit_polynomial(&ys, degree);
+            assert!(rep.error < 1e-6, "poly{degree} error = {}", rep.error);
+        }
+        // A line cannot capture a strong quadratic as well.
+        assert!(fit_polynomial(&ys, 1).error > 0.01);
+    }
+
+    #[test]
+    fn polynomial_handles_tiny_series() {
+        let rep = fit_polynomial(&[3.0], 4);
+        assert_eq!(rep.fitted.len(), 1);
+        let rep = fit_polynomial(&[], 2);
+        assert!(rep.fitted.is_empty());
+    }
+
+    #[test]
+    fn sinusoid_fits_sine_wave() {
+        let ys: Vec<f64> = (0..200)
+            .map(|i| 5.0 + 3.0 * (i as f64 * 0.2).sin())
+            .collect();
+        let rep = fit_sinusoid(&ys, 64);
+        assert!(rep.error < 0.05, "sinusoid error = {}", rep.error);
+    }
+
+    #[test]
+    fn sinusoid_fails_on_noise() {
+        // Weibull-distributed iid noise has no frequency content to fit.
+        let w = Weibull::new(10.0, 3.2).unwrap();
+        let mut rng = SeedStream::new(11).rng();
+        let ys: Vec<f64> = (0..300).map(|_| w.sample(&mut rng)).collect();
+        let rep = fit_sinusoid(&ys, 32);
+        assert!(rep.error > 0.5, "noise should not fit: {}", rep.error);
+    }
+
+    #[test]
+    fn logarithmic_fits_log_curve() {
+        let ys: Vec<f64> = (0..100).map(|i| 2.0 * ((i + 1) as f64).ln() + 1.0).collect();
+        let rep = fit_logarithmic(&ys);
+        assert!(rep.error < 1e-9, "log error = {}", rep.error);
+    }
+
+    #[test]
+    fn iid_weibull_series_defeats_all_temporal_models() {
+        // The Sec. III claim: temporal models leave most variance
+        // unexplained on concurrency series (errors 0.8–0.94).
+        let w = Weibull::new(10.0, 6.0).unwrap();
+        let mut rng = SeedStream::new(23).rng();
+        let ys: Vec<f64> = (0..400).map(|_| w.sample(&mut rng)).collect();
+        for rep in [
+            fit_polynomial(&ys, 2),
+            fit_polynomial(&ys, 3),
+            fit_polynomial(&ys, 4),
+            fit_sinusoid(&ys, 32),
+            fit_logarithmic(&ys),
+        ] {
+            assert!(rep.error > 0.6, "{} error = {}", rep.model, rep.error);
+        }
+    }
+}

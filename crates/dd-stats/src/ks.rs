@@ -1,0 +1,110 @@
+//! Kolmogorov–Smirnov goodness-of-fit test.
+//!
+//! A second, χ²-independent check of the Fig. 9 claim that phase
+//! concurrency follows a Weibull distribution: the KS statistic compares
+//! the empirical CDF of the observations against the candidate CDF
+//! directly, with no binning choices to argue about.
+
+use crate::histogram::Histogram;
+
+/// KS statistic `D = sup |ECDF(x) − CDF(x)|` between an integer histogram
+/// and a candidate CDF, evaluated at the integer bin edges (k + ½).
+///
+/// Returns 0 for an empty histogram.
+pub fn ks_statistic(hist: &Histogram, cdf: impl Fn(f64) -> f64) -> f64 {
+    let total = hist.total();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut acc = 0u64;
+    let mut d = 0.0f64;
+    for (value, count) in hist.iter_nonzero() {
+        // ECDF just below this value vs CDF at the lower edge.
+        let ecdf_before = acc as f64 / total as f64;
+        let lower = cdf(f64::from(value) - 0.5);
+        d = d.max((ecdf_before - lower).abs());
+        // ECDF including this value vs CDF at the upper edge.
+        acc += count;
+        let ecdf_after = acc as f64 / total as f64;
+        let upper = cdf(f64::from(value) + 0.5);
+        d = d.max((ecdf_after - upper).abs());
+    }
+    d
+}
+
+/// Asymptotic KS p-value `P(D > observed)` for sample size `n`:
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}` with
+/// `λ = (√n + 0.12 + 0.11/√n)·D` (Numerical Recipes §14.3).
+pub fn ks_p_value(d: f64, n: u64) -> f64 {
+    if n == 0 || d <= 0.0 {
+        return 1.0;
+    }
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedStream;
+    use crate::weibull::Weibull;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(ks_statistic(&h, |_| 0.5), 0.0);
+    }
+
+    #[test]
+    fn perfect_fit_has_small_d() {
+        let truth = Weibull::new(10.0, 3.2).unwrap();
+        let mut rng = SeedStream::new(4).rng();
+        let h: Histogram = (0..5_000).map(|_| truth.sample_count(&mut rng)).collect();
+        let d = ks_statistic(&h, |x| truth.cdf(x));
+        assert!(d < 0.05, "D = {d} for the generating distribution");
+        // And the p-value does not reject it.
+        assert!(ks_p_value(d, h.total()) > 0.001, "p = {}", ks_p_value(d, h.total()));
+    }
+
+    #[test]
+    fn wrong_distribution_has_large_d() {
+        let truth = Weibull::new(10.0, 3.2).unwrap();
+        let wrong = Weibull::new(30.0, 3.2).unwrap();
+        let mut rng = SeedStream::new(4).rng();
+        let h: Histogram = (0..2_000).map(|_| truth.sample_count(&mut rng)).collect();
+        let d = ks_statistic(&h, |x| wrong.cdf(x));
+        assert!(d > 0.5, "D = {d} should expose a 3x-scale mismatch");
+        assert!(ks_p_value(d, h.total()) < 1e-6);
+    }
+
+    #[test]
+    fn p_value_bounds_and_monotonicity() {
+        assert_eq!(ks_p_value(0.0, 100), 1.0);
+        assert_eq!(ks_p_value(0.5, 0), 1.0);
+        let mut prev = 1.0;
+        for i in 1..20 {
+            let p = ks_p_value(i as f64 * 0.05, 200);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p <= prev + 1e-12);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn d_statistic_bounded_by_one() {
+        let h = Histogram::from_samples([100, 100, 100]);
+        let d = ks_statistic(&h, |_| 0.0);
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,211 @@
+//! Minimal dense linear algebra: solving `Ax = b` and least squares.
+//!
+//! Only what the fitting ([`crate::fit`]) and ARIMA ([`crate::arima`])
+//! modules need: Gaussian elimination with partial pivoting, and ordinary
+//! least squares via the normal equations. Systems here are tiny (≤ ~10
+//! unknowns), so numerical sophistication beyond partial pivoting is
+//! unnecessary.
+
+/// Error from a singular (or numerically singular) system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrix;
+
+impl std::fmt::Display for SingularMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is singular to working precision")
+    }
+}
+
+impl std::error::Error for SingularMatrix {}
+
+/// Solves the dense linear system `A x = b` in place using Gaussian
+/// elimination with partial pivoting.
+///
+/// `a` is a row-major `n × n` matrix; both `a` and `b` are consumed.
+///
+/// # Panics
+/// Panics if the dimensions are inconsistent.
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, SingularMatrix> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector dimension mismatch");
+    for row in &a {
+        assert_eq!(row.len(), n, "matrix is not square");
+    }
+
+    for col in 0..n {
+        // Partial pivot: bring the largest magnitude entry to the diagonal.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                a[i][col]
+                    .abs()
+                    .partial_cmp(&a[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .unwrap();
+        if a[pivot_row][col].abs() < 1e-12 {
+            return Err(SingularMatrix);
+        }
+        a.swap(col, pivot_row);
+        b.swap(col, pivot_row);
+
+        let pivot = a[col][col];
+        for row in col + 1..n {
+            let factor = a[row][col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            // Split borrows: the pivot row is disjoint from `row`.
+            let (pivot_slice, rest) = a.split_at_mut(col + 1);
+            let pivot_row = &pivot_slice[col];
+            let target = &mut rest[row - col - 1];
+            for (t, &pv) in target[col..].iter_mut().zip(&pivot_row[col..]) {
+                *t -= factor * pv;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares: finds `beta` minimizing `‖X·beta − y‖²` via the
+/// normal equations `XᵀX·beta = Xᵀy`.
+///
+/// `x` is row-major with one row per observation. Returns an error when
+/// `XᵀX` is singular (e.g. collinear regressors or too few observations).
+pub fn least_squares(x: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, SingularMatrix> {
+    least_squares_ridge(x, y, 0.0)
+}
+
+/// Ridge-regularized least squares: minimizes `‖X·beta − y‖² + λ‖beta‖²`.
+///
+/// A small `lambda` (e.g. `1e-6`) makes the normal equations solvable for
+/// collinear designs — exactly what ARIMA estimation needs on periodic or
+/// constant (differenced) series, where lagged columns repeat.
+pub fn least_squares_ridge(
+    x: &[Vec<f64>],
+    y: &[f64],
+    lambda: f64,
+) -> Result<Vec<f64>, SingularMatrix> {
+    assert_eq!(x.len(), y.len(), "row count mismatch");
+    if x.is_empty() {
+        return Err(SingularMatrix);
+    }
+    let p = x[0].len();
+    let mut xtx = vec![vec![0.0; p]; p];
+    let mut xty = vec![0.0; p];
+    for (row, &yi) in x.iter().zip(y) {
+        assert_eq!(row.len(), p, "ragged design matrix");
+        for i in 0..p {
+            xty[i] += row[i] * yi;
+            for j in i..p {
+                xtx[i][j] += row[i] * row[j];
+            }
+        }
+    }
+    // Mirror the upper triangle and apply the ridge penalty. (Index
+    // loops are intentional: rows i and j alias, so iterator adapters
+    // would need the same split-borrow dance for no clarity gain.)
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..p {
+        for j in 0..i {
+            let upper = xtx[j][i];
+            xtx[i][j] = upper;
+        }
+        xtx[i][i] += lambda;
+    }
+    solve(xtx, xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, -2.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_3x3() {
+        // x + 2y + z = 8; 2x + y + 3z = 13; 3x + y + 2z = 13 → (3, 1, 2).
+        let a = vec![
+            vec![1.0, 2.0, 1.0],
+            vec![2.0, 1.0, 3.0],
+            vec![3.0, 1.0, 2.0],
+        ];
+        let x = solve(a, vec![7.0, 13.0, 14.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-10, "{x:?}");
+        assert!((x[1] - 1.0).abs() < 1e-10, "{x:?}");
+        assert!((x[2] - 2.0).abs() < 1e-10, "{x:?}");
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the diagonal forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_errors() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(solve(a, vec![1.0, 2.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn least_squares_exact_line() {
+        // y = 2x + 1 with intercept column.
+        let x: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let beta = least_squares(&x, &y).unwrap();
+        assert!((beta[0] - 1.0).abs() < 1e-10);
+        assert!((beta[1] - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noise() {
+        // Noisy line: OLS must recover slope/intercept to within the noise.
+        let x: Vec<Vec<f64>> = (0..100).map(|i| vec![1.0, i as f64]).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| 3.0 * i as f64 - 5.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let beta = least_squares(&x, &y).unwrap();
+        assert!((beta[1] - 3.0).abs() < 0.01, "{beta:?}");
+        assert!((beta[0] + 5.0).abs() < 1.0, "{beta:?}");
+    }
+
+    #[test]
+    fn least_squares_collinear_errors() {
+        let x = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        assert_eq!(least_squares(&x, &y), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn ridge_handles_collinear_design() {
+        // Same collinear design is solvable with a ridge penalty, and the
+        // fitted values still reproduce y (x2 = 2*x1, y = x1).
+        let x = vec![vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]];
+        let y = vec![1.0, 2.0, 3.0];
+        let beta = least_squares_ridge(&x, &y, 1e-6).unwrap();
+        for (row, &yi) in x.iter().zip(&y) {
+            let pred: f64 = row.iter().zip(&beta).map(|(a, b)| a * b).sum();
+            assert!((pred - yi).abs() < 1e-3, "pred {pred} vs {yi}");
+        }
+    }
+}

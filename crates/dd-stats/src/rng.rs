@@ -1,0 +1,130 @@
+//! Deterministic, hierarchically derived random number generators.
+//!
+//! Every stochastic decision in the repository flows through a
+//! [`SeedStream`] so that a single root seed fully determines a whole
+//! experiment (all 50 runs of all three workflows under all four
+//! schedulers). Child streams are derived by hashing a label into the parent
+//! seed, which keeps unrelated subsystems statistically independent while
+//! staying reproducible when code elsewhere adds or removes draws.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A reproducible source of RNGs derived from a root seed.
+///
+/// `SeedStream` is *not* itself an RNG; it hands out independent [`StdRng`]
+/// instances keyed by string labels and integer indices. Two streams built
+/// from the same seed yield identical generators for identical labels,
+/// regardless of the order in which they are requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedStream {
+    seed: u64,
+}
+
+impl SeedStream {
+    /// Creates a stream rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Returns the root seed of this stream.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives a child stream for an independent subsystem.
+    ///
+    /// The derivation is a label hash mixed into the parent seed with an
+    /// avalanche finalizer, so `derive("a")` and `derive("b")` are
+    /// decorrelated even for adjacent seeds.
+    pub fn derive(&self, label: &str) -> SeedStream {
+        SeedStream {
+            seed: mix(self.seed, fnv1a(label.as_bytes())),
+        }
+    }
+
+    /// Derives a child stream for the `index`-th item of a family
+    /// (e.g. run 0..50 of a workflow).
+    pub fn derive_index(&self, index: u64) -> SeedStream {
+        SeedStream {
+            seed: mix(self.seed, index.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Materializes an RNG for immediate use.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// Convenience: derive a label and materialize in one call.
+    pub fn rng_for(&self, label: &str) -> StdRng {
+        self.derive(label).rng()
+    }
+}
+
+/// FNV-1a hash of a byte string; stable across platforms and Rust versions
+/// (unlike `std::hash`, which is allowed to change between releases).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64-style avalanche mix of two words.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = SeedStream::new(42).derive("x").rng().gen::<u64>();
+        let b = SeedStream::new(42).derive("x").rng().gen::<u64>();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let a = SeedStream::new(42).derive("x").seed();
+        let b = SeedStream::new(42).derive("y").seed();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn different_indices_differ() {
+        let s = SeedStream::new(7);
+        let seeds: Vec<u64> = (0..100).map(|i| s.derive_index(i).seed()).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "index-derived seeds collide");
+    }
+
+    #[test]
+    fn adjacent_seeds_decorrelated() {
+        // A weak derivation (e.g. seed + index) would make adjacent root
+        // seeds produce overlapping child seeds; the mixer must not.
+        let a = SeedStream::new(1).derive_index(2).seed();
+        let b = SeedStream::new(2).derive_index(1).seed();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn derivation_order_irrelevant() {
+        let s = SeedStream::new(99);
+        let first = s.derive("a");
+        let _ = s.derive("b");
+        let again = s.derive("a");
+        assert_eq!(first.seed(), again.seed());
+    }
+}

@@ -1,0 +1,170 @@
+//! Descriptive statistics for time series.
+//!
+//! Used throughout the characterization experiments: Pearson correlation
+//! between temporal windows (the paper reports < 0.25 for concurrency
+//! series, explaining why ARIMA fails), autocorrelation, and basic moments.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Pearson correlation coefficient of two equal-length series.
+///
+/// Returns `0.0` when either series is constant (correlation undefined) —
+/// the conservative choice for the "is there a temporal pattern?" question
+/// this is used to answer.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "series length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx <= f64::EPSILON || vy <= f64::EPSILON {
+        return 0.0;
+    }
+    // Floating-point noise can push the ratio a few ulps past ±1.
+    (cov / (vx * vy).sqrt()).clamp(-1.0, 1.0)
+}
+
+/// Sample autocorrelation at `lag`; `0.0` when the series is too short or
+/// constant.
+pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
+    if lag == 0 {
+        return 1.0;
+    }
+    if xs.len() <= lag + 1 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let denom: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    if denom <= f64::EPSILON {
+        return 0.0;
+    }
+    let numer: f64 = xs
+        .windows(lag + 1)
+        .map(|w| (w[0] - m) * (w[lag] - m))
+        .sum();
+    numer / denom
+}
+
+/// Mean Pearson correlation between consecutive non-overlapping windows of
+/// length `window`.
+///
+/// This is the paper's evidence that HPC-DAG concurrency has almost no
+/// temporal structure: "Pearson correlation among different temporal
+/// windows is less than 0.25".
+pub fn mean_window_correlation(xs: &[f64], window: usize) -> f64 {
+    assert!(window >= 2, "window must hold at least 2 points");
+    let chunks: Vec<&[f64]> = xs.chunks_exact(window).collect();
+    if chunks.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for pair in chunks.windows(2) {
+        total += pearson(pair[0], pair[1]).abs();
+        n += 1;
+    }
+    total / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[4.0]), 4.0);
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_correlations() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_is_zero() {
+        let xs = [3.0; 5];
+        let ys = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(pearson(&xs, &ys), 0.0);
+    }
+
+    #[test]
+    fn pearson_orthogonal_is_zero() {
+        // Alternating vs symmetric tent: covariance cancels exactly.
+        let xs = [1.0, -1.0, 1.0, -1.0];
+        let ys = [1.0, 2.0, 2.0, 1.0];
+        assert!(pearson(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_constant() {
+        assert_eq!(autocorrelation(&[5.0; 10], 1), 0.0);
+        assert_eq!(autocorrelation(&[1.0, 2.0], 0), 1.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_trend_is_high() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        assert!(autocorrelation(&xs, 1) > 0.9);
+    }
+
+    #[test]
+    fn autocorrelation_short_series() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 5), 0.0);
+    }
+
+    #[test]
+    fn window_correlation_periodic_signal_high() {
+        // A strictly periodic signal correlates perfectly window-to-window.
+        let xs: Vec<f64> = (0..40).map(|i| (i % 10) as f64).collect();
+        assert!(mean_window_correlation(&xs, 10) > 0.99);
+    }
+}

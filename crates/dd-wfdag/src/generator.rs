@@ -1,0 +1,363 @@
+//! Run generation: realizing dynamic DAGs into concrete runs.
+//!
+//! [`RunGenerator`] turns a [`WorkflowSpec`] + [`DynamicDag`] into
+//! [`WorkflowRun`]s. Each run picks an (operation, input) pair, a phase
+//! count, and — phase by phase — a concurrency drawn from the calibrated
+//! Weibull distribution plus the component types selected by the DAG's
+//! joints under that run's path conditioning.
+//!
+//! ~6% of runs (configurable) are generated *hard-to-predict*: their
+//! concurrency distribution drifts over the run, reproducing the
+//! worst-case population the paper studies in Fig. 17.
+
+use crate::component::ComponentInstance;
+use crate::dag::DynamicDag;
+use crate::run::{Phase, RunLabel, WorkflowRun};
+use crate::spec::WorkflowSpec;
+use dd_stats::SeedStream;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates reproducible runs of one workflow.
+///
+/// A `(spec, seed, run_index)` triple fully determines a run; generators
+/// built with the same seed produce identical runs in any order.
+#[derive(Debug, Clone)]
+pub struct RunGenerator {
+    spec: WorkflowSpec,
+    dag: DynamicDag,
+    seeds: SeedStream,
+}
+
+impl RunGenerator {
+    /// Creates a generator for `spec` rooted at `seed`.
+    pub fn new(spec: WorkflowSpec, seed: u64) -> Self {
+        let dag = DynamicDag::for_spec(&spec);
+        let seeds = SeedStream::new(seed)
+            .derive("run-generator")
+            .derive(spec.workflow.name());
+        Self { spec, dag, seeds }
+    }
+
+    /// The spec this generator realizes.
+    pub fn spec(&self) -> &WorkflowSpec {
+        &self.spec
+    }
+
+    /// The dynamic DAG template.
+    pub fn dag(&self) -> &DynamicDag {
+        &self.dag
+    }
+
+    /// Generates run `run_index`.
+    pub fn generate(&self, run_index: usize) -> WorkflowRun {
+        let mut rng = self.seeds.derive_index(run_index as u64).rng();
+
+        let operation = self.spec.operations[rng.gen::<usize>() % self.spec.operations.len()]
+            .clone();
+        let input = self.spec.inputs[rng.gen::<usize>() % self.spec.inputs.len()].clone();
+        let hard_to_predict = rng.gen::<f64>() < self.spec.hard_to_predict_fraction;
+
+        // Phase count: mean ± jitter; "generated"-style inputs (the last
+        // input class) extend the run, as in Cosmoscout-VR where a
+        // generated input keeps producing phases (paper Sec. III).
+        let jitter = 1.0 + self.spec.phase_count_jitter * (2.0 * rng.gen::<f64>() - 1.0);
+        let extension = if input == *self.spec.inputs.last().expect("inputs non-empty") {
+            1.2
+        } else {
+            1.0
+        };
+        let n_phases = ((self.spec.mean_phases as f64 * jitter * extension).round() as usize)
+            .max(2);
+
+        // Path conditioning: runs sharing (operation, input) take largely
+        // the same path (same base selector), with a small per-run salt so
+        // repeats are not byte-identical (Fig. 5: patterns vary by run).
+        let base_selector = path_hash(&operation, &input);
+        let salt = rng.gen::<u64>() % 4;
+        // Each run enters the template cycle at its own offset, so the
+        // phases in which a given component streaks shift from run to run
+        // (Fig. 6: the best phases to warm a component move between runs).
+        let template_span = self.dag.template_count() * self.dag.dwell();
+        let offset = rng.gen::<usize>() % template_span.max(1);
+
+        let mut phases = Vec::with_capacity(n_phases);
+        let dwell = self.dag.dwell() as u64;
+        for p in 0..n_phases {
+            let concurrency = self.draw_concurrency(&mut rng, p, n_phases, hard_to_predict);
+            // The selector is constant within each dwell period so a
+            // template's components streak across consecutive phases
+            // (paper Figs. 5–6), then shifts with the next period.
+            let shifted = p + offset;
+            let epoch = (shifted as u64 / dwell.max(1)) % 61;
+            let selector = base_selector ^ salt.wrapping_mul(0xA5A5_A5A5).rotate_left(epoch as u32);
+            let phase = self.realize_phase_at(p, shifted, concurrency, selector, &mut rng);
+            phases.push(phase);
+        }
+
+        WorkflowRun {
+            label: RunLabel {
+                workflow: self.spec.workflow,
+                run_index,
+                operation,
+                input,
+                hard_to_predict,
+            },
+            phases,
+        }
+    }
+
+    /// Generates runs `0..n` (the paper evaluates 50 per workflow).
+    pub fn generate_all(&self, n: usize) -> Vec<WorkflowRun> {
+        (0..n).map(|i| self.generate(i)).collect()
+    }
+
+    /// Draws the phase concurrency for phase `p` of `n` total phases.
+    ///
+    /// Regular runs draw i.i.d. from the calibrated Weibull. Hard-to-
+    /// predict runs drift: the effective scale slides ±40% across the run,
+    /// so no single (α, β) fits the whole histogram.
+    fn draw_concurrency(
+        &self,
+        rng: &mut StdRng,
+        phase: usize,
+        n_phases: usize,
+        hard_to_predict: bool,
+    ) -> u32 {
+        let raw = self.spec.concurrency_weibull.sample(rng);
+        let mut scale = self.spec.concurrency_scale;
+        if hard_to_predict {
+            let t = phase as f64 / n_phases.max(1) as f64;
+            scale *= 0.6 + 0.8 * t;
+        }
+        ((raw * scale).round() as u32).max(1)
+    }
+
+    /// Populates a phase with `concurrency` component instances of the
+    /// types its template resolves to under `selector`. `template_index`
+    /// is the offset position in the template cycle (≠ `index` because
+    /// each run enters the cycle at its own offset).
+    fn realize_phase_at(
+        &self,
+        index: usize,
+        template_index: usize,
+        concurrency: u32,
+        selector: u64,
+        rng: &mut StdRng,
+    ) -> Phase {
+        let mut types = self.dag.template(template_index).resolve(selector);
+        types.sort_unstable();
+        types.dedup();
+        debug_assert!(!types.is_empty(), "phase template resolved to no types");
+
+        let mut components = Vec::with_capacity(concurrency as usize);
+        for _ in 0..concurrency {
+            let ty = &self.spec.catalog[types[rng.gen::<usize>() % types.len()].0 as usize];
+            // Multiplicative log-normal-ish jitter: exp(0.25·z), z ≈ N(0, ½)
+            // — mild per-invocation variation; the phase maximum stays
+            // near the catalog time, keeping start-up overheads the
+            // phase-level differentiator they are in the paper.
+            let z = rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5;
+            let jitter = (0.25 * z).exp();
+            components.push(ComponentInstance::from_type(ty, jitter));
+        }
+        Phase { index, components }
+    }
+}
+
+/// FNV-1a hash of the (operation, input) pair for path conditioning.
+fn path_hash(operation: &str, input: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in operation.bytes().chain([0u8]).chain(input.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Workflow;
+    use dd_stats::{fit_weibull_grid, Histogram};
+
+    fn generator(wf: Workflow) -> RunGenerator {
+        RunGenerator::new(WorkflowSpec::new(wf), 42)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = generator(Workflow::Ccl);
+        let a = g.generate(3);
+        let b = g.generate(3);
+        assert_eq!(a, b);
+        // Other indices do not perturb it.
+        let _ = g.generate(7);
+        assert_eq!(g.generate(3), a);
+    }
+
+    #[test]
+    fn different_runs_differ() {
+        let g = generator(Workflow::Ccl);
+        let a = g.generate(0);
+        let b = g.generate(1);
+        assert_ne!(
+            a.concurrency_series(),
+            b.concurrency_series(),
+            "two runs should not share their concurrency series"
+        );
+    }
+
+    #[test]
+    fn phase_count_in_calibrated_band() {
+        let g = generator(Workflow::Ccl);
+        for run in g.generate_all(20) {
+            let n = run.phase_count();
+            // mean 110, jitter ±15%, extension ≤ 1.2 → [93, 152].
+            assert!((80..=160).contains(&n), "phase count {n}");
+        }
+    }
+
+    #[test]
+    fn exafel_totals_near_paper() {
+        // ExaFEL: ~90 phases × concurrency 17 ⇒ ~1 521 instances per run.
+        let g = generator(Workflow::ExaFel);
+        let runs = g.generate_all(10);
+        let mean_total: f64 =
+            runs.iter().map(|r| r.total_components() as f64).sum::<f64>() / runs.len() as f64;
+        assert!(
+            (1_100.0..=2_100.0).contains(&mean_total),
+            "mean total components {mean_total}"
+        );
+    }
+
+    #[test]
+    fn mean_concurrency_matches_calibration() {
+        for wf in [Workflow::ExaFel, Workflow::Ccl] {
+            let g = generator(wf);
+            let runs = g.generate_all(10);
+            let (sum, n) = runs
+                .iter()
+                .flat_map(|r| r.concurrency_series())
+                .fold((0u64, 0u64), |(s, n), c| (s + c as u64, n + 1));
+            let mean = sum as f64 / n as f64;
+            let want = g.spec().mean_concurrency();
+            assert!(
+                (mean - want).abs() < want * 0.15,
+                "{wf}: mean concurrency {mean:.1} vs calibrated {want:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrency_histogram_fits_calibrated_weibull() {
+        // Normalizing concurrency by the scale should recover the paper's
+        // Fig. 9 parameters for regular (non-drifting) runs.
+        let g = generator(Workflow::Ccl);
+        let spec = g.spec();
+        let mut hist = Histogram::new();
+        for run in g.generate_all(8) {
+            if run.label.hard_to_predict {
+                continue;
+            }
+            for c in run.concurrency_series() {
+                // Work on the normalized axis, scaled ×4 for resolution.
+                let normalized = (c as f64 / spec.concurrency_scale * 4.0).round() as u32;
+                hist.record(normalized);
+            }
+        }
+        let fit = fit_weibull_grid(&hist, (10.0, 80.0), (1.0, 12.0), 40).unwrap();
+        let alpha = fit.dist.alpha() / 4.0;
+        let beta = fit.dist.beta();
+        assert!((alpha - 10.0).abs() < 2.0, "alpha = {alpha}");
+        assert!((beta - 6.0).abs() < 2.5, "beta = {beta}");
+    }
+
+    #[test]
+    fn hard_to_predict_fraction_near_six_percent() {
+        let g = generator(Workflow::ExaFel);
+        let n_hard = g
+            .generate_all(300)
+            .iter()
+            .filter(|r| r.label.hard_to_predict)
+            .count();
+        let frac = n_hard as f64 / 300.0;
+        assert!((0.02..=0.12).contains(&frac), "hard fraction {frac}");
+    }
+
+    #[test]
+    fn hard_runs_drift_in_concurrency() {
+        let g = generator(Workflow::CosmoscoutVr);
+        let spec = g.spec().scaled_down(10);
+        let g = RunGenerator::new(spec, 42);
+        // Find a hard run and verify first-half vs second-half means differ.
+        let run = (0..200)
+            .map(|i| g.generate(i))
+            .find(|r| r.label.hard_to_predict)
+            .expect("a hard run within 200");
+        let series: Vec<f64> = run
+            .concurrency_series()
+            .into_iter()
+            .map(f64::from)
+            .collect();
+        let half = series.len() / 2;
+        let first = dd_stats::mean(&series[..half]);
+        let second = dd_stats::mean(&series[half..]);
+        assert!(
+            second > first * 1.15,
+            "drift should raise late-phase concurrency: {first:.1} → {second:.1}"
+        );
+    }
+
+    #[test]
+    fn runs_share_types_partially() {
+        // Fig. 5: different runs overlap in the components they invoke
+        // but are not identical.
+        let g = generator(Workflow::Ccl);
+        let a = g.generate(0);
+        let b = g.generate(1);
+        let ta = a.distinct_types();
+        let tb = b.distinct_types();
+        let shared = ta.iter().filter(|t| tb.contains(t)).count();
+        assert!(shared > 0, "runs should share some component types");
+        assert!(
+            shared < ta.len().max(tb.len()),
+            "runs should not use identical type sets"
+        );
+    }
+
+    #[test]
+    fn all_instances_within_catalog() {
+        let g = generator(Workflow::ExaFel);
+        let run = g.generate(5);
+        let catalog_len = g.spec().catalog.len() as u32;
+        for phase in &run.phases {
+            assert!(!phase.components.is_empty());
+            for c in &phase.components {
+                assert!(c.type_id.0 < catalog_len);
+                assert!(c.exec_he_secs > 0.0);
+                assert!(c.exec_le_secs >= c.exec_he_secs);
+            }
+        }
+    }
+
+    #[test]
+    fn friendly_fraction_stable_phase_to_phase() {
+        // The paper observes the high-end-friendly fraction varies < ~5%
+        // from one phase to the next on average; allow a looser bound on
+        // the *average* adjacent-phase delta for small sample noise.
+        let g = generator(Workflow::CosmoscoutVr);
+        let run = g.generate(2);
+        let fracs: Vec<f64> = run
+            .phases
+            .iter()
+            .map(|p| p.high_end_friendly_fraction(0.20))
+            .collect();
+        let deltas: Vec<f64> = fracs.windows(2).map(|w| (w[1] - w[0]).abs()).collect();
+        let mean_delta = dd_stats::mean(&deltas);
+        assert!(
+            mean_delta < 0.25,
+            "mean adjacent-phase friendly delta {mean_delta}"
+        );
+    }
+}

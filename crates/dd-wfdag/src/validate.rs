@@ -1,0 +1,207 @@
+//! Workload validation: structural checks on runs and specs.
+//!
+//! Users of [`crate::builder::WorkflowBuilder`] (and any other source of
+//! [`WorkflowRun`]s) can validate a workload before handing it to the
+//! platform; the checks here catch the classes of mistakes that would
+//! otherwise surface as executor panics or silently nonsensical metrics.
+
+use crate::run::WorkflowRun;
+use crate::spec::WorkflowSpec;
+
+/// A validation failure, with enough context to locate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidationError {
+    /// What is wrong.
+    pub message: String,
+    /// Offending phase, if applicable.
+    pub phase: Option<usize>,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.phase {
+            Some(p) => write!(f, "phase {p}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+fn err(message: impl Into<String>, phase: Option<usize>) -> ValidationError {
+    ValidationError {
+        message: message.into(),
+        phase,
+    }
+}
+
+/// Validates a realized run: contiguous phase indices, non-empty phases,
+/// positive and tier-ordered execution times, finite non-negative I/O
+/// volumes and resource demands.
+pub fn validate_run(run: &WorkflowRun) -> Result<(), ValidationError> {
+    if run.phases.is_empty() {
+        return Err(err("run has no phases", None));
+    }
+    for (i, phase) in run.phases.iter().enumerate() {
+        if phase.index != i {
+            return Err(err(
+                format!("phase index {} at position {i}", phase.index),
+                Some(i),
+            ));
+        }
+        if phase.components.is_empty() {
+            return Err(err("phase has no components", Some(i)));
+        }
+        for (slot, c) in phase.components.iter().enumerate() {
+            if !(c.exec_he_secs.is_finite() && c.exec_he_secs > 0.0) {
+                return Err(err(
+                    format!("component {slot}: non-positive high-end time"),
+                    Some(i),
+                ));
+            }
+            if !(c.exec_le_secs.is_finite() && c.exec_le_secs >= c.exec_he_secs) {
+                return Err(err(
+                    format!(
+                        "component {slot}: low-end time {} below high-end {}",
+                        c.exec_le_secs, c.exec_he_secs
+                    ),
+                    Some(i),
+                ));
+            }
+            for (name, v) in [
+                ("read_mb", c.read_mb),
+                ("write_mb", c.write_mb),
+                ("mem_gb", c.mem_gb),
+            ] {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(err(format!("component {slot}: bad {name} = {v}"), Some(i)));
+                }
+            }
+            if !(c.cpu_demand.is_finite() && c.cpu_demand > 0.0 && c.cpu_demand <= 1.0) {
+                return Err(err(
+                    format!("component {slot}: cpu demand {} outside (0, 1]", c.cpu_demand),
+                    Some(i),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a workflow spec: non-empty catalog with dense ids, positive
+/// calibration parameters, and consistent runtime declarations.
+pub fn validate_spec(spec: &WorkflowSpec) -> Result<(), ValidationError> {
+    if spec.catalog.is_empty() {
+        return Err(err("empty component catalog", None));
+    }
+    for (i, ty) in spec.catalog.iter().enumerate() {
+        if ty.id.0 as usize != i {
+            return Err(err(format!("catalog id {} at slot {i}", ty.id), None));
+        }
+        if !(ty.exec_he_secs > 0.0 && ty.exec_le_secs >= ty.exec_he_secs) {
+            return Err(err(format!("catalog {}: bad exec times", ty.id), None));
+        }
+        if !spec.runtimes.contains(&ty.runtime) {
+            return Err(err(
+                format!("catalog {}: runtime {} not declared", ty.id, ty.runtime),
+                None,
+            ));
+        }
+    }
+    if spec.concurrency_scale <= 0.0 {
+        return Err(err("non-positive concurrency scale", None));
+    }
+    if spec.mean_phases < 2 {
+        return Err(err("mean phase count below 2", None));
+    }
+    if spec.operations.is_empty() || spec.inputs.is_empty() {
+        return Err(err("empty operation or input vocabulary", None));
+    }
+    if !(0.0..=1.0).contains(&spec.hard_to_predict_fraction) {
+        return Err(err("hard-to-predict fraction outside [0, 1]", None));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{ComponentDef, WorkflowBuilder};
+    use crate::generator::RunGenerator;
+    use crate::spec::Workflow;
+
+    #[test]
+    fn calibrated_specs_validate() {
+        for wf in Workflow::ALL {
+            validate_spec(&WorkflowSpec::new(wf)).unwrap_or_else(|e| panic!("{wf}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_runs_validate() {
+        let gen = RunGenerator::new(WorkflowSpec::new(Workflow::Ccl).scaled_down(10), 3);
+        for idx in 0..5 {
+            validate_run(&gen.generate(idx)).unwrap_or_else(|e| panic!("run {idx}: {e}"));
+        }
+    }
+
+    #[test]
+    fn builder_runs_validate() {
+        let mut b = WorkflowBuilder::new("v");
+        let c = b.add_component(ComponentDef::default());
+        b.add_phase(&[(c, 1..=3)]);
+        b.repeat_phases(5);
+        validate_run(&b.realize(1, 0)).unwrap();
+    }
+
+    #[test]
+    fn detects_empty_run() {
+        let gen = RunGenerator::new(WorkflowSpec::new(Workflow::Ccl).scaled_down(10), 3);
+        let mut run = gen.generate(0);
+        run.phases.clear();
+        assert!(validate_run(&run).is_err());
+    }
+
+    #[test]
+    fn detects_bad_phase_index() {
+        let gen = RunGenerator::new(WorkflowSpec::new(Workflow::Ccl).scaled_down(10), 3);
+        let mut run = gen.generate(0);
+        run.phases[1].index = 7;
+        let e = validate_run(&run).unwrap_err();
+        assert_eq!(e.phase, Some(1));
+        assert!(e.to_string().contains("phase 1"));
+    }
+
+    #[test]
+    fn detects_inverted_tier_times() {
+        let gen = RunGenerator::new(WorkflowSpec::new(Workflow::Ccl).scaled_down(10), 3);
+        let mut run = gen.generate(0);
+        run.phases[0].components[0].exec_le_secs = 0.01;
+        let e = validate_run(&run).unwrap_err();
+        assert!(e.message.contains("below high-end"), "{e}");
+    }
+
+    #[test]
+    fn detects_nan_io() {
+        let gen = RunGenerator::new(WorkflowSpec::new(Workflow::Ccl).scaled_down(10), 3);
+        let mut run = gen.generate(0);
+        run.phases[0].components[0].read_mb = f64::NAN;
+        assert!(validate_run(&run).is_err());
+    }
+
+    #[test]
+    fn detects_undeclared_runtime() {
+        let mut spec = WorkflowSpec::new(Workflow::Ccl);
+        spec.runtimes.clear();
+        let e = validate_spec(&spec).unwrap_err();
+        assert!(e.message.contains("not declared"), "{e}");
+    }
+
+    #[test]
+    fn detects_bad_cpu_demand() {
+        let gen = RunGenerator::new(WorkflowSpec::new(Workflow::Ccl).scaled_down(10), 3);
+        let mut run = gen.generate(0);
+        run.phases[0].components[0].cpu_demand = 1.7;
+        assert!(validate_run(&run).is_err());
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the workload substrate: generator statistics,
+//! builder contracts, and usage-series invariants.
+
+use dd_wfdag::{
+    ComponentDef, ResourceKind, RunGenerator, UsageSeries, Workflow, WorkflowBuilder,
+    WorkflowSpec,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any (seed, run) pair yields a structurally valid run whose
+    /// aggregate statistics stay inside the calibration envelope.
+    #[test]
+    fn generator_respects_calibration(seed in 0u64..500, idx in 0usize..32) {
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(8);
+        let gen = RunGenerator::new(spec, seed);
+        let run = gen.generate(idx);
+        // Mean concurrency within a generous band of the calibrated 9.
+        let series: Vec<f64> = run.concurrency_series().into_iter().map(f64::from).collect();
+        let mean = dd_stats::mean(&series);
+        prop_assert!((3.0..=20.0).contains(&mean), "mean concurrency {mean}");
+        // Phases indexed contiguously.
+        for (i, p) in run.phases.iter().enumerate() {
+            prop_assert_eq!(p.index, i);
+        }
+        // I/O totals are positive and bounded (CCL reads ~22 GB at full
+        // scale; an eighth-scale run proportionally less).
+        prop_assert!(run.total_read_gb() > 0.0);
+        prop_assert!(run.total_read_gb() < 30.0);
+    }
+
+    /// Usage series peak at exactly 1 and never exceed it, for every
+    /// resource and any run.
+    #[test]
+    fn usage_series_normalized(seed in 0u64..200) {
+        let spec = WorkflowSpec::new(Workflow::ExaFel).scaled_down(15);
+        let run = RunGenerator::new(spec, seed).generate(0);
+        for kind in ResourceKind::ALL {
+            let s = UsageSeries::from_run(&run, kind);
+            let peak = s.utilization.iter().cloned().fold(0.0f64, f64::max);
+            prop_assert!((peak - 1.0).abs() < 1e-9, "{}: peak {peak}", kind.name());
+            prop_assert!(s.utilization.iter().all(|&u| (0.0..=1.0).contains(&u)));
+            prop_assert!(s.mean() <= 1.0);
+        }
+    }
+
+    /// Builder-realized runs honor their concurrency ranges for any range
+    /// bounds and seeds.
+    #[test]
+    fn builder_ranges_hold(lo in 0u32..4, width in 0u32..8, seed in 0u64..300) {
+        let hi = lo + width;
+        let mut b = WorkflowBuilder::new("prop-wf");
+        let anchor = b.add_component(ComponentDef {
+            name: "anchor".into(),
+            ..ComponentDef::default()
+        });
+        let varying = b.add_component(ComponentDef {
+            name: "varying".into(),
+            ..ComponentDef::default()
+        });
+        // The anchor guarantees non-empty phases even when lo == 0.
+        b.add_phase(&[(anchor, 1..=1), (varying, lo..=hi)]);
+        b.repeat_phases(12);
+        let run = b.realize(seed, 0);
+        prop_assert_eq!(run.phase_count(), 12);
+        for phase in &run.phases {
+            let n = phase.components.iter().filter(|c| c.type_id == varying).count() as u32;
+            prop_assert!((lo..=hi).contains(&n), "count {n} outside {lo}..={hi}");
+            let a = phase.components.iter().filter(|c| c.type_id == anchor).count();
+            prop_assert_eq!(a, 1);
+        }
+    }
+
+    /// Component jitter never flips the high-end/low-end ordering.
+    #[test]
+    fn jitter_preserves_tier_ordering(seed in 0u64..300, idx in 0usize..16) {
+        let spec = WorkflowSpec::new(Workflow::ExaFel).scaled_down(20);
+        let run = RunGenerator::new(spec, seed).generate(idx);
+        for phase in &run.phases {
+            for c in &phase.components {
+                prop_assert!(c.exec_le_secs >= c.exec_he_secs);
+                prop_assert!(c.exec_he_secs > 0.0);
+            }
+        }
+    }
+
+    /// The concurrency histogram of distinct runs of the same workflow
+    /// stays distribution-stable: means differ by < 35%.
+    #[test]
+    fn histogram_stability_across_runs(seed in 0u64..100) {
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(4);
+        let gen = RunGenerator::new(spec, seed);
+        let mean_of = |idx: usize| {
+            let run = gen.generate(idx);
+            if run.label.hard_to_predict {
+                return None; // drifting runs are excluded by design
+            }
+            let xs: Vec<f64> = run.concurrency_series().into_iter().map(f64::from).collect();
+            Some(dd_stats::mean(&xs))
+        };
+        if let (Some(a), Some(b)) = (mean_of(0), mean_of(1)) {
+            prop_assert!(
+                (a - b).abs() / a.max(b) < 0.35,
+                "means {a:.1} vs {b:.1} diverge"
+            );
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! ExaFEL case study: the paper's evaluation pipeline on one workflow.
+//!
+//! Runs N ExaFEL runs (default 10, first argument overrides) under all
+//! four techniques and prints the Fig. 11/14-style summary: mean service
+//! time and cost normalized to the Oracle, prediction quality, and the
+//! wasted keep-alive comparison.
+//!
+//! ```bash
+//! cargo run --release --example exafel_study -- 25
+//! ```
+
+use daydream::baselines::{OracleScheduler, Pegasus, WildScheduler};
+use daydream::core::{DayDreamHistory, DayDreamScheduler};
+use daydream::platform::{FaasExecutor, RunOutcome};
+use daydream::stats::SeedStream;
+use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec};
+
+fn main() {
+    let n_runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+
+    let spec = WorkflowSpec::new(Workflow::ExaFel);
+    println!(
+        "ExaFEL: catalog of {} components, mean phase concurrency {:.0}, ~{} phases/run",
+        spec.catalog.len(),
+        spec.mean_concurrency(),
+        spec.mean_phases
+    );
+    let runtimes = spec.runtimes.clone();
+    let generator = RunGenerator::new(spec, 42);
+
+    // History from a training run outside the evaluated set.
+    let mut history = DayDreamHistory::new();
+    history.learn_from_run(&generator.generate(1_000), 0.20, 24);
+
+    let executor = FaasExecutor::aws();
+    let mut results: Vec<(&str, Vec<RunOutcome>)> = vec![
+        ("oracle", vec![]),
+        ("daydream", vec![]),
+        ("wild", vec![]),
+        ("pegasus", vec![]),
+    ];
+    for idx in 0..n_runs {
+        let run = generator.generate(idx);
+        let seeds = SeedStream::new(7).derive_index(idx as u64);
+        results[0].1.push(executor.execute(
+            &run,
+            &runtimes,
+            &mut OracleScheduler::new(run.clone(), 0.20),
+        ));
+        results[1].1.push(executor.execute(
+            &run,
+            &runtimes,
+            &mut DayDreamScheduler::aws(&history, seeds),
+        ));
+        results[2]
+            .1
+            .push(executor.execute(&run, &runtimes, &mut WildScheduler::new()));
+        results[3].1.push(Pegasus.execute(&run, &runtimes));
+        eprint!("\rrun {}/{n_runs} done", idx + 1);
+    }
+    eprintln!();
+
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let oracle_t = mean(&results[0].1.iter().map(|o| o.service_time_secs).collect::<Vec<_>>());
+    let oracle_c = mean(&results[0].1.iter().map(|o| o.service_cost()).collect::<Vec<_>>());
+
+    println!(
+        "\n{:<10} {:>10} {:>9} {:>11} {:>9} {:>10} {:>12} {:>12}",
+        "scheduler", "time (s)", "t/oracle", "cost ($)", "c/oracle", "pred err", "preload ok", "wasted ($)"
+    );
+    for (name, outcomes) in &results {
+        let t = mean(&outcomes.iter().map(|o| o.service_time_secs).collect::<Vec<_>>());
+        let c = mean(&outcomes.iter().map(|o| o.service_cost()).collect::<Vec<_>>());
+        let err = mean(&outcomes.iter().map(|o| o.mean_prediction_error()).collect::<Vec<_>>());
+        let ok = mean(&outcomes.iter().map(|o| o.mean_preload_success()).collect::<Vec<_>>());
+        let wasted = mean(&outcomes.iter().map(|o| o.ledger.keep_alive_wasted).collect::<Vec<_>>());
+        println!(
+            "{name:<10} {t:>10.0} {:>8.2}x {c:>11.4} {:>8.2}x {err:>10.1} {:>11.0}% {wasted:>12.4}",
+            t / oracle_t,
+            c / oracle_c,
+            ok * 100.0,
+        );
+    }
+
+    let dd = mean(&results[1].1.iter().map(|o| o.service_time_secs).collect::<Vec<_>>());
+    let wi = mean(&results[2].1.iter().map(|o| o.service_time_secs).collect::<Vec<_>>());
+    let pe = mean(&results[3].1.iter().map(|o| o.service_time_secs).collect::<Vec<_>>());
+    println!(
+        "\nDayDream service time: {:.0}% below Pegasus, {:.0}% below Wild (paper: 45% / 22%)",
+        (1.0 - dd / pe) * 100.0,
+        (1.0 - dd / wi) * 100.0
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: execute one CCL run under all four schedulers and compare.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use daydream::baselines::{NaiveScheduler, OracleScheduler, Pegasus, WildScheduler};
+use daydream::core::{DayDreamHistory, DayDreamScheduler};
+use daydream::platform::FaasExecutor;
+use daydream::stats::SeedStream;
+use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec};
+
+fn main() {
+    // 1. The workload: the Core Cosmology Library workflow, scaled down
+    //    so the demo finishes in seconds (drop `scaled_down` for the full
+    //    ~110-phase runs of the paper).
+    let spec = WorkflowSpec::new(Workflow::CosmoscoutVr).scaled_down(1);
+    let runtimes = spec.runtimes.clone();
+    let generator = RunGenerator::new(spec, 42);
+
+    // 2. DayDream learns its historic Weibull parameters on run 0 …
+    let mut history = DayDreamHistory::new();
+    history.learn_from_run(&generator.generate(0), 0.20, 24);
+    println!(
+        "historic Weibull fitted on run 0: alpha = {:.1}, beta = {:.1}",
+        history.historic_weibull().unwrap().alpha(),
+        history.historic_weibull().unwrap().beta()
+    );
+
+    // 3. … and schedules run 1.
+    let run = generator.generate(1);
+    println!(
+        "run 1: {} phases, {} component instances, operation '{}', input '{}'\n",
+        run.phase_count(),
+        run.total_components(),
+        run.label.operation,
+        run.label.input
+    );
+
+    let executor = FaasExecutor::aws();
+    println!(
+        "{:<12} {:>12} {:>12} {:>8} {:>8} {:>8}",
+        "scheduler", "time (s)", "cost ($)", "warm", "hot", "cold"
+    );
+    let report = |outcome: daydream::platform::RunOutcome| {
+        let (w, h, c) = outcome.start_counts();
+        println!(
+            "{:<12} {:>12.1} {:>12.5} {:>8} {:>8} {:>8}",
+            outcome.scheduler,
+            outcome.service_time_secs,
+            outcome.service_cost(),
+            w,
+            h,
+            c
+        );
+    };
+
+    let mut oracle = OracleScheduler::new(run.clone(), 0.20);
+    report(executor.execute(&run, &runtimes, &mut oracle));
+
+    let mut daydream = DayDreamScheduler::aws(&history, SeedStream::new(7));
+    report(executor.execute(&run, &runtimes, &mut daydream));
+
+    let mut wild = WildScheduler::new();
+    report(executor.execute(&run, &runtimes, &mut wild));
+
+    report(Pegasus.execute(&run, &runtimes));
+
+    let mut naive = NaiveScheduler;
+    report(executor.execute(&run, &runtimes, &mut naive));
+}

@@ -1,0 +1,95 @@
+//! Execution timeline: a Gantt-style view of one run's phases from the
+//! execution trace — hot-start preparation overlapping the previous
+//! phase, slot waits, and the half-phase trigger in action.
+//!
+//! ```bash
+//! cargo run --release --example timeline
+//! ```
+
+use daydream::core::{DayDreamHistory, DayDreamScheduler};
+use daydream::platform::{ExecutionTrace, FaasExecutor, StartKind};
+use daydream::stats::SeedStream;
+use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec};
+
+/// Characters per second of simulated time in the Gantt rows.
+const SCALE: f64 = 0.8;
+
+fn row(trace: &ExecutionTrace, phase: usize, width: usize) -> Vec<String> {
+    let t0 = trace.phase_starts[phase].as_secs();
+    let mut rows = Vec::new();
+    for c in trace.phase_components(phase) {
+        let offset = ((c.start.as_secs() - t0) * SCALE).round() as usize;
+        let overhead = ((c.overhead_secs) * SCALE).round().max(1.0) as usize;
+        let exec = ((c.exec_secs) * SCALE).round().max(1.0) as usize;
+        let write = ((c.write_secs) * SCALE).round().max(1.0) as usize;
+        let glyph = match c.kind {
+            StartKind::Warm => 'w',
+            StartKind::Hot => 'h',
+            StartKind::Cold => 'C',
+        };
+        let mut line = String::new();
+        line.push_str(&" ".repeat(offset.min(width)));
+        line.push_str(&glyph.to_string().repeat(overhead));
+        line.push_str(&"█".repeat(exec));
+        line.push_str(&"▒".repeat(write));
+        line.truncate(width + 24);
+        rows.push(format!(
+            "    [{}] {:<7} {}",
+            c.slot,
+            c.kind.name(),
+            line
+        ));
+    }
+    rows
+}
+
+fn main() {
+    let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(12);
+    let runtimes = spec.runtimes.clone();
+    let generator = RunGenerator::new(spec, 21);
+    let mut history = DayDreamHistory::new();
+    history.learn_from_run(&generator.generate(1_000), 0.20, 24);
+
+    let run = generator.generate(0);
+    let mut scheduler = DayDreamScheduler::aws(&history, SeedStream::new(3));
+    let (outcome, trace) = FaasExecutor::aws().execute_traced(&run, &runtimes, &mut scheduler);
+    trace.validate().expect("trace invariants");
+
+    println!(
+        "run of {} phases, service time {:.1}s — first 4 phases:",
+        run.phase_count(),
+        outcome.service_time_secs
+    );
+    println!("legend: h/w/C = hot/warm/cold start-up, █ = execution, ▒ = output write\n");
+    for phase in 0..run.phase_count().min(4) {
+        let times = trace.phase_times();
+        println!(
+            "phase {phase} — concurrency {}, {:.1}s:",
+            run.phases[phase].concurrency(),
+            times[phase]
+        );
+        for line in row(&trace, phase, 64) {
+            println!("{line}");
+        }
+        println!();
+    }
+
+    // The half-phase trigger at work: show when the next phase's pool was
+    // requested relative to the phase span.
+    for phase in 0..run.phase_count().min(3) {
+        let next_pool_request = trace
+            .pool
+            .iter()
+            .filter(|p| p.requested_at >= trace.phase_starts[phase])
+            .map(|p| p.requested_at)
+            .find(|&r| r < trace.phase_ends[phase]);
+        if let Some(req) = next_pool_request {
+            let span = trace.phase_ends[phase].since(trace.phase_starts[phase]);
+            let frac = req.since(trace.phase_starts[phase]) / span;
+            println!(
+                "phase {phase}: next pool requested at {:.0}% of the phase (half-phase trigger)",
+                frac * 100.0
+            );
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # daydream — facade crate
+//!
+//! Re-exports the whole DayDream reproduction behind one dependency:
+//!
+//! * [`stats`] — Weibull fitting, χ², ARIMA, histograms ([`dd_stats`]),
+//! * [`wfdag`] — dynamic workflow DAGs + ExaFEL / Cosmoscout-VR / CCL
+//!   generators ([`dd_wfdag`]),
+//! * [`platform`] — the serverless & cluster execution substrates
+//!   ([`dd_platform`]),
+//! * [`core`] — the DayDream scheduler itself ([`daydream_core`]),
+//! * [`baselines`] — Wild, Pegasus, Oracle and naive baselines
+//!   ([`dd_baselines`]).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use daydream_core as core;
+pub use dd_baselines as baselines;
+pub use dd_platform as platform;
+pub use dd_stats as stats;
+pub use dd_wfdag as wfdag;
+
+/// Crate version, matching the workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
