@@ -18,8 +18,8 @@
 //! values normalizing the objective are the greedy solution's own, so the
 //! optimizer can only improve on Algorithm 1.
 
-use dd_platform::{InstanceView, Placement, SimTime, StartupModel, Tier};
 use dd_platform::pricing::PriceSheet;
+use dd_platform::{InstanceView, Placement, SimTime, StartupModel, Tier};
 use dd_wfdag::{ComponentInstance, LanguageRuntime, Phase};
 use serde::{Deserialize, Serialize};
 
@@ -239,9 +239,8 @@ impl PlacementOptimizer {
         if ref_time <= 0.0 || ref_cost <= 0.0 {
             return;
         }
-        let objective = |t: f64, c: f64| {
-            self.weights.time * t / ref_time + self.weights.cost * c / ref_cost
-        };
+        let objective =
+            |t: f64, c: f64| self.weights.time * t / ref_time + self.weights.cost * c / ref_cost;
 
         for _pass in 0..3 {
             let mut improved = false;
@@ -263,18 +262,13 @@ impl PlacementOptimizer {
                 let _ = max2;
                 let makespan_excl_i = max1;
 
-                let current_obj = objective(
-                    makespan_excl_i.max(times[i]),
-                    total_cost,
-                );
+                let current_obj = objective(makespan_excl_i.max(times[i]), total_cost);
                 let mut best: Option<(Assign, f64, f64, f64)> = None;
-                let candidates = [Assign::Cold(Tier::HighEnd)]
-                    .into_iter()
-                    .chain(
-                        (0..available.len())
-                            .filter(|&s| !used[s] && available[s].preload.is_none())
-                            .map(Assign::Hot),
-                    );
+                let candidates = [Assign::Cold(Tier::HighEnd)].into_iter().chain(
+                    (0..available.len())
+                        .filter(|&s| !used[s] && available[s].preload.is_none())
+                        .map(Assign::Hot),
+                );
                 for cand in candidates {
                     if cand == assigns[i] {
                         continue;
@@ -465,7 +459,16 @@ mod tests {
             components: (0..10).map(|i| comp(i, 3.0, 3.1)).collect(),
         };
         let pool: Vec<_> = (0..4)
-            .map(|i| hot(i, if i % 2 == 0 { Tier::HighEnd } else { Tier::LowEnd }))
+            .map(|i| {
+                hot(
+                    i,
+                    if i % 2 == 0 {
+                        Tier::HighEnd
+                    } else {
+                        Tier::LowEnd
+                    },
+                )
+            })
             .collect();
         let placements = optimizer().place(&phase, &pool, SimTime::ZERO, &RUNTIMES);
         let mut ids: Vec<_> = placements.iter().filter_map(|p| p.instance).collect();

@@ -39,7 +39,10 @@ pub struct WeibullPredictor {
     rng: StdRng,
 }
 
-fn default_rng() -> StdRng {
+// Referenced by the `#[serde(default)]` attribute above; the offline
+// no-op serde derive does not expand it, so it is also kept callable.
+#[allow(dead_code)]
+pub(crate) fn default_rng() -> StdRng {
     SeedStream::new(0).rng()
 }
 
@@ -69,12 +72,12 @@ impl WeibullPredictor {
             return self.historic;
         }
         let n = self.interval_fits.len() as f64;
-        let alpha =
-            (self.historic.alpha() + self.interval_fits.iter().map(Weibull::alpha).sum::<f64>())
-                / (n + 1.0);
-        let beta =
-            (self.historic.beta() + self.interval_fits.iter().map(Weibull::beta).sum::<f64>())
-                / (n + 1.0);
+        let alpha = (self.historic.alpha()
+            + self.interval_fits.iter().map(Weibull::alpha).sum::<f64>())
+            / (n + 1.0);
+        let beta = (self.historic.beta()
+            + self.interval_fits.iter().map(Weibull::beta).sum::<f64>())
+            / (n + 1.0);
         Weibull::new(alpha, beta).unwrap_or(self.historic)
     }
 
@@ -126,7 +129,10 @@ pub fn refit(observed: &Histogram, grid_steps: usize) -> Option<Weibull> {
 
 /// Fits the historic parameters from a whole run's concurrency histogram —
 /// what DayDream does on the *first* run of a workflow.
-pub fn fit_historic(concurrency: impl IntoIterator<Item = u32>, grid_steps: usize) -> Option<Weibull> {
+pub fn fit_historic(
+    concurrency: impl IntoIterator<Item = u32>,
+    grid_steps: usize,
+) -> Option<Weibull> {
     let hist: Histogram = concurrency.into_iter().collect();
     refit(&hist, grid_steps)
 }
@@ -165,8 +171,10 @@ mod tests {
         let h = Weibull::new(90.0, 3.2).unwrap();
         let mut p = predictor(h, 25);
         let n = 2_000;
-        let mean: f64 =
-            (0..n).map(|_| f64::from(p.sample_hot_starts())).sum::<f64>() / f64::from(n);
+        let mean: f64 = (0..n)
+            .map(|_| f64::from(p.sample_hot_starts()))
+            .sum::<f64>()
+            / f64::from(n);
         assert!(
             (mean - h.mean()).abs() < h.mean() * 0.05,
             "sample mean {mean:.1} vs {:.1}",

@@ -22,7 +22,7 @@ use crate::predictor::WeibullPredictor;
 use crate::tiering::FriendlyTracker;
 use dd_platform::pricing::PriceSheet;
 use dd_platform::{
-    CloudVendor, InstanceView, Placement, PhaseObservation, PoolRequest, RunInfo,
+    CloudVendor, InstanceView, PhaseObservation, Placement, PoolRequest, RunInfo,
     ServerlessScheduler, SimTime, StartupModel,
 };
 use dd_stats::{SeedStream, Weibull};
@@ -57,8 +57,7 @@ impl DayDreamScheduler {
         seeds: SeedStream,
     ) -> Self {
         let historic = history.historic_weibull().unwrap_or_else(bootstrap_prior);
-        let startup =
-            StartupModel::aws().with_vendor_multiplier(vendor.startup_multiplier());
+        let startup = StartupModel::aws().with_vendor_multiplier(vendor.startup_multiplier());
         let pricing = PriceSheet::for_vendor(vendor);
         Self {
             predictor: WeibullPredictor::new(historic, &config, seeds.derive("daydream")),
@@ -128,12 +127,7 @@ impl ServerlessScheduler for DayDreamScheduler {
         self.sample_pool()
     }
 
-    fn place(
-        &mut self,
-        phase: &Phase,
-        available: &[InstanceView],
-        now: SimTime,
-    ) -> Vec<Placement> {
+    fn place(&mut self, phase: &Phase, available: &[InstanceView], now: SimTime) -> Vec<Placement> {
         self.optimizer.place(phase, available, now, &self.runtimes)
     }
 
@@ -190,12 +184,7 @@ mod tests {
             fn pool_for_next_phase(&mut self, _: usize, _: &PhaseObservation) -> PoolRequest {
                 PoolRequest::none()
             }
-            fn place(
-                &mut self,
-                phase: &Phase,
-                _: &[InstanceView],
-                _: SimTime,
-            ) -> Vec<Placement> {
+            fn place(&mut self, phase: &Phase, _: &[InstanceView], _: SimTime) -> Vec<Placement> {
                 phase
                     .components
                     .iter()
@@ -234,13 +223,12 @@ mod tests {
     #[test]
     fn predictor_learns_during_run() {
         let (run, runtimes, history) = setup(2);
-        let mut sched =
-            DayDreamScheduler::new(
-                &history,
-                DayDreamConfig::default().with_phase_interval(10),
-                CloudVendor::Aws,
-                SeedStream::new(3),
-            );
+        let mut sched = DayDreamScheduler::new(
+            &history,
+            DayDreamConfig::default().with_phase_interval(10),
+            CloudVendor::Aws,
+            SeedStream::new(3),
+        );
         let before = sched.current_distribution();
         let _ = FaasExecutor::aws().execute(&run, &runtimes, &mut sched);
         let after = sched.current_distribution();

@@ -12,8 +12,8 @@
 
 use daydream_core::DayDreamHistory;
 use dd_platform::{
-    InstanceView, Placement, PhaseObservation, PoolRequest, RunInfo, ServerlessScheduler,
-    SimTime, Tier,
+    InstanceView, PhaseObservation, Placement, PoolRequest, RunInfo, ServerlessScheduler, SimTime,
+    Tier,
 };
 use dd_wfdag::Phase;
 
@@ -37,10 +37,7 @@ impl FixedPoolScheduler {
 
     /// Sizes the pool as `multiple ×` the historic mean concurrency.
     pub fn from_mean_multiple(multiple: f64, history: &DayDreamHistory) -> Self {
-        let mean = history
-            .historic_weibull()
-            .map(|w| w.mean())
-            .unwrap_or(10.0);
+        let mean = history.historic_weibull().map(|w| w.mean()).unwrap_or(10.0);
         Self::new((mean * multiple).round().max(1.0) as u32, history)
     }
 
@@ -114,7 +111,7 @@ mod tests {
     use daydream_core::DayDreamScheduler;
     use dd_platform::FaasExecutor;
     use dd_stats::SeedStream;
-    use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec, WorkflowRun};
+    use dd_wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
 
     fn setup() -> (WorkflowRun, Vec<dd_wfdag::LanguageRuntime>, DayDreamHistory) {
         let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(6);

@@ -35,7 +35,7 @@ use daydream_core::{FriendlyTracker, ObjectiveWeights};
 use dd_platform::pool::PoolEntryRequest;
 use dd_platform::pricing::PriceSheet;
 use dd_platform::{
-    CloudVendor, InstanceView, Placement, PhaseObservation, PoolRequest, RunInfo,
+    CloudVendor, InstanceView, PhaseObservation, Placement, PoolRequest, RunInfo,
     ServerlessScheduler, SimTime, StartupModel, Tier,
 };
 use dd_stats::SeedStream;
@@ -249,7 +249,9 @@ impl ServerlessScheduler for HybridScheduler {
                 .map(|&i| phase.components[i].clone())
                 .collect(),
         };
-        let sub = self.optimizer.place(&sub_phase, &hot_pool, now, &self.runtimes);
+        let sub = self
+            .optimizer
+            .place(&sub_phase, &hot_pool, now, &self.runtimes);
         for (&i, p) in leftover_idx.iter().zip(sub) {
             placements[i] = Some(p);
         }
@@ -269,7 +271,7 @@ impl ServerlessScheduler for HybridScheduler {
 mod tests {
     use super::*;
     use dd_platform::FaasExecutor;
-    use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec, WorkflowRun};
+    use dd_wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
 
     fn setup() -> (WorkflowRun, Vec<LanguageRuntime>, DayDreamHistory) {
         let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(6);

@@ -5,8 +5,8 @@
 //! cost of a run.
 
 use dd_platform::{
-    InstanceView, Placement, PhaseObservation, PoolRequest, RunInfo, ServerlessScheduler,
-    SimTime, Tier,
+    InstanceView, PhaseObservation, Placement, PoolRequest, RunInfo, ServerlessScheduler, SimTime,
+    Tier,
 };
 use dd_wfdag::Phase;
 

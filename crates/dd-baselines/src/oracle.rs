@@ -16,8 +16,8 @@
 
 use dd_platform::pool::PoolEntryRequest;
 use dd_platform::{
-    InstanceView, Placement, PhaseObservation, PoolRequest, RunInfo, ServerlessScheduler,
-    SimTime, StartupModel, Tier,
+    InstanceView, PhaseObservation, Placement, PoolRequest, RunInfo, ServerlessScheduler, SimTime,
+    StartupModel, Tier,
 };
 use dd_wfdag::{Phase, WorkflowRun};
 
@@ -53,11 +53,7 @@ impl OracleScheduler {
                 + c.exec_le_secs
                 + self.startup.output_write_secs(c, Tier::LowEnd)
         };
-        let he_makespan = phase
-            .components
-            .iter()
-            .map(he_time)
-            .fold(0.0f64, f64::max);
+        let he_makespan = phase.components.iter().map(he_time).fold(0.0f64, f64::max);
         phase
             .components
             .iter()

@@ -23,8 +23,8 @@
 
 use dd_platform::pool::PoolEntryRequest;
 use dd_platform::{
-    InstanceView, Placement, PhaseObservation, PoolRequest, RunInfo, ServerlessScheduler,
-    SimTime, Tier,
+    InstanceView, PhaseObservation, Placement, PoolRequest, RunInfo, ServerlessScheduler, SimTime,
+    Tier,
 };
 use dd_stats::{Arima, ArimaConfig};
 use dd_wfdag::{ComponentTypeId, Phase};
@@ -91,11 +91,7 @@ impl WildScheduler {
         }
         // Every known type gets a sample (0 when absent this phase).
         for (ty, series) in self.history.iter_mut() {
-            let count = observation
-                .component_counts
-                .get(ty)
-                .copied()
-                .unwrap_or(0);
+            let count = observation.component_counts.get(ty).copied().unwrap_or(0);
             series.push_back(f64::from(count));
             if series.len() > HISTORY_WINDOW {
                 series.pop_front();
@@ -144,12 +140,13 @@ impl WildScheduler {
         }
         let mut entries = Vec::new();
         for (ty, count) in forecasts {
-            entries.extend(
-                std::iter::repeat_n(PoolEntryRequest {
+            entries.extend(std::iter::repeat_n(
+                PoolEntryRequest {
                     tier: Tier::HighEnd,
                     preload: Some(ty),
-                }, count as usize),
-            );
+                },
+                count as usize,
+            ));
         }
         PoolRequest { entries }
     }
@@ -266,7 +263,7 @@ impl ServerlessScheduler for WildScheduler {
 mod tests {
     use super::*;
     use dd_platform::FaasExecutor;
-    use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec, WorkflowRun};
+    use dd_wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
 
     fn setup() -> (WorkflowRun, Vec<dd_wfdag::LanguageRuntime>) {
         let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(6);
@@ -336,7 +333,10 @@ mod tests {
         assert_eq!(forecasts.len(), 1);
         let (ty, n) = forecasts[0];
         assert_eq!(ty, ComponentTypeId(9));
-        assert!((4..=6).contains(&n), "steady 5s should forecast ≈5, got {n}");
+        assert!(
+            (4..=6).contains(&n),
+            "steady 5s should forecast ≈5, got {n}"
+        );
     }
 
     #[test]
@@ -384,7 +384,9 @@ mod histogram_policy_tests {
     fn alternating_pattern_warms_on_beat() {
         // Present every 2nd phase at count 4, last seen one phase ago:
         // modal gap 2 = since_last(1) + 1 → warm 4.
-        let series: Vec<f64> = (0..16).map(|i| if i % 2 == 0 { 4.0 } else { 0.0 }).collect();
+        let series: Vec<f64> = (0..16)
+            .map(|i| if i % 2 == 0 { 4.0 } else { 0.0 })
+            .collect();
         let f = histogram_forecast(&series).expect("representative");
         assert!((f - 4.0).abs() < 1e-9, "forecast {f}");
         // Shifted by one (last seen in the most recent phase): off-beat,

@@ -64,6 +64,16 @@ fn bench_schedulers(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Same, with the resettable session reusing the event-queue and
+    // per-phase buffers across runs — the sweep's per-worker fast path.
+    let mut session = dd_platform::DesSession::new();
+    group.bench_function("daydream_des_session", |b| {
+        b.iter_batched(
+            || DayDreamScheduler::aws(&history, SeedStream::new(7)),
+            |mut s| black_box(des.execute_with(&mut session, &run, &runtimes, &mut s)),
+            BatchSize::SmallInput,
+        )
+    });
     group.finish();
 }
 

@@ -51,5 +51,10 @@ fn bench_fit_historic(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sampling, bench_observe_with_refit, bench_fit_historic);
+criterion_group!(
+    benches,
+    bench_sampling,
+    bench_observe_with_refit,
+    bench_fit_historic
+);
 criterion_main!(benches);

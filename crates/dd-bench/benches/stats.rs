@@ -24,7 +24,12 @@ fn bench_arima_fit_forecast(c: &mut Criterion) {
     let truth = Weibull::new(10.0, 3.2).unwrap();
     let series: Vec<f64> = (0..48).map(|_| truth.sample(&mut rng)).collect();
     c.bench_function("stats/arima_311_fit_forecast_48", |b| {
-        b.iter(|| black_box(Arima::forecast_or_mean(&series, ArimaConfig::wild_default())))
+        b.iter(|| {
+            black_box(Arima::forecast_or_mean(
+                &series,
+                ArimaConfig::wild_default(),
+            ))
+        })
     });
 }
 

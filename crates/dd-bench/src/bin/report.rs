@@ -8,16 +8,44 @@
 //! report --runs 10       # override runs per workflow
 //! report --seed 7        # different seed
 //! report --scale 5       # phase-count divisor
+//! report --jobs 8        # sweep worker threads (default: all cores)
 //! ```
+//!
+//! Output is byte-identical at any `--jobs` setting: each run's
+//! randomness derives only from (workflow, run index, seed), and the
+//! sweep executor re-orders results by cell index.
 
 use dd_bench::experiments as exp;
 use dd_bench::{EvaluationMatrix, ExperimentContext, SchedulerKind};
 
 const FIGURES: [&str; 28] = [
-    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "chi2table", "fig8", "fig9",
-    "fig10", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "overhead", "startup",
-    "sensitivity", "limitation", "distfit", "concurrency", "fixedpool", "scaling",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "chi2table",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "overhead",
+    "startup",
+    "sensitivity",
+    "limitation",
+    "distfit",
+    "concurrency",
+    "fixedpool",
+    "scaling",
     "robustness",
 ];
 
@@ -35,6 +63,7 @@ fn main() {
             "--quick" => {
                 ctx = ExperimentContext {
                     seed: ctx.seed,
+                    jobs: ctx.jobs,
                     ..ExperimentContext::quick()
                 };
             }
@@ -50,13 +79,20 @@ fn main() {
                 i += 1;
                 ctx.scale_down = args[i].parse().expect("--scale takes a number");
             }
+            "--jobs" => {
+                i += 1;
+                ctx.jobs = args[i]
+                    .parse::<usize>()
+                    .expect("--jobs takes a number")
+                    .max(1);
+            }
             "--csv" => {
                 i += 1;
                 csv_dir = Some(std::path::PathBuf::from(&args[i]));
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: report [--quick] [--runs N] [--seed N] [--scale N] [--csv DIR] [figures...]\n\
+                    "usage: report [--quick] [--runs N] [--seed N] [--scale N] [--jobs N] [--csv DIR] [figures...]\n\
                      figures: {} ablations all",
                     FIGURES.join(" ")
                 );

@@ -146,10 +146,8 @@ mod tests {
             scale_down: 25,
             ..ExperimentContext::default()
         };
-        let matrix = EvaluationMatrix::compute_for(
-            &ctx,
-            &[SchedulerKind::Oracle, SchedulerKind::DayDream],
-        );
+        let matrix =
+            EvaluationMatrix::compute_for(&ctx, &[SchedulerKind::Oracle, SchedulerKind::DayDream]);
         let dir = std::env::temp_dir().join(format!("dd-csv-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         let files = write_matrix_csv(&matrix, &dir).unwrap();

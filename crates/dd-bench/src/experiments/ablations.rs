@@ -53,52 +53,76 @@ const VARIANTS: [Variant; 4] = [
 ];
 
 fn evaluate(ctx: &ExperimentContext, variant: Variant, hard_only: bool) -> (f64, f64, usize) {
-    let mut times = Vec::new();
-    let mut costs = Vec::new();
-    for wf in Workflow::ALL {
-        let gen = ctx.generator(wf);
-        let runtimes = gen.spec().runtimes.clone();
-        let history = ctx.history(wf);
+    let shared: Vec<_> = Workflow::ALL
+        .iter()
+        .map(|&wf| {
+            let gen = ctx.generator(wf);
+            let runtimes = gen.spec().runtimes.clone();
+            let history = ctx.history(wf);
+            (gen, runtimes, history)
+        })
+        .collect();
+
+    // Select the evaluated (workflow, run index) cells. When filtering
+    // for hard runs, scan extra indices and keep the first `budget` hard
+    // ones in index order — the same selection a serial scan makes.
+    let budget = ctx.runs_per_workflow.min(4);
+    let mut cells: Vec<(usize, usize)> = Vec::new();
+    for (wf_idx, (gen, ..)) in shared.iter().enumerate() {
+        if hard_only {
+            let flags = crate::sweep::par_map(ctx.jobs, budget * 25, |idx| {
+                gen.generate(idx).label.hard_to_predict
+            });
+            cells.extend(
+                flags
+                    .into_iter()
+                    .enumerate()
+                    .filter(|&(_, hard)| hard)
+                    .take(budget)
+                    .map(|(idx, _)| (wf_idx, idx)),
+            );
+        } else {
+            cells.extend((0..budget).map(|idx| (wf_idx, idx)));
+        }
+    }
+
+    let results = crate::sweep::par_map(ctx.jobs, cells.len(), |c| {
+        let (wf_idx, idx) = cells[c];
+        let (gen, runtimes, history) = &shared[wf_idx];
         let executor = FaasExecutor::new(FaasConfig {
             vendor: ctx.vendor,
             trigger: variant.trigger,
             ..FaasConfig::default()
         });
-        // Scan extra indices when filtering for hard runs.
-        let budget = ctx.runs_per_workflow.min(4);
-        let scan = if hard_only { budget * 25 } else { budget };
-        let mut taken = 0usize;
-        for idx in 0..scan {
-            if taken >= budget {
-                break;
-            }
-            let run = gen.generate(idx);
-            if hard_only && !run.label.hard_to_predict {
-                continue;
-            }
-            taken += 1;
-            let mut config = DayDreamConfig::default();
-            if variant.static_fit {
-                config = config.with_phase_interval(usize::MAX);
-            }
-            if variant.single_tier {
-                config = config.single_tier();
-            }
-            let seeds = SeedStream::new(ctx.seed)
-                .derive("ablation")
-                .derive_index(idx as u64);
-            let mut sched = DayDreamScheduler::new(&history, config, ctx.vendor, seeds);
-            let outcome = executor.execute(&run, &runtimes, &mut sched);
-            times.push(outcome.service_time_secs);
-            costs.push(outcome.service_cost());
+        let run = gen.generate(idx);
+        let mut config = DayDreamConfig::default();
+        if variant.static_fit {
+            config = config.with_phase_interval(usize::MAX);
         }
-    }
-    (mean(times.iter().copied()), mean(costs.iter().copied()), times.len())
+        if variant.single_tier {
+            config = config.single_tier();
+        }
+        let seeds = SeedStream::new(ctx.seed)
+            .derive("ablation")
+            .derive_index(idx as u64);
+        let mut sched = DayDreamScheduler::new(history, config, ctx.vendor, seeds);
+        let outcome = executor.execute(&run, runtimes, &mut sched);
+        (outcome.service_time_secs, outcome.service_cost())
+    });
+    let times = results.iter().map(|r| r.0);
+    let costs = results.iter().map(|r| r.1);
+    (mean(times), mean(costs), results.len())
 }
 
 /// Runs the experiment.
 pub fn run(ctx: &ExperimentContext) -> String {
-    let mut regular = Table::new(["variant", "mean time (s)", "Δ time", "mean cost ($)", "Δ cost"]);
+    let mut regular = Table::new([
+        "variant",
+        "mean time (s)",
+        "Δ time",
+        "mean cost ($)",
+        "Δ cost",
+    ]);
     let (base_t, base_c, _) = evaluate(ctx, VARIANTS[0], false);
     for v in VARIANTS {
         let (t, c, _) = evaluate(ctx, v, false);
@@ -112,35 +136,44 @@ pub fn run(ctx: &ExperimentContext) -> String {
     }
 
     // The paper's named future work: DayDream + Wild combined.
-    let mut hybrid_row = Table::new(["scheduler", "mean time (s)", "Δ time", "mean cost ($)", "Δ cost"]);
+    let mut hybrid_row = Table::new([
+        "scheduler",
+        "mean time (s)",
+        "Δ time",
+        "mean cost ($)",
+        "Δ cost",
+    ]);
     {
-        let mut times = Vec::new();
-        let mut costs = Vec::new();
-        for wf in Workflow::ALL {
-            let gen = ctx.generator(wf);
-            let runtimes = gen.spec().runtimes.clone();
-            let history = ctx.history(wf);
+        let shared: Vec<_> = Workflow::ALL
+            .iter()
+            .map(|&wf| {
+                let gen = ctx.generator(wf);
+                let runtimes = gen.spec().runtimes.clone();
+                let history = ctx.history(wf);
+                (gen, runtimes, history)
+            })
+            .collect();
+        let budget = ctx.runs_per_workflow.min(4);
+        let results = crate::sweep::par_map(ctx.jobs, shared.len() * budget, |cell| {
+            let (gen, runtimes, history) = &shared[cell / budget];
+            let idx = cell % budget;
             let executor = FaasExecutor::new(FaasConfig {
                 vendor: ctx.vendor,
                 ..FaasConfig::default()
             });
-            for idx in 0..ctx.runs_per_workflow.min(4) {
-                let run = gen.generate(idx);
-                let seeds = SeedStream::new(ctx.seed)
-                    .derive("ablation-hybrid")
-                    .derive_index(idx as u64);
-                let mut sched = HybridScheduler::new(
-                    &history,
-                    DayDreamConfig::default(),
-                    CloudVendor::Aws,
-                    seeds,
-                );
-                let outcome = executor.execute(&run, &runtimes, &mut sched);
-                times.push(outcome.service_time_secs);
-                costs.push(outcome.service_cost());
-            }
-        }
-        let (t, c) = (mean(times.iter().copied()), mean(costs.iter().copied()));
+            let run = gen.generate(idx);
+            let seeds = SeedStream::new(ctx.seed)
+                .derive("ablation-hybrid")
+                .derive_index(idx as u64);
+            let mut sched =
+                HybridScheduler::new(history, DayDreamConfig::default(), CloudVendor::Aws, seeds);
+            let outcome = executor.execute(&run, runtimes, &mut sched);
+            (outcome.service_time_secs, outcome.service_cost())
+        });
+        let (t, c) = (
+            mean(results.iter().map(|r| r.0)),
+            mean(results.iter().map(|r| r.1)),
+        );
         hybrid_row.row([
             "hybrid (daydream+wild)".to_string(),
             format!("{t:.0}"),

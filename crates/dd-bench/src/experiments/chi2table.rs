@@ -26,44 +26,54 @@ fn errors_for(series: &[f64]) -> [f64; 5] {
 /// Runs the experiment.
 pub fn run(ctx: &ExperimentContext) -> String {
     let runs_to_fit = ctx.runs_per_workflow.min(10);
+    let generators: Vec<_> = Workflow::ALL.iter().map(|&wf| ctx.generator(wf)).collect();
+
+    // One cell per (workflow, run): fit all five models against both
+    // series, fanned over the sweep executor.
+    let cells = crate::sweep::par_map(ctx.jobs, generators.len() * runs_to_fit, |cell| {
+        let gen = &generators[cell / runs_to_fit];
+        let run = gen.generate(cell % runs_to_fit);
+        let phase_series: Vec<f64> = run
+            .concurrency_series()
+            .into_iter()
+            .map(f64::from)
+            .collect();
+        // Component concurrency: the run's most frequently invoked type.
+        let ty = run
+            .distinct_types()
+            .into_iter()
+            .max_by_key(|&t| {
+                run.phases
+                    .iter()
+                    .filter(|p| p.components.iter().any(|c| c.type_id == t))
+                    .count()
+            })
+            .expect("non-empty run");
+        let comp_series: Vec<f64> = run
+            .component_concurrency_series(ty)
+            .into_iter()
+            .map(f64::from)
+            .collect();
+        (errors_for(&phase_series), errors_for(&comp_series))
+    });
+
     let mut phase_err = vec![Vec::new(); 5];
     let mut comp_err = vec![Vec::new(); 5];
-
-    for wf in Workflow::ALL {
-        let gen = ctx.generator(wf);
-        for idx in 0..runs_to_fit {
-            let run = gen.generate(idx);
-            let phase_series: Vec<f64> = run
-                .concurrency_series()
-                .into_iter()
-                .map(f64::from)
-                .collect();
-            for (bucket, e) in phase_err.iter_mut().zip(errors_for(&phase_series)) {
-                bucket.push(e);
-            }
-            // Component concurrency: the run's most frequently invoked type.
-            let ty = run
-                .distinct_types()
-                .into_iter()
-                .max_by_key(|&t| {
-                    run.phases
-                        .iter()
-                        .filter(|p| p.components.iter().any(|c| c.type_id == t))
-                        .count()
-                })
-                .expect("non-empty run");
-            let comp_series: Vec<f64> = run
-                .component_concurrency_series(ty)
-                .into_iter()
-                .map(f64::from)
-                .collect();
-            for (bucket, e) in comp_err.iter_mut().zip(errors_for(&comp_series)) {
-                bucket.push(e);
-            }
+    for (phase_es, comp_es) in cells {
+        for (bucket, e) in phase_err.iter_mut().zip(phase_es) {
+            bucket.push(e);
+        }
+        for (bucket, e) in comp_err.iter_mut().zip(comp_es) {
+            bucket.push(e);
         }
     }
 
-    let mut table = Table::new(["model", "component concurrency", "phase concurrency", "paper (comp/phase)"]);
+    let mut table = Table::new([
+        "model",
+        "component concurrency",
+        "phase concurrency",
+        "paper (comp/phase)",
+    ]);
     let paper = [
         ("0.93", "0.88"),
         ("0.92", "0.83"),

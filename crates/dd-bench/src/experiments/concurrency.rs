@@ -24,11 +24,7 @@ pub fn run(ctx: &ExperimentContext) -> String {
     let runs: Vec<_> = (0..ctx.runs_per_workflow.min(3))
         .map(|i| gen.generate(i))
         .collect();
-    let max_concurrency = runs
-        .iter()
-        .map(|r| r.max_concurrency())
-        .max()
-        .unwrap_or(0);
+    let max_concurrency = runs.iter().map(|r| r.max_concurrency()).max().unwrap_or(0);
 
     let mut table = Table::new([
         "invocation limit",

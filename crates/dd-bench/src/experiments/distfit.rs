@@ -71,13 +71,7 @@ mod tests {
         });
         // The winner column must never be "gaussian" by a wide margin —
         // concretely: weibull must win at least 2 of the 3 workflows.
-        let weibull_wins = out
-            .lines()
-            .filter(|l| l.ends_with("weibull"))
-            .count();
-        assert!(
-            weibull_wins >= 2,
-            "weibull should win ≥2 workflows:\n{out}"
-        );
+        let weibull_wins = out.lines().filter(|l| l.ends_with("weibull")).count();
+        assert!(weibull_wins >= 2, "weibull should win ≥2 workflows:\n{out}");
     }
 }

@@ -67,9 +67,21 @@ mod tests {
         // Named Fig. 1 components appear somewhere in the catalogs' first
         // windows (template 0 draws from the catalog head).
         let named = [
-            "Density", "Intensity", "Diffraction", "Orientation", "Calibration",
-            "Mie", "Rayleigh", "Atmosphere", "Terrain", "Star",
-            "BCM", "BBKS", "Halo", "Power", "Angular",
+            "Density",
+            "Intensity",
+            "Diffraction",
+            "Orientation",
+            "Calibration",
+            "Mie",
+            "Rayleigh",
+            "Atmosphere",
+            "Terrain",
+            "Star",
+            "BCM",
+            "BBKS",
+            "Halo",
+            "Power",
+            "Angular",
         ];
         assert!(
             named.iter().any(|n| out.contains(n)),

@@ -11,9 +11,7 @@ use dd_wfdag::Workflow;
 
 /// Runs the experiment.
 pub fn run(ctx: &ExperimentContext) -> String {
-    let mut table = Table::new([
-        "workflow", "phases", "min", "mean", "max", "max/mean", "cv",
-    ]);
+    let mut table = Table::new(["workflow", "phases", "min", "mean", "max", "max/mean", "cv"]);
     let mut lines = String::new();
     for wf in Workflow::ALL {
         let run = ctx.generator(wf).generate(0);

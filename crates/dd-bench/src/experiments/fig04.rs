@@ -90,10 +90,7 @@ mod tests {
         for line in out.lines().filter(|l| l.contains('(') && l.contains('%')) {
             if let Some(last) = line.split_whitespace().last() {
                 if last.ends_with('%') && !line.contains("paper") {
-                    assert!(
-                        last.starts_with('-'),
-                        "microVM should beat HPC in: {line}"
-                    );
+                    assert!(last.starts_with('-'), "microVM should beat HPC in: {line}");
                 }
             }
         }

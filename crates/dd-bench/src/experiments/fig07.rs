@@ -36,7 +36,10 @@ pub fn run(ctx: &ExperimentContext) -> String {
         table.row([
             wf.name().to_string(),
             format!("{:.2}", autocorrelation(&a, 1)),
-            format!("{:.2}", mean_window_correlation(&a, 16.min(a.len() / 2).max(2))),
+            format!(
+                "{:.2}",
+                mean_window_correlation(&a, 16.min(a.len() / 2).max(2))
+            ),
             format!("{:.2}", pearson(&a[..len], &b[..len])),
         ]);
         lines.push_str(&format!(

@@ -16,7 +16,9 @@ pub fn run(ctx: &ExperimentContext) -> String {
     let startup = StartupModel::aws();
     let spec = ctx.spec(Workflow::ExaFel);
     let historic = daydream_core::predictor::fit_historic(
-        ctx.generator(Workflow::ExaFel).generate(0).concurrency_series(),
+        ctx.generator(Workflow::ExaFel)
+            .generate(0)
+            .concurrency_series(),
         24,
     );
     let (alpha, beta) = historic

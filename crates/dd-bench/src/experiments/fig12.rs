@@ -13,8 +13,18 @@ use crate::workloads::{EvaluationMatrix, SchedulerKind};
 pub fn run(matrix: &EvaluationMatrix) -> String {
     let mut body = String::new();
     for eval in &matrix.workflows {
-        let mut table = Table::new(["scheduler", "min", "mean", "max", "per-run (normalized to oracle)"]);
-        for kind in [SchedulerKind::DayDream, SchedulerKind::Wild, SchedulerKind::Pegasus] {
+        let mut table = Table::new([
+            "scheduler",
+            "min",
+            "mean",
+            "max",
+            "per-run (normalized to oracle)",
+        ]);
+        for kind in [
+            SchedulerKind::DayDream,
+            SchedulerKind::Wild,
+            SchedulerKind::Pegasus,
+        ] {
             let norm = eval.normalized_times(kind);
             let min = norm.iter().cloned().fold(f64::MAX, f64::min);
             let max = norm.iter().cloned().fold(0.0f64, f64::max);
@@ -76,7 +86,11 @@ mod tests {
             let dd = eval.normalized_times(SchedulerKind::DayDream);
             let pe = eval.normalized_times(SchedulerKind::Pegasus);
             for (i, (d, p)) in dd.iter().zip(&pe).enumerate() {
-                assert!(d < p, "{} run {i}: daydream {d} vs pegasus {p}", eval.workflow);
+                assert!(
+                    d < p,
+                    "{} run {i}: daydream {d} vs pegasus {p}",
+                    eval.workflow
+                );
             }
         }
         let out = run(&matrix);

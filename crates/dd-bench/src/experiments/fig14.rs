@@ -68,7 +68,11 @@ mod tests {
         );
         for eval in &matrix.workflows {
             let dd = eval.mean_cost(SchedulerKind::DayDream);
-            assert!(dd < eval.mean_cost(SchedulerKind::Wild), "{}", eval.workflow);
+            assert!(
+                dd < eval.mean_cost(SchedulerKind::Wild),
+                "{}",
+                eval.workflow
+            );
             assert!(
                 dd < eval.mean_cost(SchedulerKind::Pegasus),
                 "{}",

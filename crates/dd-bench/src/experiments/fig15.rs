@@ -10,8 +10,18 @@ use crate::workloads::{EvaluationMatrix, SchedulerKind};
 pub fn run(matrix: &EvaluationMatrix) -> String {
     let mut body = String::new();
     for eval in &matrix.workflows {
-        let mut table = Table::new(["scheduler", "min", "mean", "max", "per-run (normalized to oracle)"]);
-        for kind in [SchedulerKind::DayDream, SchedulerKind::Wild, SchedulerKind::Pegasus] {
+        let mut table = Table::new([
+            "scheduler",
+            "min",
+            "mean",
+            "max",
+            "per-run (normalized to oracle)",
+        ]);
+        for kind in [
+            SchedulerKind::DayDream,
+            SchedulerKind::Wild,
+            SchedulerKind::Pegasus,
+        ] {
             let norm = eval.normalized_costs(kind);
             table.row([
                 kind.name().to_string(),

@@ -11,13 +11,7 @@ use crate::workloads::{mean, EvaluationMatrix, SchedulerKind};
 
 /// Runs the experiment on a precomputed matrix.
 pub fn run(matrix: &EvaluationMatrix) -> String {
-    let mut util = Table::new([
-        "workflow",
-        "scheduler",
-        "cpu util",
-        "mem util",
-        "io util",
-    ]);
+    let mut util = Table::new(["workflow", "scheduler", "cpu util", "mem util", "io util"]);
     let mut waste = Table::new([
         "workflow",
         "scheduler",
@@ -35,7 +29,10 @@ pub fn run(matrix: &EvaluationMatrix) -> String {
                 eval.workflow.name().to_string(),
                 kind.name().to_string(),
                 format!("{:.2}", mean(outcomes.iter().map(|o| o.utilization.cpu()))),
-                format!("{:.2}", mean(outcomes.iter().map(|o| o.utilization.memory()))),
+                format!(
+                    "{:.2}",
+                    mean(outcomes.iter().map(|o| o.utilization.memory()))
+                ),
                 format!("{:.2}", mean(outcomes.iter().map(|o| o.utilization.io()))),
             ]);
             if kind != SchedulerKind::Pegasus {

@@ -54,7 +54,9 @@ pub fn run(ctx: &ExperimentContext) -> String {
     let (dd_t, dd_c, dd_w) = evaluate(ctx, &runs, &runtimes, &history, |i| {
         Box::new(DayDreamScheduler::aws(
             &history,
-            SeedStream::new(ctx.seed).derive("fixedpool").derive_index(i),
+            SeedStream::new(ctx.seed)
+                .derive("fixedpool")
+                .derive_index(i),
         ))
     });
 

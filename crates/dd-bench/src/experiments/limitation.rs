@@ -71,10 +71,7 @@ pub fn run(ctx: &ExperimentContext) -> String {
         let (bt, bc) = *base.get_or_insert((t, c));
         let resident: f64 = set.iter().map(|r| r.resident_mb()).sum();
         table.row([
-            set.iter()
-                .map(|r| r.name())
-                .collect::<Vec<_>>()
-                .join("+"),
+            set.iter().map(|r| r.name()).collect::<Vec<_>>().join("+"),
             format!("{:.2}", startup.hot_prepare_secs(set)),
             format!("{resident:.0}"),
             format!("{t:.0}"),

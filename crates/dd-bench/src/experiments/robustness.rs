@@ -37,7 +37,12 @@ pub fn run(ctx: &ExperimentContext) -> String {
         "wild (s)",
         "daydream vs wild",
     ]);
-    for fraction in [0.0f64, 0.02, 0.05, 0.10] {
+    // Fraction x run cells, fanned over the sweep executor.
+    const FRACTIONS: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
+    let cells = crate::sweep::par_map(ctx.jobs, FRACTIONS.len() * runs.len(), |cell| {
+        let fraction = FRACTIONS[cell / runs.len()];
+        let idx = cell % runs.len();
+        let run = &runs[idx];
         let startup = StartupModel {
             straggler_fraction: fraction,
             straggler_multiplier: 8.0,
@@ -48,30 +53,27 @@ pub fn run(ctx: &ExperimentContext) -> String {
             ..FaasConfig::default()
         })
         .with_startup(startup);
+        let seeds = SeedStream::new(ctx.seed)
+            .derive("robustness")
+            .derive_index(idx as u64);
+        [
+            executor
+                .execute(run, &runtimes, &mut OracleScheduler::new(run.clone(), 0.20))
+                .service_time_secs,
+            executor
+                .execute(run, &runtimes, &mut DayDreamScheduler::aws(&history, seeds))
+                .service_time_secs,
+            executor
+                .execute(run, &runtimes, &mut WildScheduler::new())
+                .service_time_secs,
+        ]
+    });
 
-        let mut or = Vec::new();
-        let mut dd = Vec::new();
-        let mut wi = Vec::new();
-        for (idx, run) in runs.iter().enumerate() {
-            let seeds = SeedStream::new(ctx.seed)
-                .derive("robustness")
-                .derive_index(idx as u64);
-            or.push(
-                executor
-                    .execute(run, &runtimes, &mut OracleScheduler::new(run.clone(), 0.20))
-                    .service_time_secs,
-            );
-            dd.push(
-                executor
-                    .execute(run, &runtimes, &mut DayDreamScheduler::aws(&history, seeds))
-                    .service_time_secs,
-            );
-            wi.push(
-                executor
-                    .execute(run, &runtimes, &mut WildScheduler::new())
-                    .service_time_secs,
-            );
-        }
+    for (level, fraction) in FRACTIONS.into_iter().enumerate() {
+        let slice = &cells[level * runs.len()..(level + 1) * runs.len()];
+        let or: Vec<f64> = slice.iter().map(|c| c[0]).collect();
+        let dd: Vec<f64> = slice.iter().map(|c| c[1]).collect();
+        let wi: Vec<f64> = slice.iter().map(|c| c[2]).collect();
         table.row([
             format!("{:.0}%", fraction * 100.0),
             format!("{:.0}", mean(or.iter().copied())),
@@ -124,10 +126,14 @@ mod tests {
         let out = run(&ctx);
         let daydream_times: Vec<f64> = out
             .lines()
-            .filter(|l| l.ends_with('%') && (l.starts_with('0') || l.starts_with('2') || l.starts_with('5') || l.starts_with('1')))
-            .filter_map(|l| {
-                l.split_whitespace().nth(2).and_then(|c| c.parse().ok())
+            .filter(|l| {
+                l.ends_with('%')
+                    && (l.starts_with('0')
+                        || l.starts_with('2')
+                        || l.starts_with('5')
+                        || l.starts_with('1'))
             })
+            .filter_map(|l| l.split_whitespace().nth(2).and_then(|c| c.parse().ok()))
             .collect();
         assert!(daydream_times.len() >= 4, "{out}");
         assert!(

@@ -28,38 +28,54 @@ pub fn run(ctx: &ExperimentContext) -> String {
     ]);
     let n_runs = ctx.runs_per_workflow.min(3);
     let phases = (120 / ctx.scale_down.max(1)).max(8);
-    for (tag, concurrency) in [10.0f64, 40.0, 90.0, 160.0].into_iter().enumerate() {
-        let spec = WorkflowSpec::synthetic(tag, 600, concurrency, 3.2, phases);
-        let runtimes = spec.runtimes.clone();
-        let gen = RunGenerator::new(spec, ctx.seed);
-        let mut history = DayDreamHistory::new();
-        history.learn_from_run(&gen.generate(1_000), 0.20, 24);
+
+    // Serial precompute per concurrency level (the shared history learn),
+    // then fan the level x run cells over the sweep executor.
+    let levels: Vec<_> = [10.0f64, 40.0, 90.0, 160.0]
+        .into_iter()
+        .enumerate()
+        .map(|(tag, concurrency)| {
+            let spec = WorkflowSpec::synthetic(tag, 600, concurrency, 3.2, phases);
+            let runtimes = spec.runtimes.clone();
+            let gen = RunGenerator::new(spec, ctx.seed);
+            let mut history = DayDreamHistory::new();
+            history.learn_from_run(&gen.generate(1_000), 0.20, 24);
+            (concurrency, gen, runtimes, history)
+        })
+        .collect();
+
+    let cells = crate::sweep::par_map(ctx.jobs, levels.len() * n_runs, |cell| {
+        let (_, gen, runtimes, history) = &levels[cell / n_runs];
+        let idx = cell % n_runs;
         let executor = FaasExecutor::new(FaasConfig {
             vendor: ctx.vendor,
             ..FaasConfig::default()
         });
+        let run = gen.generate(idx);
+        let seeds = SeedStream::new(ctx.seed)
+            .derive("scaling")
+            .derive_index(idx as u64);
+        let dd = executor.execute(&run, runtimes, &mut DayDreamScheduler::aws(history, seeds));
+        let wi = executor.execute(&run, runtimes, &mut WildScheduler::new());
+        let pe = Pegasus.execute_on(&run, runtimes, ctx.vendor);
+        [
+            [dd.service_time_secs, dd.service_cost()],
+            [wi.service_time_secs, wi.service_cost()],
+            [pe.service_time_secs, pe.service_cost()],
+        ]
+    });
 
+    for (level, (concurrency, ..)) in levels.iter().enumerate() {
         let mut dd = (Vec::new(), Vec::new());
         let mut wi = (Vec::new(), Vec::new());
         let mut pe = (Vec::new(), Vec::new());
-        for idx in 0..n_runs {
-            let run = gen.generate(idx);
-            let seeds = SeedStream::new(ctx.seed)
-                .derive("scaling")
-                .derive_index(idx as u64);
-            let o = executor.execute(
-                &run,
-                &runtimes,
-                &mut DayDreamScheduler::aws(&history, seeds),
-            );
-            dd.0.push(o.service_time_secs);
-            dd.1.push(o.service_cost());
-            let o = executor.execute(&run, &runtimes, &mut WildScheduler::new());
-            wi.0.push(o.service_time_secs);
-            wi.1.push(o.service_cost());
-            let o = Pegasus.execute_on(&run, &runtimes, ctx.vendor);
-            pe.0.push(o.service_time_secs);
-            pe.1.push(o.service_cost());
+        for cell in &cells[level * n_runs..(level + 1) * n_runs] {
+            dd.0.push(cell[0][0]);
+            dd.1.push(cell[0][1]);
+            wi.0.push(cell[1][0]);
+            wi.1.push(cell[1][1]);
+            pe.0.push(cell[2][0]);
+            pe.1.push(cell[2][1]);
         }
         let m = |xs: &[f64]| mean(xs.iter().copied());
         table.row([
@@ -96,7 +112,9 @@ mod tests {
         let rows: Vec<&str> = out
             .lines()
             .filter(|l| {
-                l.starts_with("10 ") || l.starts_with("40") || l.starts_with("90")
+                l.starts_with("10 ")
+                    || l.starts_with("40")
+                    || l.starts_with("90")
                     || l.starts_with("160")
             })
             .collect();
@@ -126,7 +144,9 @@ mod tests {
         let deltas: Vec<f64> = out
             .lines()
             .filter(|l| {
-                l.starts_with("10 ") || l.starts_with("40") || l.starts_with("90")
+                l.starts_with("10 ")
+                    || l.starts_with("40")
+                    || l.starts_with("90")
                     || l.starts_with("160")
             })
             .filter_map(|l| {

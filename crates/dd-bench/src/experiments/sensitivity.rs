@@ -15,41 +15,54 @@ use dd_platform::{FaasConfig, FaasExecutor};
 use dd_stats::SeedStream;
 use dd_wfdag::Workflow;
 
-/// Mean (time, cost) of DayDream over the context's runs with a config.
+/// Mean (time, cost) of DayDream over the context's runs with a config,
+/// fanned over the sweep executor.
 fn daydream_means(ctx: &ExperimentContext, config: DayDreamConfig) -> (f64, f64) {
-    let mut times = Vec::new();
-    let mut costs = Vec::new();
-    for wf in Workflow::ALL {
-        let gen = ctx.generator(wf);
-        let runtimes = gen.spec().runtimes.clone();
-        let history = ctx.history(wf);
+    let shared: Vec<_> = Workflow::ALL
+        .iter()
+        .map(|&wf| {
+            let gen = ctx.generator(wf);
+            let runtimes = gen.spec().runtimes.clone();
+            let history = ctx.history(wf);
+            (gen, runtimes, history)
+        })
+        .collect();
+    let budget = ctx.runs_per_workflow.min(4);
+    let results = crate::sweep::par_map(ctx.jobs, shared.len() * budget, |cell| {
+        let (gen, runtimes, history) = &shared[cell / budget];
+        let idx = cell % budget;
         let executor = FaasExecutor::new(FaasConfig {
             vendor: ctx.vendor,
             friendly_threshold: config.friendly_threshold,
             ..FaasConfig::default()
         });
-        for idx in 0..ctx.runs_per_workflow.min(4) {
-            let run = gen.generate(idx);
-            let seeds = SeedStream::new(ctx.seed)
-                .derive("sensitivity")
-                .derive_index(idx as u64);
-            let mut sched = DayDreamScheduler::new(&history, config, ctx.vendor, seeds);
-            let outcome = executor.execute(&run, &runtimes, &mut sched);
-            times.push(outcome.service_time_secs);
-            costs.push(outcome.service_cost());
-        }
-    }
-    (mean(times), mean(costs))
+        let run = gen.generate(idx);
+        let seeds = SeedStream::new(ctx.seed)
+            .derive("sensitivity")
+            .derive_index(idx as u64);
+        let mut sched = DayDreamScheduler::new(history, config, ctx.vendor, seeds);
+        let outcome = executor.execute(&run, runtimes, &mut sched);
+        (outcome.service_time_secs, outcome.service_cost())
+    });
+    (
+        mean(results.iter().map(|r| r.0)),
+        mean(results.iter().map(|r| r.1)),
+    )
 }
 
 /// Runs the experiment.
 pub fn run(ctx: &ExperimentContext) -> String {
     let (base_t, base_c) = daydream_means(ctx, DayDreamConfig::default());
 
-    let mut pint = Table::new(["p_int", "mean time (s)", "Δ time", "mean cost ($)", "Δ cost"]);
+    let mut pint = Table::new([
+        "p_int",
+        "mean time (s)",
+        "Δ time",
+        "mean cost ($)",
+        "Δ cost",
+    ]);
     for interval in [10usize, 25, 50, 100] {
-        let (t, c) =
-            daydream_means(ctx, DayDreamConfig::default().with_phase_interval(interval));
+        let (t, c) = daydream_means(ctx, DayDreamConfig::default().with_phase_interval(interval));
         pint.row([
             interval.to_string(),
             format!("{t:.0}"),
@@ -67,8 +80,10 @@ pub fn run(ctx: &ExperimentContext) -> String {
         "Δ cost",
     ]);
     for threshold in [0.05, 0.10, 0.20, 0.30] {
-        let (t, c) =
-            daydream_means(ctx, DayDreamConfig::default().with_friendly_threshold(threshold));
+        let (t, c) = daydream_means(
+            ctx,
+            DayDreamConfig::default().with_friendly_threshold(threshold),
+        );
         thresh.row([
             format!("{:.0}%", threshold * 100.0),
             format!("{t:.0}"),

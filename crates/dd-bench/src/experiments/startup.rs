@@ -26,11 +26,8 @@ pub fn run(ctx: &ExperimentContext) -> String {
         let gen = ctx.generator(wf);
         let runtimes = gen.spec().runtimes.clone();
         let run = gen.generate(0);
-        let comps: Vec<&dd_wfdag::ComponentInstance> = run
-            .phases
-            .iter()
-            .flat_map(|p| &p.components)
-            .collect();
+        let comps: Vec<&dd_wfdag::ComponentInstance> =
+            run.phases.iter().flat_map(|p| &p.components).collect();
         let warm = mean(
             comps
                 .iter()

@@ -17,7 +17,9 @@
 pub mod csv;
 pub mod experiments;
 pub mod report;
+pub mod sweep;
 pub mod workloads;
 
 pub use csv::write_matrix_csv;
+pub use sweep::{default_jobs, par_map, par_map_with};
 pub use workloads::{EvaluationMatrix, ExperimentContext, SchedulerKind, WorkflowEval};

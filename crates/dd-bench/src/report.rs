@@ -115,10 +115,7 @@ pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
 
 /// A titled report section.
 pub fn section(title: &str, body: &str) -> String {
-    format!(
-        "\n=== {title} ===\n{}\n",
-        body.trim_end()
-    )
+    format!("\n=== {title} ===\n{}\n", body.trim_end())
 }
 
 /// Formats a ratio as `+x.x%` / `-x.x%` relative change.

@@ -25,6 +25,11 @@ pub struct ExperimentContext {
     pub scale_down: usize,
     /// Cloud vendor for the serverless executors.
     pub vendor: CloudVendor,
+    /// Worker threads for multi-run sweeps (default: available
+    /// parallelism). Results are identical at any setting — cells derive
+    /// their randomness from (workflow, run index, seed) alone and are
+    /// re-ordered by index before rendering.
+    pub jobs: usize,
 }
 
 impl Default for ExperimentContext {
@@ -34,6 +39,7 @@ impl Default for ExperimentContext {
             runs_per_workflow: 50,
             scale_down: 1,
             vendor: CloudVendor::Aws,
+            jobs: crate::sweep::default_jobs(),
         }
     }
 }
@@ -45,6 +51,14 @@ impl ExperimentContext {
             runs_per_workflow: 8,
             scale_down: 10,
             ..Self::default()
+        }
+    }
+
+    /// This context with a different worker-thread count.
+    pub fn with_jobs(self, jobs: usize) -> Self {
+        Self {
+            jobs: jobs.max(1),
+            ..self
         }
     }
 
@@ -220,28 +234,55 @@ impl EvaluationMatrix {
         Self::compute_for(ctx, &SchedulerKind::ALL)
     }
 
-    /// Executes the grid for a subset of schedulers.
+    /// Executes the grid for a subset of schedulers, fanning the
+    /// (workflow × run) cells over `ctx.jobs` worker threads. Each cell
+    /// generates its run from (workflow, run index, seed) alone, so the
+    /// result is identical at any thread count.
     pub fn compute_for(ctx: &ExperimentContext, kinds: &[SchedulerKind]) -> Self {
-        let workflows = Workflow::ALL
+        // Per-workflow shared inputs (spec, generator, training history)
+        // are cheap relative to the grid; precompute them serially.
+        let shared: Vec<_> = Workflow::ALL
             .iter()
             .map(|&wf| {
                 let gen = ctx.generator(wf);
                 let runtimes = gen.spec().runtimes.clone();
                 let history = ctx.history(wf);
-                let mut labels = Vec::with_capacity(ctx.runs_per_workflow);
+                (wf, gen, runtimes, history)
+            })
+            .collect();
+
+        let runs = ctx.runs_per_workflow;
+        let cells = crate::sweep::par_map(ctx.jobs, shared.len() * runs, |cell| {
+            let (_, gen, runtimes, history) = &shared[cell / runs];
+            let run = gen.generate(cell % runs);
+            let outcomes: Vec<RunOutcome> = kinds
+                .iter()
+                .map(|&kind| execute_run(ctx, &run, runtimes, history, kind))
+                .collect();
+            (run.label, outcomes)
+        });
+
+        // Reassemble in (workflow, run) index order — `par_map` already
+        // returns cells ordered by index, independent of which worker
+        // finished when.
+        let mut cells = cells.into_iter();
+        let workflows = shared
+            .iter()
+            .map(|(wf, ..)| {
+                let mut labels = Vec::with_capacity(runs);
                 let mut outcomes: Vec<(SchedulerKind, Vec<RunOutcome>)> = kinds
                     .iter()
-                    .map(|&k| (k, Vec::with_capacity(ctx.runs_per_workflow)))
+                    .map(|&k| (k, Vec::with_capacity(runs)))
                     .collect();
-                for run_idx in 0..ctx.runs_per_workflow {
-                    let run = gen.generate(run_idx);
-                    labels.push(run.label.clone());
-                    for (kind, series) in outcomes.iter_mut() {
-                        series.push(execute_run(ctx, &run, &runtimes, &history, *kind));
+                for _ in 0..runs {
+                    let (label, cell_outcomes) = cells.next().expect("one cell per run");
+                    labels.push(label);
+                    for ((_, series), outcome) in outcomes.iter_mut().zip(cell_outcomes) {
+                        series.push(outcome);
                     }
                 }
                 WorkflowEval {
-                    workflow: wf,
+                    workflow: *wf,
                     labels,
                     outcomes,
                 }
@@ -289,10 +330,8 @@ mod tests {
     #[test]
     fn matrix_shape() {
         let ctx = tiny_ctx();
-        let m = EvaluationMatrix::compute_for(
-            &ctx,
-            &[SchedulerKind::Oracle, SchedulerKind::DayDream],
-        );
+        let m =
+            EvaluationMatrix::compute_for(&ctx, &[SchedulerKind::Oracle, SchedulerKind::DayDream]);
         assert_eq!(m.workflows.len(), 3);
         for wf in &m.workflows {
             assert_eq!(wf.labels.len(), 2);
@@ -304,10 +343,7 @@ mod tests {
     #[test]
     fn normalization_against_oracle() {
         let ctx = tiny_ctx();
-        let m = EvaluationMatrix::compute_for(
-            &ctx,
-            &[SchedulerKind::Oracle, SchedulerKind::Naive],
-        );
+        let m = EvaluationMatrix::compute_for(&ctx, &[SchedulerKind::Oracle, SchedulerKind::Naive]);
         let eval = m.workflow(Workflow::Ccl);
         for v in eval.normalized_times(SchedulerKind::Oracle) {
             assert!((v - 1.0).abs() < 1e-12);
@@ -340,15 +376,48 @@ mod tests {
             let t_dd = eval.mean_time(SchedulerKind::DayDream);
             let t_wi = eval.mean_time(SchedulerKind::Wild);
             let t_pe = eval.mean_time(SchedulerKind::Pegasus);
-            assert!(t_or <= t_dd * 1.001, "{}: oracle {t_or} vs dd {t_dd}", eval.workflow);
+            assert!(
+                t_or <= t_dd * 1.001,
+                "{}: oracle {t_or} vs dd {t_dd}",
+                eval.workflow
+            );
             assert!(t_dd < t_wi, "{}: dd {t_dd} vs wild {t_wi}", eval.workflow);
-            assert!(t_wi < t_pe, "{}: wild {t_wi} vs pegasus {t_pe}", eval.workflow);
+            assert!(
+                t_wi < t_pe,
+                "{}: wild {t_wi} vs pegasus {t_pe}",
+                eval.workflow
+            );
 
             let c_dd = eval.mean_cost(SchedulerKind::DayDream);
             let c_wi = eval.mean_cost(SchedulerKind::Wild);
             let c_pe = eval.mean_cost(SchedulerKind::Pegasus);
             assert!(c_dd < c_wi, "{}: dd ${c_dd} vs wild ${c_wi}", eval.workflow);
-            assert!(c_dd < c_pe, "{}: dd ${c_dd} vs pegasus ${c_pe}", eval.workflow);
+            assert!(
+                c_dd < c_pe,
+                "{}: dd ${c_dd} vs pegasus ${c_pe}",
+                eval.workflow
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_identical_at_any_thread_count() {
+        let serial = EvaluationMatrix::compute_for(
+            &tiny_ctx().with_jobs(1),
+            &[SchedulerKind::DayDream, SchedulerKind::Wild],
+        );
+        let parallel = EvaluationMatrix::compute_for(
+            &tiny_ctx().with_jobs(8),
+            &[SchedulerKind::DayDream, SchedulerKind::Wild],
+        );
+        for (a, b) in serial.workflows.iter().zip(&parallel.workflows) {
+            assert_eq!(a.workflow, b.workflow);
+            for (&kind, _) in a.outcomes.iter().map(|(k, s)| (k, s)) {
+                for (x, y) in a.of(kind).iter().zip(b.of(kind)) {
+                    assert_eq!(x.service_time_secs, y.service_time_secs, "{kind}");
+                    assert_eq!(x.service_cost(), y.service_cost(), "{kind}");
+                }
+            }
         }
     }
 

@@ -65,6 +65,9 @@ pub struct RunArgs {
     pub out: PathBuf,
     /// Verification tolerance, fractional (verify only; artifact: 0.10).
     pub tolerance: f64,
+    /// Worker threads for executing runs (default: all cores). Results
+    /// are byte-identical at any setting.
+    pub jobs: usize,
 }
 
 /// A parsed CLI invocation.
@@ -108,6 +111,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut scale = 1usize;
     let mut out = None;
     let mut tolerance = 0.10f64;
+    let mut jobs = dd_bench::default_jobs();
 
     let mut i = 1;
     while i < args.len() {
@@ -135,6 +139,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map_err(|_| "--scale takes a number".to_string())?
             }
             "--out" => out = Some(PathBuf::from(value()?)),
+            "--jobs" => {
+                jobs = value()?
+                    .parse::<usize>()
+                    .map_err(|_| "--jobs takes a number".to_string())?
+                    .max(1)
+            }
             "--tolerance" => {
                 let pct: f64 = value()?
                     .parse()
@@ -154,6 +164,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         scale,
         out: out.ok_or("--out is required")?,
         tolerance,
+        jobs,
     };
     Ok(if verb == "run" {
         Command::Run(run_args)
@@ -173,7 +184,13 @@ mod tests {
     #[test]
     fn parses_run_command() {
         let cmd = parse_args(&strs(&[
-            "run", "--workflow", "ccl", "--runs", "5", "--out", "/tmp/x",
+            "run",
+            "--workflow",
+            "ccl",
+            "--runs",
+            "5",
+            "--out",
+            "/tmp/x",
         ]))
         .unwrap();
         match cmd {
@@ -209,6 +226,49 @@ mod tests {
     }
 
     #[test]
+    fn parses_jobs_flag() {
+        let cmd = parse_args(&strs(&[
+            "run",
+            "--workflow",
+            "ccl",
+            "--out",
+            "x",
+            "--jobs",
+            "4",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(a) => assert_eq!(a.jobs, 4),
+            other => panic!("wrong command: {other:?}"),
+        }
+        // 0 clamps to 1; a bad value errors.
+        let cmd = parse_args(&strs(&[
+            "run",
+            "--workflow",
+            "ccl",
+            "--out",
+            "x",
+            "--jobs",
+            "0",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(a) => assert_eq!(a.jobs, 1),
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse_args(&strs(&[
+            "run",
+            "--workflow",
+            "ccl",
+            "--out",
+            "x",
+            "--jobs",
+            "many",
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn scheduler_names_roundtrip() {
         for name in ["daydream", "oracle", "wild", "pegasus", "naive", "hybrid"] {
             assert_eq!(SchedulerChoice::parse(name).unwrap().name(), name);
@@ -218,8 +278,14 @@ mod tests {
 
     #[test]
     fn workflow_aliases() {
-        assert_eq!(parse_workflow("cosmoscout-vr").unwrap(), Workflow::CosmoscoutVr);
-        assert_eq!(parse_workflow("COSMOSCOUT").unwrap(), Workflow::CosmoscoutVr);
+        assert_eq!(
+            parse_workflow("cosmoscout-vr").unwrap(),
+            Workflow::CosmoscoutVr
+        );
+        assert_eq!(
+            parse_workflow("COSMOSCOUT").unwrap(),
+            Workflow::CosmoscoutVr
+        );
         assert!(parse_workflow("montage").is_err());
     }
 

@@ -18,9 +18,9 @@ daydream-cli — execute dynamic scientific workflows with hot starts
 
 USAGE:
     daydream-cli run    --workflow <exafel|cosmoscout|ccl> [--runs N] [--scheduler S]
-                        [--seed N] [--scale N] --out <dir>
+                        [--seed N] [--scale N] [--jobs N] --out <dir>
     daydream-cli verify --workflow <exafel|cosmoscout|ccl> [--runs N] [--scheduler S]
-                        [--seed N] [--scale N] --out <dir> [--tolerance PCT]
+                        [--seed N] [--scale N] [--jobs N] --out <dir> [--tolerance PCT]
     daydream-cli info
     daydream-cli help
 
@@ -31,4 +31,5 @@ SCHEDULERS: daydream (default), oracle, wild, pegasus, naive, hybrid
 execution_cost.txt — the paper artifact's per-run files. `verify`
 re-executes and compares against existing files, succeeding when every
 aggregate matches within the tolerance (default 10%, the artifact's
-reproduction bound).";
+reproduction bound). Both execute runs on --jobs worker threads
+(default: all cores); output is byte-identical at any setting.";

@@ -136,8 +136,13 @@ fn pegasus_trace(run: &WorkflowRun, outcome: &RunOutcome) -> ExecutionTrace {
     trace
 }
 
-/// Executes all runs of the command, writing the artifact files; calls
-/// `progress` after each run.
+/// Executes all runs of the command on `args.jobs` worker threads,
+/// writing the artifact files; calls `progress` after each run.
+///
+/// Execution fans out over the sweep executor; file writes and progress
+/// callbacks happen serially afterwards in run-index order, so the
+/// artifact directory and terminal output are byte-identical at any
+/// `--jobs` setting.
 pub fn execute_all(
     args: &RunArgs,
     mut progress: impl FnMut(usize, &RunOutcome),
@@ -148,15 +153,19 @@ pub fn execute_all(
     let mut history = DayDreamHistory::new();
     history.learn_from_run(&gen.generate(1_000), 0.20, 24);
 
-    let mut outcomes = Vec::with_capacity(args.runs);
-    for idx in 0..args.runs {
+    let executed = dd_bench::par_map(args.jobs, args.runs, |idx| {
         let run = gen.generate(idx);
-        dd_wfdag::validate_run(&run).map_err(|e| format!("run {idx} invalid: {e}"))?;
-        let (outcome, trace) = execute_one(args, &run, &runtimes, &history);
+        dd_wfdag::validate_run(&run)
+            .map_err(|e| format!("run {idx} invalid: {e}"))
+            .map(|()| execute_one(args, &run, &runtimes, &history))
+    });
+
+    let mut outcomes = Vec::with_capacity(args.runs);
+    for (idx, cell) in executed.into_iter().enumerate() {
+        let (outcome, trace) = cell?;
         let files = RunFiles::new(&args.out, idx + 1);
-        write_run_outputs(&files, &outcome, &trace).map_err(|e| {
-            format!("writing {}: {e}", files.dir.display())
-        })?;
+        write_run_outputs(&files, &outcome, &trace)
+            .map_err(|e| format!("writing {}: {e}", files.dir.display()))?;
         progress(idx + 1, &outcome);
         outcomes.push(outcome);
     }
@@ -174,11 +183,17 @@ pub fn verify_against(args: &RunArgs) -> Result<String, String> {
     let mut history = DayDreamHistory::new();
     history.learn_from_run(&gen.generate(1_000), 0.20, 24);
 
+    // Re-execution fans out over the sweep executor; the file comparison
+    // below stays serial so the report lines and the first-deviation
+    // error are identical at any --jobs setting.
+    let executed = dd_bench::par_map(args.jobs, args.runs, |idx| {
+        let run = gen.generate(idx);
+        execute_one(args, &run, &runtimes, &history)
+    });
+
     let mut report = String::new();
     let mut worst: f64 = 0.0;
-    for idx in 0..args.runs {
-        let run = gen.generate(idx);
-        let (outcome, trace) = execute_one(args, &run, &runtimes, &history);
+    for (idx, (outcome, trace)) in executed.into_iter().enumerate() {
         let files = RunFiles::new(&args.out, idx + 1);
 
         let compare = |path: std::path::PathBuf, fresh: f64| -> Result<f64, String> {
@@ -238,12 +253,12 @@ mod tests {
             scale: 20,
             out,
             tolerance: 0.10,
+            jobs: 2,
         }
     }
 
     fn tmpdir(name: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("dd-cli-runner-{name}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("dd-cli-runner-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -258,6 +273,37 @@ mod tests {
         let report = verify_against(&a).unwrap();
         assert!(report.contains("REPRODUCED"), "{report}");
         let _ = std::fs::remove_dir_all(out);
+    }
+
+    #[test]
+    fn jobs_setting_does_not_change_artifacts() {
+        let out1 = tmpdir("jobs1");
+        let out8 = tmpdir("jobs8");
+        let a1 = RunArgs {
+            jobs: 1,
+            ..args(SchedulerChoice::DayDream, out1.clone())
+        };
+        let a8 = RunArgs {
+            jobs: 8,
+            ..args(SchedulerChoice::DayDream, out8.clone())
+        };
+        execute_all(&a1, |_, _| {}).unwrap();
+        execute_all(&a8, |_, _| {}).unwrap();
+        for idx in 1..=2 {
+            let f1 = RunFiles::new(&out1, idx);
+            let f8 = RunFiles::new(&out8, idx);
+            for (p1, p8) in [
+                (f1.phase_time(), f8.phase_time()),
+                (f1.function_service_time(), f8.function_service_time()),
+                (f1.execution_cost(), f8.execution_cost()),
+            ] {
+                let b1 = std::fs::read(&p1).unwrap();
+                let b8 = std::fs::read(&p8).unwrap();
+                assert_eq!(b1, b8, "artifact differs across --jobs: {}", p1.display());
+            }
+        }
+        let _ = std::fs::remove_dir_all(out1);
+        let _ = std::fs::remove_dir_all(out8);
     }
 
     #[test]

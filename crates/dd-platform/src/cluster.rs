@@ -425,7 +425,11 @@ mod tests {
         let (run, runtimes) = sample();
         let nodes = run.max_concurrency() as usize;
         let outcome = ClusterSim::new(ClusterKind::Hpc, nodes).execute_run(&run, &runtimes);
-        assert!(outcome.utilization.cpu() < 0.6, "cpu {}", outcome.utilization.cpu());
+        assert!(
+            outcome.utilization.cpu() < 0.6,
+            "cpu {}",
+            outcome.utilization.cpu()
+        );
     }
 
     #[test]

@@ -27,8 +27,8 @@ use crate::sched::{observe_phase, RunInfo, ServerlessScheduler, StartKind};
 use crate::startup::StartupModel;
 use crate::storage::BackendStore;
 use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
-use crate::trace::{ComponentTrace, ExecutionTrace, PoolTrace};
 use crate::tier::Tier;
+use crate::trace::{ComponentTrace, ExecutionTrace, PoolTrace};
 use dd_wfdag::{LanguageRuntime, WorkflowRun};
 use serde::{Deserialize, Serialize};
 
@@ -89,8 +89,7 @@ impl FaasExecutor {
     pub fn new(config: FaasConfig) -> Self {
         Self {
             pricing: PriceSheet::for_vendor(config.vendor),
-            startup: StartupModel::aws()
-                .with_vendor_multiplier(config.vendor.startup_multiplier()),
+            startup: StartupModel::aws().with_vendor_multiplier(config.vendor.startup_multiplier()),
             config,
         }
     }
@@ -251,8 +250,7 @@ impl FaasExecutor {
                 }
 
                 // Failure injection: stragglers pay a multiplied start-up.
-                let overhead =
-                    overhead * self.startup.straggler_multiplier_for(phase_idx, slot, 0);
+                let overhead = overhead * self.startup.straggler_multiplier_for(phase_idx, slot, 0);
                 // Wait for an execution slot when the platform is at its
                 // concurrency limit.
                 let start = if slots.len() >= self.config.invocation_limit {
@@ -387,7 +385,9 @@ impl FaasExecutor {
         runtimes: &[LanguageRuntime],
         next_id: &mut u64,
     ) -> Vec<PooledInstance> {
-        request.entries.truncate(self.config.provisioned_concurrency);
+        request
+            .entries
+            .truncate(self.config.provisioned_concurrency);
         request
             .entries
             .iter()
@@ -414,7 +414,7 @@ impl FaasExecutor {
 mod tests {
     use super::*;
     use crate::pool::InstanceView;
-    use crate::sched::{Placement, PhaseObservation};
+    use crate::sched::{PhaseObservation, Placement};
     use dd_wfdag::{Phase, RunGenerator, Workflow, WorkflowSpec};
 
     /// A scheduler that cold starts everything on high-end instances.
@@ -458,7 +458,12 @@ mod tests {
         fn pool_for_next_phase(&mut self, half_of: usize, _: &PhaseObservation) -> PoolRequest {
             PoolRequest::hot(self.run.phases[half_of + 1].components.len(), 0)
         }
-        fn place(&mut self, phase: &Phase, available: &[InstanceView], _: SimTime) -> Vec<Placement> {
+        fn place(
+            &mut self,
+            phase: &Phase,
+            available: &[InstanceView],
+            _: SimTime,
+        ) -> Vec<Placement> {
             phase
                 .components
                 .iter()
@@ -498,11 +503,7 @@ mod tests {
         let (run, runtimes) = small_run();
         let exec = FaasExecutor::aws();
         let cold = exec.execute(&run, &runtimes, &mut AllCold);
-        let hot = exec.execute(
-            &run,
-            &runtimes,
-            &mut PerfectHot { run: run.clone() },
-        );
+        let hot = exec.execute(&run, &runtimes, &mut PerfectHot { run: run.clone() });
         assert!(
             hot.service_time_secs < cold.service_time_secs,
             "hot {:.1}s vs cold {:.1}s",

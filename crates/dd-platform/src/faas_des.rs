@@ -15,7 +15,7 @@
 
 use crate::des::{EventQueue, SimTime};
 use crate::faas::{FaasConfig, FaasExecutor, PoolTrigger};
-use crate::pool::{InstanceId, PoolRequest, PooledInstance};
+use crate::pool::{InstanceId, InstanceView, PoolRequest, PooledInstance};
 use crate::sched::{observe_phase, RunInfo, ServerlessScheduler, StartKind};
 use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
 use crate::tier::Tier;
@@ -43,6 +43,40 @@ struct PhaseProgress {
     pool_size: u32,
     overhead_sum: f64,
     started_at: SimTime,
+}
+
+/// Reusable simulation state for [`DesFaasExecutor`].
+///
+/// Multi-run sweeps pay a measurable price for re-allocating the event
+/// heap and per-phase scratch buffers on every run. A session keeps those
+/// allocations alive across [`DesFaasExecutor::execute_with`] calls; it is
+/// fully reset at the start of each execution, so results are bit-identical
+/// to a fresh [`DesFaasExecutor::execute`] — the workspace test suite
+/// asserts this invariance.
+#[derive(Debug, Default)]
+pub struct DesSession {
+    queue: EventQueue<Event>,
+    progress: Vec<PhaseProgress>,
+    // Per-phase scratch: invocation slots, pool-usage flags, pool views.
+    slots: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
+    used: Vec<bool>,
+    views: Vec<InstanceView>,
+}
+
+impl DesSession {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets all state while keeping allocations.
+    fn reset(&mut self) {
+        self.queue.clear();
+        self.progress.clear();
+        self.slots.clear();
+        self.used.clear();
+        self.views.clear();
+    }
 }
 
 /// The event-driven executor.
@@ -88,6 +122,21 @@ impl DesFaasExecutor {
         runtimes: &[LanguageRuntime],
         scheduler: &mut dyn ServerlessScheduler,
     ) -> RunOutcome {
+        self.execute_with(&mut DesSession::new(), run, runtimes, scheduler)
+    }
+
+    /// Executes `run` reusing `session`'s allocations — the fast path for
+    /// multi-run sweeps. Produces exactly the same outcome as
+    /// [`DesFaasExecutor::execute`] regardless of what the session ran
+    /// before.
+    pub fn execute_with(
+        &self,
+        session: &mut DesSession,
+        run: &WorkflowRun,
+        runtimes: &[LanguageRuntime],
+        scheduler: &mut dyn ServerlessScheduler,
+    ) -> RunOutcome {
+        session.reset();
         let pricing = *self.analytic.pricing();
         let startup = *self.analytic.startup();
 
@@ -112,10 +161,14 @@ impl DesFaasExecutor {
             self.config.provisioned_concurrency,
         );
 
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        let mut progress: Vec<PhaseProgress> = Vec::with_capacity(run.phases.len());
-        // Completion times per phase, to resolve half/complete instants.
-        let mut completions: Vec<Vec<SimTime>> = vec![Vec::new(); run.phases.len()];
+        let DesSession {
+            queue,
+            progress,
+            slots,
+            used,
+            views,
+        } = session;
+        progress.reserve(run.phases.len());
         let mut end_time = SimTime::ZERO;
 
         if !run.phases.is_empty() {
@@ -128,8 +181,9 @@ impl DesFaasExecutor {
                     let now = at.after(scheduler.overhead_secs());
                     let phase_ref = &run.phases[phase];
                     let pool = std::mem::take(&mut pending_pool);
-                    let views: Vec<_> = pool.iter().map(Into::into).collect();
-                    let placements = scheduler.place(phase_ref, &views, now);
+                    views.clear();
+                    views.extend(pool.iter().map(InstanceView::from));
+                    let placements = scheduler.place(phase_ref, views, now);
                     assert_eq!(placements.len(), phase_ref.components.len());
 
                     let mut prog = PhaseProgress {
@@ -139,9 +193,9 @@ impl DesFaasExecutor {
                         ..PhaseProgress::default()
                     };
 
-                    let mut used = vec![false; pool.len()];
-                    let mut slots: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>> =
-                        std::collections::BinaryHeap::new();
+                    used.clear();
+                    used.resize(pool.len(), false);
+                    slots.clear();
                     for (comp_slot, (component, placement)) in
                         phase_ref.components.iter().zip(&placements).enumerate()
                     {
@@ -195,8 +249,7 @@ impl DesFaasExecutor {
                             start
                         };
                         if let Some(id) = placement.instance {
-                            let inst =
-                                pool.iter().find(|i| i.id == id).expect("validated above");
+                            let inst = pool.iter().find(|i| i.id == id).expect("validated above");
                             ledger.keep_alive_used +=
                                 pricing.cost(inst.tier, start.since(inst.requested_at));
                             utilization.record_idle(inst.tier, start.since(inst.requested_at));
@@ -220,7 +273,7 @@ impl DesFaasExecutor {
                         queue.push(finish, Event::ComponentDone { phase });
                     }
 
-                    for (inst, &was_used) in pool.iter().zip(&used) {
+                    for (inst, &was_used) in pool.iter().zip(used.iter()) {
                         if !was_used {
                             prog.wasted += 1;
                             ledger.keep_alive_wasted +=
@@ -232,7 +285,6 @@ impl DesFaasExecutor {
                     progress.push(prog);
                 }
                 Event::ComponentDone { phase } => {
-                    completions[phase].push(at);
                     let prog = &mut progress[phase];
                     prog.completed += 1;
 
@@ -335,7 +387,7 @@ fn spawn(
 mod tests {
     use super::*;
     use crate::pool::InstanceView;
-    use crate::sched::{Placement, PhaseObservation};
+    use crate::sched::{PhaseObservation, Placement};
     use dd_wfdag::{Phase, RunGenerator, Workflow, WorkflowSpec};
 
     /// A deterministic scheduler exercising hot pools: requests the
@@ -436,10 +488,27 @@ mod tests {
             trigger: PoolTrigger::PhaseComplete,
             ..FaasConfig::default()
         };
-        let analytic =
-            FaasExecutor::new(config).execute(&run, &runtimes, &mut Echo { last: 0 });
+        let analytic = FaasExecutor::new(config).execute(&run, &runtimes, &mut Echo { last: 0 });
         let des = DesFaasExecutor::new(config).execute(&run, &runtimes, &mut Echo { last: 0 });
         assert_outcomes_equal(&analytic, &des);
+    }
+
+    #[test]
+    fn reused_session_matches_fresh_executions() {
+        // The fast path's contract: executing through a dirty session is
+        // bit-identical to a fresh execute, for every run in a sweep.
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(10);
+        let runtimes = spec.runtimes.clone();
+        let gen = RunGenerator::new(spec, 17);
+        let executor = DesFaasExecutor::aws();
+        let mut session = DesSession::new();
+        for idx in 0..3 {
+            let run = gen.generate(idx);
+            let reused =
+                executor.execute_with(&mut session, &run, &runtimes, &mut Echo { last: 0 });
+            let fresh = executor.execute(&run, &runtimes, &mut Echo { last: 0 });
+            assert_outcomes_equal(&reused, &fresh);
+        }
     }
 
     #[test]
@@ -457,7 +526,7 @@ mod limit_tests {
     use super::*;
     use crate::faas::FaasExecutor;
     use crate::pool::InstanceView;
-    use crate::sched::{Placement, PhaseObservation};
+    use crate::sched::{PhaseObservation, Placement};
     use dd_wfdag::{Phase, RunGenerator, Workflow, WorkflowSpec};
 
     struct AllCold;
@@ -518,7 +587,7 @@ mod limit_tests {
 mod straggler_tests {
     use super::*;
     use crate::pool::InstanceView;
-    use crate::sched::{Placement, PhaseObservation};
+    use crate::sched::{PhaseObservation, Placement};
     use crate::startup::StartupModel;
     use dd_wfdag::{Phase, RunGenerator, Workflow, WorkflowSpec};
 
@@ -557,9 +626,10 @@ mod straggler_tests {
             straggler_multiplier: 8.0,
             ..StartupModel::aws()
         };
-        let faulty = FaasExecutor::aws()
-            .with_startup(faulty_model)
-            .execute(&run, &runtimes, &mut AllCold);
+        let faulty =
+            FaasExecutor::aws()
+                .with_startup(faulty_model)
+                .execute(&run, &runtimes, &mut AllCold);
         assert!(
             faulty.service_time_secs > clean.service_time_secs * 1.05,
             "10% 8x stragglers should hurt: {:.1}s vs {:.1}s",
@@ -567,15 +637,18 @@ mod straggler_tests {
             clean.service_time_secs
         );
         // Deterministic: same model, same outcome.
-        let again = FaasExecutor::aws()
-            .with_startup(faulty_model)
-            .execute(&run, &runtimes, &mut AllCold);
+        let again =
+            FaasExecutor::aws()
+                .with_startup(faulty_model)
+                .execute(&run, &runtimes, &mut AllCold);
         assert_eq!(faulty.service_time_secs, again.service_time_secs);
 
         // And the DES executor agrees exactly.
-        let des = DesFaasExecutor::aws()
-            .with_startup(faulty_model)
-            .execute(&run, &runtimes, &mut AllCold);
+        let des = DesFaasExecutor::aws().with_startup(faulty_model).execute(
+            &run,
+            &runtimes,
+            &mut AllCold,
+        );
         assert!(
             (des.service_time_secs - faulty.service_time_secs).abs() < 1e-9,
             "des {:.3} vs analytic {:.3}",

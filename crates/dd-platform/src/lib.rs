@@ -52,11 +52,11 @@ pub use cluster::{ClusterKind, ClusterSim};
 pub use contention::ContentionModel;
 pub use des::{EventQueue, SimTime};
 pub use faas::{FaasConfig, FaasExecutor, PoolTrigger};
-pub use faas_des::DesFaasExecutor;
+pub use faas_des::{DesFaasExecutor, DesSession};
 pub use instance::{InstanceLifecycle, InstanceState};
 pub use pool::{InstanceId, InstanceView, PoolRequest, PooledInstance};
 pub use pricing::{CloudVendor, PriceSheet};
-pub use sched::{Placement, PhaseObservation, RunInfo, ServerlessScheduler, StartKind};
+pub use sched::{PhaseObservation, Placement, RunInfo, ServerlessScheduler, StartKind};
 pub use startup::StartupModel;
 pub use storage::BackendStore;
 pub use telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};

@@ -48,18 +48,20 @@ impl PoolRequest {
     /// A hot-start request: `high_end` + `low_end` runtime-only instances.
     pub fn hot(high_end: usize, low_end: usize) -> Self {
         let mut entries = Vec::with_capacity(high_end + low_end);
-        entries.extend(
-            std::iter::repeat_n(PoolEntryRequest {
+        entries.extend(std::iter::repeat_n(
+            PoolEntryRequest {
                 tier: Tier::HighEnd,
                 preload: None,
-            }, high_end),
-        );
-        entries.extend(
-            std::iter::repeat_n(PoolEntryRequest {
+            },
+            high_end,
+        ));
+        entries.extend(std::iter::repeat_n(
+            PoolEntryRequest {
                 tier: Tier::LowEnd,
                 preload: None,
-            }, low_end),
-        );
+            },
+            low_end,
+        ));
         Self { entries }
     }
 

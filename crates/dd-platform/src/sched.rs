@@ -103,8 +103,7 @@ pub trait ServerlessScheduler {
     /// `ready_at` is later will be waited on). Must return exactly one
     /// placement per component, and must not reference the same instance
     /// twice (one component per instance — they are microVMs, not nodes).
-    fn place(&mut self, phase: &Phase, available: &[InstanceView], now: SimTime)
-        -> Vec<Placement>;
+    fn place(&mut self, phase: &Phase, available: &[InstanceView], now: SimTime) -> Vec<Placement>;
 
     /// Fixed decision overhead charged per phase, in seconds. The paper
     /// reports 0.028% (DayDream), 0.036% (Pegasus) and 0.043% (Wild) of a

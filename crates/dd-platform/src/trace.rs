@@ -120,12 +120,17 @@ impl ExecutionTrace {
         let mut prev_phase = 0usize;
         for c in &self.components {
             if c.phase < prev_phase {
-                return Err(format!("component of phase {} after phase {prev_phase}", c.phase));
+                return Err(format!(
+                    "component of phase {} after phase {prev_phase}",
+                    c.phase
+                ));
             }
             prev_phase = c.phase;
-            let start = self.phase_starts.get(c.phase).copied().ok_or_else(|| {
-                format!("component references unknown phase {}", c.phase)
-            })?;
+            let start = self
+                .phase_starts
+                .get(c.phase)
+                .copied()
+                .ok_or_else(|| format!("component references unknown phase {}", c.phase))?;
             let end = self.phase_ends[c.phase];
             if c.start < start {
                 return Err(format!(

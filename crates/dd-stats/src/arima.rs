@@ -249,7 +249,10 @@ mod tests {
     fn forecast_or_mean_falls_back() {
         let f = Arima::forecast_or_mean(&[4.0, 6.0], ArimaConfig::wild_default());
         assert!((f - 5.0).abs() < 1e-12);
-        assert_eq!(Arima::forecast_or_mean(&[], ArimaConfig::wild_default()), 0.0);
+        assert_eq!(
+            Arima::forecast_or_mean(&[], ArimaConfig::wild_default()),
+            0.0
+        );
     }
 
     #[test]
@@ -300,7 +303,9 @@ mod tests {
         // forecast does not explode (the failure mode the paper exposes is
         // *error*, not divergence).
         let mut rng = SeedStream::new(8).rng();
-        let series: Vec<f64> = (0..300).map(|_| 10.0 + (rng.gen::<f64>() - 0.5) * 8.0).collect();
+        let series: Vec<f64> = (0..300)
+            .map(|_| 10.0 + (rng.gen::<f64>() - 0.5) * 8.0)
+            .collect();
         let f = Arima::forecast_or_mean(&series, ArimaConfig::wild_default());
         assert!((f - 10.0).abs() < 3.0, "forecast = {f}");
     }

@@ -37,13 +37,19 @@ pub fn chi2_statistic(observed: &[f64], expected: &[f64]) -> f64 {
         .sum()
 }
 
-/// χ² statistic with a small regularizer added to each expected count.
+/// χ² statistic with a small regularizer added to each expected count's
+/// *denominator*.
 ///
 /// The grid search of Eq. 2 evaluates candidate (α, β) pairs whose expected
 /// histogram may assign ~0 mass to bins that were actually observed; a bare
 /// χ² would either skip those bins (hiding the mismatch) or blow up. Adding
-/// `eps` to every expected bin keeps such candidates finite but heavily
+/// `eps` to the denominator keeps such candidates finite but heavily
 /// penalized, which is what the argmin needs.
+///
+/// The residual itself stays `Oᵢ − Eᵢ`: folding eps into the residual
+/// would give every empty bin a constant ≥ eps contribution, and on sparse
+/// histograms that floor dominates the statistic and rewards candidates
+/// that push expected mass out of the binned range altogether.
 pub fn chi2_statistic_regularized(observed: &[f64], expected: &[f64], eps: f64) -> f64 {
     assert_eq!(
         observed.len(),
@@ -54,9 +60,8 @@ pub fn chi2_statistic_regularized(observed: &[f64], expected: &[f64], eps: f64) 
         .iter()
         .zip(expected)
         .map(|(&o, &e)| {
-            let e = e + eps;
             let d = o - e;
-            d * d / e
+            d * d / (e + eps)
         })
         .sum()
 }

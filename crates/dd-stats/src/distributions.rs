@@ -22,8 +22,7 @@ impl Normal {
     /// Creates a normal distribution; `std_dev` must be positive and both
     /// parameters finite.
     pub fn new(mean: f64, std_dev: f64) -> Option<Self> {
-        (mean.is_finite() && std_dev.is_finite() && std_dev > 0.0)
-            .then_some(Self { mean, std_dev })
+        (mean.is_finite() && std_dev.is_finite() && std_dev > 0.0).then_some(Self { mean, std_dev })
     }
 
     /// Mean μ.
@@ -52,7 +51,11 @@ impl Normal {
     /// Probability mass of the integer bin `[k − ½, k + ½)`, truncated at
     /// zero (concurrency is non-negative).
     pub fn bin_mass(&self, k: u32) -> f64 {
-        let lo = if k == 0 { f64::NEG_INFINITY } else { k as f64 - 0.5 };
+        let lo = if k == 0 {
+            f64::NEG_INFINITY
+        } else {
+            k as f64 - 0.5
+        };
         (self.cdf(k as f64 + 0.5) - if lo.is_finite() { self.cdf(lo) } else { 0.0 }).max(0.0)
     }
 }
@@ -109,7 +112,8 @@ pub fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -165,7 +169,9 @@ mod tests {
 
     #[test]
     fn fits_recover_parameters() {
-        let hist: Histogram = [8u32, 9, 10, 10, 11, 12, 10, 9, 11, 10].into_iter().collect();
+        let hist: Histogram = [8u32, 9, 10, 10, 11, 12, 10, 9, 11, 10]
+            .into_iter()
+            .collect();
         let n = Normal::fit(&hist).unwrap();
         assert!((n.mean() - 10.0).abs() < 0.2);
         let p = Poisson::fit(&hist).unwrap();
@@ -189,8 +195,8 @@ mod tests {
         let mut rng = SeedStream::new(3).rng();
         let hist: Histogram = (0..2_000).map(|_| truth.sample_count(&mut rng)).collect();
 
-        let weibull_fit = crate::fit::fit_weibull_grid(&hist, (5.0, 15.0), (2.0, 10.0), 32)
-            .expect("weibull fit");
+        let weibull_fit =
+            crate::fit::fit_weibull_grid(&hist, (5.0, 15.0), (2.0, 10.0), 32).expect("weibull fit");
         let normal = Normal::fit(&hist).unwrap();
         let poisson = Poisson::fit(&hist).unwrap();
 

@@ -53,11 +53,16 @@ pub fn fit_weibull_grid(
     }
 
     let len = hist.trimmed_len().max(1);
-    let observed: Vec<f64> = hist.counts()[..len].iter().map(|&c| c as f64).collect();
+    // One extra overflow bin (observed 0) absorbs the candidate's tail mass
+    // beyond the histogram support. Without it, mass above the largest
+    // observation escapes the statistic entirely and the argmin drifts to
+    // the high-α corner of the grid on sparse histograms.
+    let mut observed: Vec<f64> = hist.counts()[..len].iter().map(|&c| c as f64).collect();
+    observed.push(0.0);
     let total = hist.total() as f64;
 
     let mut best: Option<(f64, Weibull)> = None;
-    let mut expected = vec![0.0; len];
+    let mut expected = vec![0.0; len + 1];
     for ai in 0..steps {
         let alpha = lerp(a_lo, a_hi, ai as f64 / (steps - 1) as f64);
         for bi in 0..steps {
@@ -65,9 +70,10 @@ pub fn fit_weibull_grid(
             let Ok(w) = Weibull::new(alpha, beta) else {
                 continue;
             };
-            for (k, e) in expected.iter_mut().enumerate() {
+            for (k, e) in expected[..len].iter_mut().enumerate() {
                 *e = total * w.bin_mass(k as u32);
             }
+            expected[len] = total * (1.0 - w.cdf(len as f64 - 0.5));
             let stat = chi2_statistic_regularized(&observed, &expected, 0.5);
             if best.is_none_or(|(s, _)| stat < s) {
                 best = Some((stat, w));
@@ -76,9 +82,8 @@ pub fn fit_weibull_grid(
     }
 
     best.map(|(chi2, dist)| {
-        let fitted: Vec<f64> = (0..len)
-            .map(|k| total * dist.bin_mass(k as u32))
-            .collect();
+        let mut fitted: Vec<f64> = (0..len).map(|k| total * dist.bin_mass(k as u32)).collect();
+        fitted.push(total * (1.0 - dist.cdf(len as f64 - 0.5)));
         WeibullFit {
             dist,
             chi2,
@@ -263,9 +268,7 @@ pub fn fit_logarithmic(ys: &[f64]) -> FitReport {
             error: 0.0,
         };
     }
-    let design: Vec<Vec<f64>> = (0..n)
-        .map(|i| vec![(i as f64 + 1.0).ln(), 1.0])
-        .collect();
+    let design: Vec<Vec<f64>> = (0..n).map(|i| vec![(i as f64 + 1.0).ln(), 1.0]).collect();
     let fitted = match least_squares(&design, ys) {
         Ok(beta) => design
             .iter()
@@ -383,7 +386,9 @@ mod tests {
 
     #[test]
     fn logarithmic_fits_log_curve() {
-        let ys: Vec<f64> = (0..100).map(|i| 2.0 * ((i + 1) as f64).ln() + 1.0).collect();
+        let ys: Vec<f64> = (0..100)
+            .map(|i| 2.0 * ((i + 1) as f64).ln() + 1.0)
+            .collect();
         let rep = fit_logarithmic(&ys);
         assert!(rep.error < 1e-9, "log error = {}", rep.error);
     }

@@ -74,7 +74,11 @@ mod tests {
         let d = ks_statistic(&h, |x| truth.cdf(x));
         assert!(d < 0.05, "D = {d} for the generating distribution");
         // And the p-value does not reject it.
-        assert!(ks_p_value(d, h.total()) > 0.001, "p = {}", ks_p_value(d, h.total()));
+        assert!(
+            ks_p_value(d, h.total()) > 0.001,
+            "p = {}",
+            ks_p_value(d, h.total())
+        );
     }
 
     #[test]

@@ -48,11 +48,11 @@ pub mod weibull;
 
 pub use arima::{Arima, ArimaConfig};
 pub use chi2::{chi2_p_value, chi2_statistic, chi2_statistic_regularized, normalized_chi2_error};
+pub use distributions::{binned_chi2, Normal, Poisson};
 pub use fit::{
     fit_logarithmic, fit_polynomial, fit_sinusoid, fit_weibull_grid, fit_weibull_moments,
     FitReport, WeibullFit,
 };
-pub use distributions::{binned_chi2, Normal, Poisson};
 pub use histogram::Histogram;
 pub use ks::{ks_p_value, ks_statistic};
 pub use rng::SeedStream;

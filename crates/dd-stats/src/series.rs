@@ -73,10 +73,7 @@ pub fn autocorrelation(xs: &[f64], lag: usize) -> f64 {
     if denom <= f64::EPSILON {
         return 0.0;
     }
-    let numer: f64 = xs
-        .windows(lag + 1)
-        .map(|w| (w[0] - m) * (w[lag] - m))
-        .sum();
+    let numer: f64 = xs.windows(lag + 1).map(|w| (w[0] - m) * (w[lag] - m)).sum();
     numer / denom
 }
 

@@ -203,7 +203,11 @@ mod tests {
     fn rayleigh_special_case() {
         // β = 2 is the Rayleigh distribution; mean = α·√π/2.
         let w = Weibull::new(3.0, 2.0).unwrap();
-        assert!(close(w.mean(), 3.0 * std::f64::consts::PI.sqrt() / 2.0, 1e-10));
+        assert!(close(
+            w.mean(),
+            3.0 * std::f64::consts::PI.sqrt() / 2.0,
+            1e-10
+        ));
     }
 
     #[test]

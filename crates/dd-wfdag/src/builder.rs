@@ -158,8 +158,7 @@ impl WorkflowBuilder {
     /// The declared language runtimes (deduplicated) — what every hot
     /// instance pre-loads.
     pub fn runtimes(&self) -> Vec<LanguageRuntime> {
-        let mut r: Vec<LanguageRuntime> =
-            self.components.iter().map(|(_, t)| t.runtime).collect();
+        let mut r: Vec<LanguageRuntime> = self.components.iter().map(|(_, t)| t.runtime).collect();
         r.sort();
         r.dedup();
         r

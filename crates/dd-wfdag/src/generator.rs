@@ -53,8 +53,8 @@ impl RunGenerator {
     pub fn generate(&self, run_index: usize) -> WorkflowRun {
         let mut rng = self.seeds.derive_index(run_index as u64).rng();
 
-        let operation = self.spec.operations[rng.gen::<usize>() % self.spec.operations.len()]
-            .clone();
+        let operation =
+            self.spec.operations[rng.gen::<usize>() % self.spec.operations.len()].clone();
         let input = self.spec.inputs[rng.gen::<usize>() % self.spec.inputs.len()].clone();
         let hard_to_predict = rng.gen::<f64>() < self.spec.hard_to_predict_fraction;
 
@@ -67,8 +67,8 @@ impl RunGenerator {
         } else {
             1.0
         };
-        let n_phases = ((self.spec.mean_phases as f64 * jitter * extension).round() as usize)
-            .max(2);
+        let n_phases =
+            ((self.spec.mean_phases as f64 * jitter * extension).round() as usize).max(2);
 
         // Path conditioning: runs sharing (operation, input) take largely
         // the same path (same base selector), with a small per-run salt so
@@ -223,8 +223,11 @@ mod tests {
         // ExaFEL: ~90 phases × concurrency 17 ⇒ ~1 521 instances per run.
         let g = generator(Workflow::ExaFel);
         let runs = g.generate_all(10);
-        let mean_total: f64 =
-            runs.iter().map(|r| r.total_components() as f64).sum::<f64>() / runs.len() as f64;
+        let mean_total: f64 = runs
+            .iter()
+            .map(|r| r.total_components() as f64)
+            .sum::<f64>()
+            / runs.len() as f64;
         assert!(
             (1_100.0..=2_100.0).contains(&mean_total),
             "mean total components {mean_total}"

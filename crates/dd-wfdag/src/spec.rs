@@ -472,7 +472,11 @@ mod synthetic_tests {
         let spec = WorkflowSpec::synthetic(2, 300, 25.0, 3.0, 40);
         let gen = RunGenerator::new(spec, 9);
         let run = gen.generate(0);
-        let series: Vec<f64> = run.concurrency_series().into_iter().map(f64::from).collect();
+        let series: Vec<f64> = run
+            .concurrency_series()
+            .into_iter()
+            .map(f64::from)
+            .collect();
         let mean = dd_stats::mean(&series);
         assert!((mean - 25.0).abs() < 6.0, "mean concurrency {mean}");
     }

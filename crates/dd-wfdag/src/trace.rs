@@ -81,9 +81,7 @@ impl RunTrace {
             .derive_index(self.run_index as u64)
             .rng();
 
-        let at = |series: &[f64], i: usize, default: f64| {
-            series.get(i).copied().unwrap_or(default)
-        };
+        let at = |series: &[f64], i: usize, default: f64| series.get(i).copied().unwrap_or(default);
         let phases = self
             .concurrency
             .iter()
@@ -94,8 +92,7 @@ impl RunTrace {
                 let io = at(&self.io, i, 0.3) * 40.0;
                 let components = (0..c.max(1))
                     .map(|k| {
-                        let z: f64 =
-                            rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5;
+                        let z: f64 = rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5;
                         let exec = (3.56 * (0.3 * z).exp()).clamp(0.4, 30.0);
                         // Alternate friendliness so tiering has work to do.
                         let slowdown = if k % 5 < 2 { 0.4 } else { 0.03 };

@@ -79,7 +79,10 @@ pub fn validate_run(run: &WorkflowRun) -> Result<(), ValidationError> {
             }
             if !(c.cpu_demand.is_finite() && c.cpu_demand > 0.0 && c.cpu_demand <= 1.0) {
                 return Err(err(
-                    format!("component {slot}: cpu demand {} outside (0, 1]", c.cpu_demand),
+                    format!(
+                        "component {slot}: cpu demand {} outside (0, 1]",
+                        c.cpu_demand
+                    ),
                     Some(i),
                 ));
             }

@@ -2,8 +2,7 @@
 //! builder contracts, and usage-series invariants.
 
 use dd_wfdag::{
-    ComponentDef, ResourceKind, RunGenerator, UsageSeries, Workflow, WorkflowBuilder,
-    WorkflowSpec,
+    ComponentDef, ResourceKind, RunGenerator, UsageSeries, Workflow, WorkflowBuilder, WorkflowSpec,
 };
 use proptest::prelude::*;
 

@@ -15,7 +15,7 @@
 
 use daydream::core::{DayDreamHistory, DayDreamScheduler};
 use daydream::platform::{
-    FaasExecutor, InstanceView, Placement, PhaseObservation, PoolRequest, RunInfo,
+    FaasExecutor, InstanceView, PhaseObservation, Placement, PoolRequest, RunInfo,
     ServerlessScheduler, SimTime, Tier,
 };
 use daydream::stats::SeedStream;
@@ -55,10 +55,14 @@ impl ServerlessScheduler for LastValueScheduler {
 
     fn place(&mut self, phase: &Phase, available: &[InstanceView], _: SimTime) -> Vec<Placement> {
         // Friendly components grab high-end first; overflow cold-starts.
-        let mut he: Vec<&InstanceView> =
-            available.iter().filter(|i| i.tier == Tier::HighEnd).collect();
-        let mut le: Vec<&InstanceView> =
-            available.iter().filter(|i| i.tier == Tier::LowEnd).collect();
+        let mut he: Vec<&InstanceView> = available
+            .iter()
+            .filter(|i| i.tier == Tier::HighEnd)
+            .collect();
+        let mut le: Vec<&InstanceView> = available
+            .iter()
+            .filter(|i| i.tier == Tier::LowEnd)
+            .collect();
         phase
             .components
             .iter()
@@ -96,10 +100,7 @@ fn main() {
     for idx in 0..n_runs {
         let run = generator.generate(idx);
 
-        let mut dd = DayDreamScheduler::aws(
-            &history,
-            SeedStream::new(7).derive_index(idx as u64),
-        );
+        let mut dd = DayDreamScheduler::aws(&history, SeedStream::new(7).derive_index(idx as u64));
         let o = executor.execute(&run, &runtimes, &mut dd);
         totals[0].0 += o.service_time_secs;
         totals[0].1 += o.service_cost();

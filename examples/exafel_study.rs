@@ -64,19 +64,63 @@ fn main() {
     eprintln!();
 
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
-    let oracle_t = mean(&results[0].1.iter().map(|o| o.service_time_secs).collect::<Vec<_>>());
-    let oracle_c = mean(&results[0].1.iter().map(|o| o.service_cost()).collect::<Vec<_>>());
+    let oracle_t = mean(
+        &results[0]
+            .1
+            .iter()
+            .map(|o| o.service_time_secs)
+            .collect::<Vec<_>>(),
+    );
+    let oracle_c = mean(
+        &results[0]
+            .1
+            .iter()
+            .map(|o| o.service_cost())
+            .collect::<Vec<_>>(),
+    );
 
     println!(
         "\n{:<10} {:>10} {:>9} {:>11} {:>9} {:>10} {:>12} {:>12}",
-        "scheduler", "time (s)", "t/oracle", "cost ($)", "c/oracle", "pred err", "preload ok", "wasted ($)"
+        "scheduler",
+        "time (s)",
+        "t/oracle",
+        "cost ($)",
+        "c/oracle",
+        "pred err",
+        "preload ok",
+        "wasted ($)"
     );
     for (name, outcomes) in &results {
-        let t = mean(&outcomes.iter().map(|o| o.service_time_secs).collect::<Vec<_>>());
-        let c = mean(&outcomes.iter().map(|o| o.service_cost()).collect::<Vec<_>>());
-        let err = mean(&outcomes.iter().map(|o| o.mean_prediction_error()).collect::<Vec<_>>());
-        let ok = mean(&outcomes.iter().map(|o| o.mean_preload_success()).collect::<Vec<_>>());
-        let wasted = mean(&outcomes.iter().map(|o| o.ledger.keep_alive_wasted).collect::<Vec<_>>());
+        let t = mean(
+            &outcomes
+                .iter()
+                .map(|o| o.service_time_secs)
+                .collect::<Vec<_>>(),
+        );
+        let c = mean(
+            &outcomes
+                .iter()
+                .map(|o| o.service_cost())
+                .collect::<Vec<_>>(),
+        );
+        let err = mean(
+            &outcomes
+                .iter()
+                .map(|o| o.mean_prediction_error())
+                .collect::<Vec<_>>(),
+        );
+        let ok = mean(
+            &outcomes
+                .iter()
+                .map(|o| o.mean_preload_success())
+                .collect::<Vec<_>>(),
+        );
+        let wasted = mean(
+            &outcomes
+                .iter()
+                .map(|o| o.ledger.keep_alive_wasted)
+                .collect::<Vec<_>>(),
+        );
         println!(
             "{name:<10} {t:>10.0} {:>8.2}x {c:>11.4} {:>8.2}x {err:>10.1} {:>11.0}% {wasted:>12.4}",
             t / oracle_t,
@@ -85,9 +129,27 @@ fn main() {
         );
     }
 
-    let dd = mean(&results[1].1.iter().map(|o| o.service_time_secs).collect::<Vec<_>>());
-    let wi = mean(&results[2].1.iter().map(|o| o.service_time_secs).collect::<Vec<_>>());
-    let pe = mean(&results[3].1.iter().map(|o| o.service_time_secs).collect::<Vec<_>>());
+    let dd = mean(
+        &results[1]
+            .1
+            .iter()
+            .map(|o| o.service_time_secs)
+            .collect::<Vec<_>>(),
+    );
+    let wi = mean(
+        &results[2]
+            .1
+            .iter()
+            .map(|o| o.service_time_secs)
+            .collect::<Vec<_>>(),
+    );
+    let pe = mean(
+        &results[3]
+            .1
+            .iter()
+            .map(|o| o.service_time_secs)
+            .collect::<Vec<_>>(),
+    );
     println!(
         "\nDayDream service time: {:.0}% below Pegasus, {:.0}% below Wild (paper: 45% / 22%)",
         (1.0 - dd / pe) * 100.0,

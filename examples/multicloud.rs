@@ -40,15 +40,16 @@ fn main() {
         for idx in 0..n_runs {
             let run = generator.generate(idx);
             let seeds = SeedStream::new(3).derive_index(idx as u64);
-            let mut dd =
-                DayDreamScheduler::new(&history, DayDreamConfig::default(), vendor, seeds);
+            let mut dd = DayDreamScheduler::new(&history, DayDreamConfig::default(), vendor, seeds);
             let outcome = executor.execute(&run, &runtimes, &mut dd);
             dd_time += outcome.service_time_secs;
             dd_cost += outcome.service_cost();
             let outcome = executor.execute(&run, &runtimes, &mut WildScheduler::new());
             wi_time += outcome.service_time_secs;
             wi_cost += outcome.service_cost();
-            pe_time += Pegasus.execute_on(&run, &runtimes, vendor).service_time_secs;
+            pe_time += Pegasus
+                .execute_on(&run, &runtimes, vendor)
+                .service_time_secs;
         }
         println!(
             "{:<14} {:>14.0} {:>11.1}% {:>14.4} {:>11.1}%",
@@ -60,5 +61,7 @@ fn main() {
         );
         let _ = pe_time;
     }
-    println!("\n(negative = DayDream better; paper reports -14% time / -9% cost vs Wild on average)");
+    println!(
+        "\n(negative = DayDream better; paper reports -14% time / -9% cost vs Wild on average)"
+    );
 }

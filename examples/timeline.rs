@@ -33,12 +33,7 @@ fn row(trace: &ExecutionTrace, phase: usize, width: usize) -> Vec<String> {
         line.push_str(&"█".repeat(exec));
         line.push_str(&"▒".repeat(write));
         line.truncate(width + 24);
-        rows.push(format!(
-            "    [{}] {:<7} {}",
-            c.slot,
-            c.kind.name(),
-            line
-        ));
+        rows.push(format!("    [{}] {:<7} {}", c.slot, c.kind.name(), line));
     }
     rows
 }

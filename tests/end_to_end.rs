@@ -5,7 +5,7 @@ use daydream::baselines::{NaiveScheduler, OracleScheduler, Pegasus, WildSchedule
 use daydream::core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use daydream::platform::{FaasConfig, FaasExecutor, PoolTrigger, RunOutcome};
 use daydream::stats::SeedStream;
-use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec, WorkflowRun};
+use daydream::wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
 
 fn setup(wf: Workflow, scale: usize) -> (RunGenerator, Vec<daydream::wfdag::LanguageRuntime>) {
     let spec = WorkflowSpec::new(wf).scaled_down(scale);

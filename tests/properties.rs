@@ -136,4 +136,62 @@ proptest! {
         prop_assert!(costs[0].1 <= costs[2].1 * 1.05,
             "cost/s should roughly track the price multiplier: {:?}", costs);
     }
+
+    /// The cost ledger is conserved across sweep workers: executing the
+    /// same runs at any `--jobs` yields bitwise-identical ledgers, each
+    /// summing exactly to its outcome's service cost.
+    #[test]
+    fn ledger_conserved_across_workers(seed in 0u64..12, jobs in 2usize..9) {
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(25);
+        let runtimes = spec.runtimes.clone();
+        let gen = RunGenerator::new(spec, seed);
+        let mut history = DayDreamHistory::new();
+        history.learn_from_run(&gen.generate(1_000), 0.20, 24);
+        let execute = |idx: usize| {
+            let mut dd = DayDreamScheduler::aws(
+                &history,
+                SeedStream::new(seed).derive_index(idx as u64),
+            );
+            FaasExecutor::aws().execute(&gen.generate(idx), &runtimes, &mut dd)
+        };
+
+        let serial = dd_bench::par_map(1, 6, execute);
+        let parallel = dd_bench::par_map(jobs, 6, execute);
+        for (a, b) in serial.iter().zip(&parallel) {
+            prop_assert_eq!(a.ledger, b.ledger);
+            let l = a.ledger;
+            let total = l.execution + l.keep_alive_used + l.keep_alive_wasted + l.storage;
+            prop_assert!(
+                (a.service_cost() - total).abs() < 1e-12,
+                "ledger components must sum to the service cost"
+            );
+        }
+    }
+
+    /// A cleared-and-reused DES event queue pops in exactly the order a
+    /// fresh queue does — including the FIFO tie-break for equal times
+    /// (the resettable-session fast path depends on this).
+    #[test]
+    fn event_queue_reuse_preserves_order(times in proptest::collection::vec(0u32..50, 1..64)) {
+        use daydream::platform::{EventQueue, SimTime};
+        fn drain(q: &mut EventQueue<usize>) -> Vec<(u64, usize)> {
+            let mut order = Vec::new();
+            while let Some((t, v)) = q.pop() {
+                order.push((t.as_secs().to_bits(), v));
+            }
+            order
+        }
+
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(f64::from(t) / 8.0), i);
+        }
+        let fresh = drain(&mut q);
+
+        q.clear();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_secs(f64::from(t) / 8.0), i);
+        }
+        prop_assert_eq!(drain(&mut q), fresh);
+    }
 }

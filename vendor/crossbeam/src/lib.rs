@@ -1,0 +1,101 @@
+//! Offline vendored stand-in for `crossbeam`.
+//!
+//! Provides crossbeam 0.8's scoped-thread entry points implemented on
+//! `std::thread::scope` (stable since Rust 1.63), which gives the same
+//! guarantee the sweep executor needs: worker threads may borrow from the
+//! caller's stack and are all joined before `scope` returns.
+
+use std::any::Any;
+
+/// A scope handle that can spawn borrowing worker threads.
+///
+/// `Copy` so it can be passed into spawned closures, matching crossbeam's
+/// pattern of spawning from within workers.
+#[derive(Clone, Copy, Debug)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// A handle awaiting one spawned worker.
+#[derive(Debug)]
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the worker and returns its result (Err on panic).
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a worker; the closure receives the scope so workers can
+    /// spawn further workers (crossbeam's signature).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let scope = *self;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(scope)),
+        }
+    }
+}
+
+/// Creates a scope in which borrowing threads can be spawned; returns the
+/// closure's result once every spawned thread has been joined.
+///
+/// Mirrors `crossbeam::scope`'s `Result` return (upstream reports worker
+/// panics there); on `std::thread::scope` an unjoined worker panic
+/// propagates as a panic instead, so `Ok` is the only constructed variant
+/// — call sites `.unwrap()` exactly as with upstream crossbeam.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(Scope { inner: s })))
+}
+
+/// Scoped threads under crossbeam's `thread` module path.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn workers_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let handles_done = super::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).count()
+        })
+        .unwrap();
+        assert_eq!(handles_done, 8);
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_spawn_from_worker() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        let v = super::scope(|_| 42).unwrap();
+        assert_eq!(v, 42);
+    }
+}

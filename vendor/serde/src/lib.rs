@@ -1,0 +1,13 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The repository only ever *derives* `Serialize`/`Deserialize` — nothing
+//! serializes at runtime — so this crate re-exports no-op derive macros
+//! and defines the trait names for code that writes explicit bounds.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait SerializeMarker {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait DeserializeMarker<'de> {}

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The repository derives serde traits on its model types for downstream
+//! consumers but never serializes anything itself, and the offline build
+//! has no crates.io access. These derives accept the same syntax
+//! (including `#[serde(...)]` field attributes) and expand to nothing, so
+//! `#[derive(Serialize, Deserialize)]` stays compilable without pulling
+//! in the real serde machinery.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
