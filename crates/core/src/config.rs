@@ -78,6 +78,7 @@ impl DayDreamConfig {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
 

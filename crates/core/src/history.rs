@@ -69,6 +69,7 @@ impl DayDreamHistory {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
     use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec};

@@ -44,6 +44,7 @@ impl ServerlessScheduler for NaiveScheduler {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
     use dd_platform::FaasExecutor;

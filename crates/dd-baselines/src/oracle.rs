@@ -141,6 +141,7 @@ impl ServerlessScheduler for OracleScheduler {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
     use dd_platform::FaasExecutor;

@@ -260,6 +260,7 @@ impl ServerlessScheduler for WildScheduler {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
     use dd_platform::FaasExecutor;
@@ -368,6 +369,7 @@ mod tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod histogram_policy_tests {
     use super::*;
 

@@ -316,6 +316,7 @@ pub fn mean(xs: impl IntoIterator<Item = f64>) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
 

@@ -1,0 +1,194 @@
+//! `dd-lint.toml` — per-rule scoping configuration.
+//!
+//! A deliberately tiny TOML subset (hand-rolled, offline-policy): section
+//! headers `[rule.<name>]` and two array-of-string keys per section,
+//! `crates` (crate directory names, `"*"` for all) and `files`
+//! (workspace-relative paths). Anything else is a configuration error.
+
+use crate::rules::RULE_NAMES;
+use std::collections::BTreeMap;
+
+/// Scope of one rule.
+#[derive(Debug, Clone, Default)]
+pub struct RuleScope {
+    /// Crate directory names the rule applies to; `*` means every crate.
+    pub crates: Vec<String>,
+    /// Workspace-relative file paths the rule applies to (used by
+    /// file-scoped rules like `hot-path-panic`).
+    pub files: Vec<String>,
+}
+
+impl RuleScope {
+    /// Whether the rule covers `crate_name` / `rel_path`.
+    pub fn covers(&self, crate_name: &str, rel_path: &str) -> bool {
+        self.crates.iter().any(|c| c == "*" || c == crate_name)
+            || self.files.iter().any(|f| f == rel_path)
+    }
+}
+
+/// Parsed configuration: rule name → scope.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    pub rules: BTreeMap<String, RuleScope>,
+}
+
+/// A configuration parse error with its line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dd-lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+impl Config {
+    /// Scope for `rule`, empty (covers nothing) when unconfigured.
+    pub fn scope(&self, rule: &str) -> RuleScope {
+        self.rules.get(rule).cloned().unwrap_or_default()
+    }
+
+    /// Parses the `dd-lint.toml` subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, ConfigError> {
+        let mut rules: BTreeMap<String, RuleScope> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_toml_comment(raw).trim().to_string();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(section) = line.strip_prefix('[') {
+                let section = section.strip_suffix(']').ok_or_else(|| ConfigError {
+                    line: lineno,
+                    message: "unterminated section header".into(),
+                })?;
+                let rule = section.strip_prefix("rule.").ok_or_else(|| ConfigError {
+                    line: lineno,
+                    message: format!("unknown section [{section}] (expected [rule.<name>])"),
+                })?;
+                if !RULE_NAMES.contains(&rule) {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown rule {rule:?} (known: {RULE_NAMES:?})"),
+                    });
+                }
+                rules.entry(rule.to_string()).or_default();
+                current = Some(rule.to_string());
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ConfigError {
+                line: lineno,
+                message: format!("expected `key = [..]`, got {line:?}"),
+            })?;
+            let rule = current.as_ref().ok_or_else(|| ConfigError {
+                line: lineno,
+                message: "key outside a [rule.<name>] section".into(),
+            })?;
+            let items = parse_string_array(value.trim()).map_err(|message| ConfigError {
+                line: lineno,
+                message,
+            })?;
+            let scope = rules.get_mut(rule).expect("section inserted above");
+            match key.trim() {
+                "crates" => scope.crates = items,
+                "files" => scope.files = items,
+                other => {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("unknown key {other:?} (expected crates/files)"),
+                    })
+                }
+            }
+        }
+        Ok(Config { rules })
+    }
+}
+
+/// Removes a trailing `# …` comment, respecting double-quoted strings.
+fn strip_toml_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parses `["a", "b"]` into its items.
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a [..] array, got {value:?}"))?;
+    let mut items = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let item = part
+            .strip_prefix('"')
+            .and_then(|p| p.strip_suffix('"'))
+            .ok_or_else(|| format!("expected a quoted string, got {part:?}"))?;
+        items.push(item.to_string());
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_and_arrays() {
+        let cfg = Config::parse(
+            "# comment\n[rule.wall-clock]\ncrates = [\"dd-platform\", \"core\"] # tail\n\n[rule.hot-path-panic]\nfiles = [\"crates/dd-platform/src/des.rs\"]\n",
+        )
+        .unwrap();
+        let wc = cfg.scope("wall-clock");
+        assert_eq!(wc.crates, vec!["dd-platform", "core"]);
+        assert!(wc.covers("core", "crates/core/src/lib.rs"));
+        assert!(!wc.covers("dd-bench", "crates/dd-bench/src/lib.rs"));
+        let hp = cfg.scope("hot-path-panic");
+        assert!(hp.covers("dd-platform", "crates/dd-platform/src/des.rs"));
+        assert!(!hp.covers("dd-platform", "crates/dd-platform/src/pool.rs"));
+    }
+
+    #[test]
+    fn wildcard_covers_everything() {
+        let cfg = Config::parse("[rule.float-ord]\ncrates = [\"*\"]\n").unwrap();
+        assert!(cfg.scope("float-ord").covers("anything", "a/b.rs"));
+    }
+
+    #[test]
+    fn unknown_rule_rejected() {
+        let err = Config::parse("[rule.bogus]\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unconfigured_rule_covers_nothing() {
+        let cfg = Config::parse("").unwrap();
+        assert!(!cfg.scope("wall-clock").covers("dd-platform", "x.rs"));
+    }
+
+    #[test]
+    fn malformed_lines_error_with_position() {
+        assert_eq!(Config::parse("[rule.wall-clock\n").unwrap_err().line, 1);
+        assert!(Config::parse("crates = [\"x\"]\n")
+            .unwrap_err()
+            .message
+            .contains("outside"));
+        assert!(Config::parse("[rule.wall-clock]\ncrates = \"x\"\n").is_err());
+    }
+}

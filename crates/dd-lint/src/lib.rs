@@ -1,0 +1,210 @@
+//! # dd-lint — workspace determinism & simulation-correctness lints
+//!
+//! A self-contained static-analysis pass over the DayDream workspace: a
+//! hand-rolled, comment/string-aware token scanner (no external parser
+//! dependencies, consistent with the offline `vendor/` policy) that
+//! enforces the repo-specific rules documented in [`rules`] — no
+//! randomized hash containers, no wall clocks or entropy in simulation
+//! crates, seeded RNG construction only, NaN-safe float ordering, and no
+//! undocumented panics in the DES hot path.
+//!
+//! Scope is configured per rule in `dd-lint.toml` at the workspace root;
+//! inline `dd-lint: allow(<rule>): <justification>` comments suppress
+//! individual findings (the justification is mandatory and itself
+//! linted). The `dd-lint` binary walks every non-vendor `src/` tree,
+//! prints findings as `file:line:column: [rule] message` (or `--format
+//! json`), and exits nonzero when any unsuppressed finding remains.
+
+pub mod config;
+pub mod rules;
+pub mod scan;
+
+pub use config::{Config, ConfigError, RuleScope};
+pub use rules::{Finding, RULE_NAMES, SUPPRESSION_RULE};
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never scanned (generated, foreign, or test-only code —
+/// test targets may legitimately unwrap and measure wall time).
+const SKIPPED_DIRS: &[&str] = &[
+    "vendor", "target", "tests", "benches", "examples", "fixtures", ".git", ".github",
+];
+
+/// Name of the configuration file marking the workspace root.
+pub const CONFIG_FILE: &str = "dd-lint.toml";
+
+/// Lints one file's `source` as `rel_path` (workspace-relative, `/`
+/// separators). The crate name is derived from the path: the directory
+/// under `crates/`, or `root` for the facade package's `src/`.
+pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Finding> {
+    let crate_name = crate_of(rel_path);
+    rules::check_file(rel_path, &crate_name, &scan::classify(source), config)
+}
+
+/// Crate directory name owning `rel_path`.
+fn crate_of(rel_path: &str) -> String {
+    let mut parts = rel_path.split('/');
+    match parts.next() {
+        Some("crates") => parts.next().unwrap_or("root").to_string(),
+        _ => "root".to_string(),
+    }
+}
+
+/// Recursively collects the `.rs` files to lint under `root`, skipping
+/// [`SKIPPED_DIRS`], in sorted (deterministic) order.
+pub fn collect_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIPPED_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace under `root` (which must contain
+/// `dd-lint.toml`). Findings come back sorted by `(file, line, column)`.
+pub fn lint_tree(root: &Path) -> Result<Vec<Finding>, String> {
+    let config_path = root.join(CONFIG_FILE);
+    let text = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("{}: {e}", config_path.display()))?;
+    let config = Config::parse(&text).map_err(|e| e.to_string())?;
+
+    let mut findings = Vec::new();
+    for path in collect_sources(root).map_err(|e| format!("walk {}: {e}", root.display()))? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        findings.extend(lint_source(&rel, &source, &config));
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.column, &a.rule).cmp(&(&b.file, b.line, b.column, &b.rule))
+    });
+    Ok(findings)
+}
+
+/// Renders findings for humans, one `file:line:column: [rule] message`
+/// per line plus a summary.
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("dd-lint: clean\n");
+    } else {
+        out.push_str(&format!("dd-lint: {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+/// Renders findings as stable JSON:
+/// `{"version":1,"findings":[{file,line,column,rule,message}..],"counts":{rule:n..}}`.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\"version\":1,\"findings\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"column\":{},\"rule\":{},\"message\":{}}}",
+            json_str(&f.file),
+            f.line,
+            f.column,
+            json_str(&f.rule),
+            json_str(&f.message),
+        ));
+    }
+    out.push_str("],\"counts\":{");
+    let mut counts: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for f in findings {
+        *counts.entry(&f.rule).or_default() += 1;
+    }
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{}:{}", json_str(rule), n));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_names_from_paths() {
+        assert_eq!(crate_of("crates/dd-platform/src/des.rs"), "dd-platform");
+        assert_eq!(crate_of("crates/core/src/lib.rs"), "core");
+        assert_eq!(crate_of("src/lib.rs"), "root");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn json_shape_empty() {
+        assert_eq!(
+            render_json(&[]),
+            "{\"version\":1,\"findings\":[],\"counts\":{}}"
+        );
+    }
+
+    #[test]
+    fn human_rendering() {
+        assert!(render_human(&[]).contains("clean"));
+        let f = Finding {
+            file: "a.rs".into(),
+            line: 3,
+            column: 7,
+            rule: "wall-clock".into(),
+            message: "m".into(),
+        };
+        let text = render_human(&[f]);
+        assert!(text.contains("a.rs:3:7: [wall-clock] m"));
+        assert!(text.contains("1 finding(s)"));
+    }
+}

@@ -1,0 +1,94 @@
+//! `dd-lint` binary: lints the workspace tree and exits nonzero on any
+//! unsuppressed finding.
+//!
+//! ```text
+//! dd-lint [--format human|json] [--root DIR]
+//! ```
+//!
+//! Without `--root`, the workspace root is found by walking up from the
+//! current directory to the nearest `dd-lint.toml`. Exit codes: 0 clean,
+//! 1 findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut format = Format::Human;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                other => return usage(&format!("--format expects human|json, got {other:?}")),
+            },
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root expects a directory"),
+            },
+            "--help" | "-h" => {
+                println!("usage: dd-lint [--format human|json] [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unexpected argument {other:?}")),
+        }
+    }
+
+    let root = match root.or_else(find_root) {
+        Some(root) => root,
+        None => {
+            eprintln!(
+                "dd-lint: no {} found walking up from the current directory; pass --root",
+                dd_lint::CONFIG_FILE
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    match dd_lint::lint_tree(&root) {
+        Ok(findings) => {
+            let rendered = match format {
+                Format::Human => dd_lint::render_human(&findings),
+                Format::Json => dd_lint::render_json(&findings),
+            };
+            print!("{rendered}");
+            if matches!(format, Format::Json) {
+                println!();
+            }
+            if findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("dd-lint: {err}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("dd-lint: {message}\nusage: dd-lint [--format human|json] [--root DIR]");
+    ExitCode::from(2)
+}
+
+/// Nearest ancestor directory (including the current one) containing
+/// `dd-lint.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join(dd_lint::CONFIG_FILE).is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,344 @@
+//! Comment- and string-aware line classification of Rust source.
+//!
+//! The scanner is deliberately *not* a parser: the rules in
+//! [`crate::rules`] are token searches, so all the scanner must guarantee
+//! is that (a) tokens inside string/char literals and comments never reach
+//! the rule pass, (b) comment text is preserved separately so suppression
+//! directives can be read, and (c) `#[cfg(test)]` regions and brace depth
+//! are tracked well enough to exempt test modules. It handles line and
+//! nested block comments, escaped strings, raw strings (`r"…"`,
+//! `r#"…"#`, byte variants), and the char-literal / lifetime ambiguity.
+
+/// One classified source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Source text with comments and literal *contents* blanked to spaces
+    /// (quote characters are kept so tokens never merge across a literal).
+    pub code: String,
+    /// Concatenated comment text of the line (without `//` / `/*`
+    /// markers), used for suppression directives.
+    pub comment: String,
+    /// Whether the line is inside a `#[cfg(test)]` module (inclusive of
+    /// the attribute and closing-brace lines).
+    pub in_test: bool,
+}
+
+/// A classified file: lines plus the test-region map.
+#[derive(Debug, Default)]
+pub struct Classified {
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u8),
+    Char,
+}
+
+/// Classifies `source` into per-line code/comment streams and marks
+/// `#[cfg(test)]` module regions.
+pub fn classify(source: &str) -> Classified {
+    let mut lines = split_literals(source);
+    mark_test_regions(&mut lines);
+    Classified { lines }
+}
+
+/// First pass: strip literals and comments, keeping per-line comment text.
+fn split_literals(source: &str) -> Vec<Line> {
+    let mut lines = Vec::new();
+    let mut state = State::Code;
+    for raw in source.lines() {
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        // A line comment never continues across lines; strings do.
+        if state == State::LineComment {
+            state = State::Code;
+        }
+        while i < chars.len() {
+            let c = chars[i];
+            let next = chars.get(i + 1).copied();
+            match state {
+                State::Code => match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        comment.extend(&chars[i + 2..]);
+                        code.push(' ');
+                        code.push(' ');
+                        i = chars.len();
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = State::Str;
+                        code.push('"');
+                    }
+                    'r' | 'b' => {
+                        // Possible raw / byte string start: r", r#", br", b".
+                        if let Some((hashes, consumed)) = raw_string_open(&chars[i..]) {
+                            // Identifier chars directly before mean this is
+                            // the tail of a name (e.g. `var"` can't happen,
+                            // but `numr"` style false positives could).
+                            let prev_ident = code
+                                .chars()
+                                .last()
+                                .is_some_and(|p| p.is_alphanumeric() || p == '_');
+                            if prev_ident {
+                                code.push(c);
+                                i += 1;
+                                continue;
+                            }
+                            state = State::RawStr(hashes);
+                            for _ in 0..consumed {
+                                code.push(' ');
+                            }
+                            code.pop();
+                            code.push('"');
+                            i += consumed;
+                            continue;
+                        }
+                        code.push(c);
+                    }
+                    '\'' => {
+                        // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                        let is_lifetime = match next {
+                            Some(n) if n.is_alphabetic() || n == '_' => {
+                                chars.get(i + 2).copied() != Some('\'')
+                            }
+                            _ => false,
+                        };
+                        if is_lifetime {
+                            code.push('\'');
+                        } else {
+                            state = State::Char;
+                            code.push('\'');
+                        }
+                    }
+                    _ => code.push(c),
+                },
+                State::LineComment => unreachable!("reset at line start"),
+                State::BlockComment(depth) => {
+                    if c == '*' && next == Some('/') {
+                        if depth == 1 {
+                            state = State::Code;
+                        } else {
+                            state = State::BlockComment(depth - 1);
+                        }
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(depth + 1);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    comment.push(c);
+                    code.push(' ');
+                }
+                State::Str => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        state = State::Code;
+                        code.push('"');
+                    }
+                    _ => code.push(' '),
+                },
+                State::RawStr(hashes) => {
+                    if c == '"' && closes_raw(&chars[i..], hashes) {
+                        state = State::Code;
+                        code.push('"');
+                        for _ in 0..hashes {
+                            code.push(' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                    code.push(' ');
+                }
+                State::Char => match c {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '\'' => {
+                        state = State::Code;
+                        code.push('\'');
+                    }
+                    _ => code.push(' '),
+                },
+            }
+            i += 1;
+        }
+        lines.push(Line {
+            code,
+            comment: comment.trim().to_string(),
+            in_test: false,
+        });
+    }
+    lines
+}
+
+/// Detects a raw-string opener at the start of `chars` (`r"`, `r#"`,
+/// `br"`, `b"` …). Returns `(hash_count, chars_consumed_through_quote)`.
+fn raw_string_open(chars: &[char]) -> Option<(u8, usize)> {
+    let mut i = 0;
+    if chars.first() == Some(&'b') {
+        i += 1;
+    }
+    if chars.get(i) == Some(&'r') {
+        i += 1;
+        let mut hashes = 0u8;
+        while chars.get(i + hashes as usize) == Some(&'#') {
+            hashes += 1;
+        }
+        if chars.get(i + hashes as usize) == Some(&'"') {
+            return Some((hashes, i + hashes as usize + 1));
+        }
+        None
+    } else if i == 1 && chars.get(1) == Some(&'"') {
+        // Plain byte string `b"` — treated as a normal string open.
+        None
+    } else {
+        None
+    }
+}
+
+/// Whether `chars` (starting at a `"`) closes a raw string with `hashes`
+/// trailing `#`s.
+fn closes_raw(chars: &[char], hashes: u8) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(k) == Some(&'#'))
+}
+
+/// Second pass: mark `#[cfg(test)]`-module regions by brace depth.
+fn mark_test_regions(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    let mut pending_attr_line = 0usize;
+    // Depth *outside* the currently skipped test region, if any.
+    let mut region_depth: Option<i64> = None;
+
+    for idx in 0..lines.len() {
+        let code = lines[idx].code.clone();
+        let starts_pending = code.contains("cfg(test");
+        if starts_pending && region_depth.is_none() {
+            pending_attr = true;
+            pending_attr_line = idx;
+        }
+
+        let mut line_depth = depth;
+        for c in code.chars() {
+            match c {
+                '{' => {
+                    if pending_attr && region_depth.is_none() {
+                        // First brace after the attribute opens the region.
+                        region_depth = Some(line_depth);
+                        pending_attr = false;
+                        for line in &mut lines[pending_attr_line..=idx] {
+                            line.in_test = true;
+                        }
+                    }
+                    line_depth += 1;
+                }
+                '}' => line_depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(rd) = region_depth {
+            lines[idx].in_test = true;
+            if line_depth <= rd {
+                region_depth = None;
+            }
+        }
+        depth = line_depth;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_comments_but_keeps_text() {
+        let c = classify("let x = 1; // trailing note\n");
+        assert!(c.lines[0].code.contains("let x = 1;"));
+        assert!(!c.lines[0].code.contains("trailing"));
+        assert_eq!(c.lines[0].comment, "trailing note");
+    }
+
+    #[test]
+    fn strips_string_contents() {
+        let c = classify("let s = \"Instant::now inside a string\";\n");
+        assert!(!c.lines[0].code.contains("Instant::now"));
+        assert!(c.lines[0].code.contains("let s = \""));
+    }
+
+    #[test]
+    fn strips_raw_string_contents() {
+        let c = classify("let s = r#\"partial_cmp in raw\"#; let y = 2;\n");
+        assert!(!c.lines[0].code.contains("partial_cmp"));
+        assert!(c.lines[0].code.contains("let y = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b\n";
+        let c = classify(src);
+        assert!(c.lines[0].code.contains('a'));
+        assert!(c.lines[0].code.contains('b'));
+        assert!(!c.lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn multiline_string_state_carries() {
+        let src = "let s = \"first\nsecond thread_rng\";\nlet t = 1;\n";
+        let c = classify(src);
+        assert!(!c.lines[1].code.contains("thread_rng"));
+        assert!(c.lines[2].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = classify("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(c.lines[0].code.contains("fn f<'a>(x: &'a str)"));
+    }
+
+    #[test]
+    fn char_literal_contents_blanked() {
+        let c = classify("let c = 'x'; let d = '\\n'; let e = 1;\n");
+        assert!(c.lines[0].code.contains("let e = 1;"));
+        assert!(!c.lines[0].code.contains('x'));
+    }
+
+    #[test]
+    fn test_mod_region_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn inner() {}\n}\nfn after() {}\n";
+        let c = classify(src);
+        assert!(!c.lines[0].in_test);
+        assert!(c.lines[1].in_test);
+        assert!(c.lines[2].in_test);
+        assert!(c.lines[3].in_test);
+        assert!(c.lines[4].in_test);
+        assert!(!c.lines[5].in_test);
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: malformed suppressions are findings themselves.
+pub fn measure() -> f64 {
+    // dd-lint: allow(wall-clock)
+    let started = std::time::Instant::now();
+    // dd-lint: allow(not-a-rule): justification present but rule unknown
+    started.elapsed().as_secs_f64()
+}

@@ -1,0 +1,8 @@
+// Fixture: N1 positive — NaN-unsafe float ordering.
+pub fn pick(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let best = values
+        .iter()
+        .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    *best.unwrap_or(&0.0)
+}

@@ -1,0 +1,7 @@
+// Fixture: N1 suppressed + total_cmp stays clean.
+pub fn pick(values: &mut [f64]) -> f64 {
+    values.sort_by(|a, b| a.total_cmp(b));
+    // dd-lint: allow(float-ord): fixture — inputs proven NaN-free at construction
+    let best = values.iter().max_by(|a, b| a.partial_cmp(b).unwrap());
+    *best.unwrap_or(&0.0)
+}

@@ -1,0 +1,8 @@
+// Fixture: D1 positive — default-hasher containers.
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u32, u32> {
+    let mut set: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    set.insert(1);
+    HashMap::new()
+}

@@ -1,0 +1,7 @@
+// Fixture: D1 suppressed + explicit-hasher negative.
+pub fn build() -> u32 {
+    // dd-lint: allow(hash-container): fixture — keys are never iterated, only probed
+    let map: std::collections::HashMap<u32, u32> = std::collections::HashMap::new(); // dd-lint: allow(hash-container): fixture — same-line form
+    let det: HashMap<u32, u32, FxBuildHasher> = make();
+    map.len() as u32 + det.len() as u32
+}

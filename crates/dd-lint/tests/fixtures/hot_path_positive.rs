@@ -1,0 +1,11 @@
+// Fixture: P1 positive — panics in a hot-path-scoped file.
+pub fn step(queue: &mut Vec<u64>) -> u64 {
+    let head = queue.pop().unwrap();
+    if head == 0 {
+        panic!("zero event time");
+    }
+    match head {
+        u64::MAX => unreachable!(),
+        other => other,
+    }
+}

@@ -1,0 +1,7 @@
+// Fixture: P1 suppressed — documented invariant-backed sites.
+pub fn step(queue: &mut Vec<u64>) -> u64 {
+    // dd-lint: allow(hot-path-panic): fixture — non-empty checked by caller, dd_invariant-backed
+    let head = queue.pop().expect("non-empty");
+    dd_invariant!(head > 0, "event times are positive");
+    head
+}

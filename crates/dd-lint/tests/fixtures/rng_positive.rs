@@ -1,0 +1,7 @@
+// Fixture: D3 positive — unseeded RNG construction.
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let other = StdRng::from_entropy();
+    let _ = other;
+    rng.next_u64()
+}

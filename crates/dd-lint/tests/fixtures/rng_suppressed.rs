@@ -1,0 +1,7 @@
+// Fixture: D3 suppressed + seeded constructors stay clean.
+pub fn roll(seed: u64) -> u64 {
+    let mut seeded = StdRng::seed_from_u64(seed);
+    // dd-lint: allow(rng-seed): fixture — jitter outside any simulation result path
+    let mut rng = rand::thread_rng();
+    seeded.next_u64() ^ rng.next_u64()
+}

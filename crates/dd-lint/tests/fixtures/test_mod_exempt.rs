@@ -1,0 +1,16 @@
+// Fixture: #[cfg(test)] modules, strings and comments are exempt.
+pub fn clean() -> &'static str {
+    // Instant::now inside a comment is fine.
+    "thread_rng inside a string is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap_and_clock() {
+        let started = std::time::Instant::now();
+        let v = [1.0f64, 2.0];
+        let _ = v.iter().max_by(|a, b| a.partial_cmp(b).unwrap()).unwrap();
+        assert!(started.elapsed().as_secs_f64() >= 0.0);
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: D2 positive — wall clock and entropy in simulation code.
+use std::time::Instant;
+
+pub fn measure() -> f64 {
+    let started = Instant::now();
+    let stamp = std::time::SystemTime::now();
+    let _ = stamp;
+    started.elapsed().as_secs_f64()
+}

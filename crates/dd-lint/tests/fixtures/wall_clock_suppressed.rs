@@ -1,0 +1,6 @@
+// Fixture: D2 suppressed.
+pub fn measure() -> f64 {
+    // dd-lint: allow(wall-clock): fixture — self-measurement experiment reports real latency
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}

@@ -82,6 +82,7 @@ impl ContentionModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
 

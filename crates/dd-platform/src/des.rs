@@ -62,7 +62,10 @@ impl Eq for SimTime {}
 #[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Total order is safe: construction rejects NaN.
+        // This is the SimTime ordering wrapper the float-ord rule points
+        // to: the one place a float order is materialized, safe because
+        // `SimTime::from_secs` rejects NaN at construction.
+        // dd-lint: allow(float-ord, hot-path-panic): construction rejects NaN, so partial_cmp is total here
         self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
     }
 }
@@ -79,6 +82,10 @@ impl std::fmt::Display for SimTime {
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
+    /// Clock of the last popped event, for the debug-build monotonicity
+    /// invariant (absent from release builds).
+    #[cfg(debug_assertions)]
+    last_popped: Option<SimTime>,
 }
 
 #[derive(Debug)]
@@ -121,6 +128,8 @@ impl<E> EventQueue<E> {
         Self {
             heap: BinaryHeap::new(),
             seq: 0,
+            #[cfg(debug_assertions)]
+            last_popped: None,
         }
     }
 
@@ -132,8 +141,32 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the earliest event, returning its time and payload.
+    ///
+    /// Debug builds verify the two DES kernel invariants on every pop:
+    /// the virtual clock never runs backwards across pops, and no pending
+    /// event is earlier than the one just popped (heap-order soundness).
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|e| (e.time, e.event))
+        let entry = self.heap.pop()?;
+        #[cfg(debug_assertions)]
+        {
+            if let Some(last) = self.last_popped {
+                dd_debug_invariant!(
+                    last <= entry.time,
+                    "DES clock went backwards: popped {} after {last}",
+                    entry.time
+                );
+            }
+            if let Some(next) = self.heap.peek() {
+                dd_debug_invariant!(
+                    entry.time <= next.time,
+                    "event queue disordered: popped {} while {} is pending",
+                    entry.time,
+                    next.time
+                );
+            }
+            self.last_popped = Some(entry.time);
+        }
+        Some((entry.time, entry.event))
     }
 
     /// Removes all pending events and resets the tie-break sequence,
@@ -143,6 +176,10 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
         self.seq = 0;
+        #[cfg(debug_assertions)]
+        {
+            self.last_popped = None;
+        }
     }
 
     /// Time of the earliest pending event.
@@ -162,6 +199,7 @@ impl<E> EventQueue<E> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
 

@@ -328,6 +328,20 @@ impl FaasExecutor {
             let notifications = store.notifications(phase_idx);
             let observation = observe_phase(phase, self.config.friendly_threshold);
 
+            // Same pool hot/cold accounting identities the DES executor
+            // checks: both models must close their books the same way.
+            dd_debug_invariant!(
+                (warm_starts + hot_starts + cold_starts) as usize == phase.components.len(),
+                "phase {phase_idx} start-kind accounting: {warm_starts}+{hot_starts}+{cold_starts} != {} components",
+                phase.components.len()
+            );
+            dd_debug_invariant!(
+                warm_starts + hot_starts + wasted == pool.len() as u32,
+                "phase {phase_idx} pool accounting: used {} + wasted {wasted} != pool {}",
+                warm_starts + hot_starts,
+                pool.len()
+            );
+
             records.push(PhaseRecord {
                 index: phase_idx,
                 concurrency: phase.concurrency(),
@@ -363,6 +377,7 @@ impl FaasExecutor {
 
         // Storage maintenance for the run's whole duration.
         ledger.storage = self.pricing.storage_per_sec * now.as_secs();
+        ledger.debug_validate();
 
         (
             RunOutcome {
@@ -411,6 +426,7 @@ impl FaasExecutor {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
     use crate::pool::InstanceView;

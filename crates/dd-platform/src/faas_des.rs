@@ -184,7 +184,12 @@ impl DesFaasExecutor {
                     views.clear();
                     views.extend(pool.iter().map(InstanceView::from));
                     let placements = scheduler.place(phase_ref, views, now);
-                    assert_eq!(placements.len(), phase_ref.components.len());
+                    dd_invariant!(
+                        placements.len() == phase_ref.components.len(),
+                        "scheduler returned {} placements for {} components",
+                        placements.len(),
+                        phase_ref.components.len()
+                    );
 
                     let mut prog = PhaseProgress {
                         expected: phase_ref.components.len(),
@@ -204,13 +209,18 @@ impl DesFaasExecutor {
                                 let slot = pool
                                     .iter()
                                     .position(|i| i.id == id)
+                                    // dd-lint: allow(hot-path-panic): a placement naming an id absent from the pool is a scheduler-contract violation, not a recoverable state
                                     .unwrap_or_else(|| panic!("unknown instance {id}"));
-                                assert!(!used[slot], "instance {id} reused");
+                                dd_invariant!(
+                                    !used[slot],
+                                    "instance {id} placed twice in one phase"
+                                );
                                 used[slot] = true;
                                 let inst = &pool[slot];
                                 let kind = match inst.preload {
                                     None => StartKind::Hot,
                                     Some(ty) if ty == component.type_id => StartKind::Warm,
+                                    // dd-lint: allow(hot-path-panic): warm instances are only handed to their preloaded component type; a mismatch is a placement bug
                                     Some(_) => panic!("mispaired warm instance"),
                                 };
                                 let start = now.max(inst.ready_at);
@@ -221,6 +231,7 @@ impl DesFaasExecutor {
                                     StartKind::Hot => {
                                         startup.hot_overhead_secs(component, inst.tier)
                                     }
+                                    // dd-lint: allow(hot-path-panic): the Some(id) arm only yields pool starts; Cold is constructed in the None arm below
                                     StartKind::Cold => unreachable!(),
                                 };
                                 (inst.tier, kind, start, overhead)
@@ -243,12 +254,14 @@ impl DesFaasExecutor {
                         let overhead =
                             overhead * startup.straggler_multiplier_for(phase, comp_slot, 0);
                         let start = if slots.len() >= self.config.invocation_limit {
+                            // dd-lint: allow(hot-path-panic): len() >= limit >= 1 guarantees a poppable slot on this branch
                             let std::cmp::Reverse(free) = slots.pop().expect("at limit");
                             start.max(free)
                         } else {
                             start
                         };
                         if let Some(id) = placement.instance {
+                            // dd-lint: allow(hot-path-panic): the id was resolved against this same pool when computing the start kind above
                             let inst = pool.iter().find(|i| i.id == id).expect("validated above");
                             ledger.keep_alive_used +=
                                 pricing.cost(inst.tier, start.since(inst.requested_at));
@@ -281,7 +294,11 @@ impl DesFaasExecutor {
                             utilization.record_idle(inst.tier, now.since(inst.requested_at));
                         }
                     }
-                    debug_assert_eq!(progress.len(), phase);
+                    dd_debug_invariant!(
+                        progress.len() == phase,
+                        "phase {phase} started out of order ({} records)",
+                        progress.len()
+                    );
                     progress.push(prog);
                 }
                 Event::ComponentDone { phase } => {
@@ -315,6 +332,24 @@ impl DesFaasExecutor {
                     }
 
                     if phase_done {
+                        // Pool hot/cold accounting must close exactly:
+                        // every component started exactly once, and every
+                        // pooled instance was either consumed or wasted.
+                        dd_debug_invariant!(
+                            (prog.warm + prog.hot + prog.cold) as usize == prog.expected,
+                            "phase {phase} start-kind accounting: {}+{}+{} != {} components",
+                            prog.warm,
+                            prog.hot,
+                            prog.cold,
+                            prog.expected
+                        );
+                        dd_debug_invariant!(
+                            prog.warm + prog.hot + prog.wasted == prog.pool_size,
+                            "phase {phase} pool accounting: used {} + wasted {} != pool {}",
+                            prog.warm + prog.hot,
+                            prog.wasted,
+                            prog.pool_size
+                        );
                         let observation =
                             observe_phase(&run.phases[phase], self.config.friendly_threshold);
                         scheduler.observe_phase(&observation);
@@ -341,6 +376,7 @@ impl DesFaasExecutor {
         }
 
         ledger.storage = pricing.storage_per_sec * end_time.as_secs();
+        ledger.debug_validate();
         RunOutcome {
             scheduler: scheduler.name().to_string(),
             service_time_secs: end_time.as_secs(),
@@ -384,6 +420,7 @@ fn spawn(
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
     use crate::pool::InstanceView;
@@ -584,6 +621,7 @@ mod limit_tests {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod straggler_tests {
     use super::*;
     use crate::pool::InstanceView;

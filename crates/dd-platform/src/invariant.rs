@@ -1,0 +1,100 @@
+//! Runtime invariant checks — the dynamic counterpart of `dd-lint`.
+//!
+//! The static pass (`crates/dd-lint`) forbids undocumented panics in the
+//! DES hot path; the sites it allowlists are backed by the checks in this
+//! module instead. [`dd_invariant!`] is checked in every build profile
+//! (cheap, load-bearing conditions on which memory safety of the
+//! simulation's bookkeeping rests); [`dd_debug_invariant!`] is compiled
+//! out of release builds — it guards the heavier accounting identities
+//! (clock monotonicity, event-queue ordering, pool hot/cold accounting,
+//! cost-ledger conservation) that CI exercises with `debug_assertions`
+//! enabled.
+
+/// Asserts a simulation invariant in **every** build profile.
+///
+/// Prefer this over bare `assert!`/`panic!` in simulation code: the
+/// message prefix makes invariant violations greppable, and `dd-lint`
+/// recognizes the macro as a documented invariant site.
+///
+/// ```
+/// use dd_platform::dd_invariant;
+/// let (popped, now) = (1.0, 2.0);
+/// dd_invariant!(popped <= now, "event at {popped} popped after clock {now}");
+/// ```
+#[macro_export]
+macro_rules! dd_invariant {
+    ($cond:expr, $($arg:tt)+) => {
+        // Negating a partial-ord comparison is the point here: NaN (or any
+        // incomparable value) fails the condition and trips the invariant.
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !$cond {
+            panic!("dd_invariant violated: {}", format_args!($($arg)+));
+        }
+    };
+    ($cond:expr $(,)?) => {
+        #[allow(clippy::neg_cmp_op_on_partial_ord)]
+        if !$cond {
+            panic!("dd_invariant violated: {}", stringify!($cond));
+        }
+    };
+}
+
+/// Asserts a simulation invariant in debug builds only.
+///
+/// Expands to [`dd_invariant!`] under `debug_assertions` and to nothing
+/// in release builds (the condition is not evaluated), so sweeps keep
+/// their release-mode throughput while `cargo test` / CI — which build
+/// with `debug_assertions` — execute every check.
+#[macro_export]
+macro_rules! dd_debug_invariant {
+    ($($arg:tt)*) => {
+        if cfg!(debug_assertions) {
+            $crate::dd_invariant!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn invariant_passes_silently() {
+        dd_invariant!(1 + 1 == 2, "arithmetic works");
+        dd_invariant!(true);
+    }
+
+    #[test]
+    #[should_panic(expected = "dd_invariant violated: clock went backwards from 3")]
+    fn invariant_panics_with_message() {
+        let last = 3;
+        dd_invariant!(last <= 2, "clock went backwards from {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dd_invariant violated: a < b")]
+    fn invariant_without_message_stringifies_condition() {
+        let (a, b) = (2, 1);
+        dd_invariant!(a < b);
+    }
+
+    /// The `cfg!(debug_assertions)`-gated check of the acceptance
+    /// criteria: `dd_debug_invariant!` must fire exactly when the build
+    /// carries debug assertions (active in `cargo test`, compiled out of
+    /// `--release`).
+    #[test]
+    fn debug_invariant_activity_matches_build_profile() {
+        let result = std::panic::catch_unwind(|| {
+            dd_debug_invariant!(false, "must only fire in debug builds");
+        });
+        assert_eq!(
+            result.is_err(),
+            cfg!(debug_assertions),
+            "dd_debug_invariant! activity must track debug_assertions"
+        );
+    }
+
+    #[test]
+    fn debug_invariant_passes_on_true_condition() {
+        dd_debug_invariant!(2 > 1, "total order on integers");
+        dd_debug_invariant!(true);
+    }
+}

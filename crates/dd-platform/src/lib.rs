@@ -33,6 +33,14 @@
 //! assert_eq!(n.complete, SimTime::from_secs(4.0));
 //! ```
 
+// The DES hot path must not panic on un-modelled states: every unwrap is
+// either rewritten as a dd_invariant! or individually justified (see the
+// workspace lint policy in Cargo.toml and crates/dd-lint).
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+#[macro_use]
+pub mod invariant;
+
 pub mod cluster;
 pub mod contention;
 pub mod des;

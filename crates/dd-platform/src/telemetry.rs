@@ -42,6 +42,29 @@ impl CostLedger {
         self.keep_alive_wasted += other.keep_alive_wasted;
         self.storage += other.storage;
     }
+
+    /// Debug-build conservation check: money is only ever *added* to a
+    /// ledger, so every component must be finite and non-negative and the
+    /// total must carry no hidden terms. Executors call this before
+    /// publishing a [`RunOutcome`]; release builds compile it out.
+    pub fn debug_validate(&self) {
+        for (name, value) in [
+            ("execution", self.execution),
+            ("keep_alive_used", self.keep_alive_used),
+            ("keep_alive_wasted", self.keep_alive_wasted),
+            ("storage", self.storage),
+        ] {
+            dd_debug_invariant!(
+                value.is_finite() && value >= 0.0,
+                "cost ledger {name} is {value}, expected finite and non-negative"
+            );
+        }
+        dd_debug_invariant!(
+            (self.total() - (self.execution + self.keep_alive() + self.storage)).abs() < 1e-9,
+            "cost ledger total {} diverged from its components",
+            self.total()
+        );
+    }
 }
 
 /// Resource utilization summary: used ÷ billed resource-seconds.
@@ -212,6 +235,7 @@ impl RunOutcome {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
 

@@ -70,6 +70,7 @@ impl std::fmt::Display for Tier {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
     use dd_wfdag::ComponentTypeId;

@@ -1,6 +1,9 @@
 //! Property-based tests of the platform substrate: DES ordering, storage
 //! notifications, billing arithmetic, and start-up model invariants.
 
+// Exact float equality below asserts bit-reproducibility (determinism contract).
+#![allow(clippy::float_cmp)]
+
 use dd_platform::{
     BackendStore, CloudVendor, ClusterKind, ClusterSim, EventQueue, PriceSheet, SimTime,
     StartupModel, Tier,

@@ -234,6 +234,7 @@ fn long_ar_residuals(series: &[f64], order: usize) -> Option<Vec<f64>> {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
     use crate::rng::SeedStream;

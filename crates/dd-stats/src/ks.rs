@@ -55,6 +55,7 @@ pub fn ks_p_value(d: f64, n: u64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
     use crate::rng::SeedStream;

@@ -33,16 +33,26 @@ pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Result<Vec<f64>, Singular
     }
 
     for col in 0..n {
-        // Partial pivot: bring the largest magnitude entry to the diagonal.
+        // Partial pivot: bring the largest magnitude entry to the
+        // diagonal. `total_cmp` keeps the selection deterministic and
+        // NaN-safe (the old `partial_cmp(..).unwrap_or(Equal)` made NaN
+        // compare Equal to everything, so the chosen pivot depended on
+        // operand order); mapping NaN magnitude to -1 means a NaN entry
+        // is never *preferred* as pivot, and a column left with only
+        // NaN/zero magnitudes is reported singular below.
+        let magnitude = |row: usize| {
+            let m = a[row][col].abs();
+            if m.is_nan() {
+                -1.0
+            } else {
+                m
+            }
+        };
         let pivot_row = (col..n)
-            .max_by(|&i, &j| {
-                a[i][col]
-                    .abs()
-                    .partial_cmp(&a[j][col].abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .unwrap();
-        if a[pivot_row][col].abs() < 1e-12 {
+            .max_by(|&i, &j| magnitude(i).total_cmp(&magnitude(j)))
+            .unwrap_or(col);
+        let pivot_mag = a[pivot_row][col].abs();
+        if pivot_mag.is_nan() || pivot_mag < 1e-12 {
             return Err(SingularMatrix);
         }
         a.swap(col, pivot_row);
@@ -165,6 +175,42 @@ mod tests {
     fn solve_singular_errors() {
         let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
         assert_eq!(solve(a, vec![1.0, 2.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn nan_column_reports_singular_not_nan_pivot() {
+        // Regression: pivot selection used `partial_cmp(..).unwrap_or(Equal)`,
+        // under which a NaN entry compared Equal to everything and could be
+        // chosen as pivot depending on operand order, silently poisoning
+        // the back substitution. NaN must never win the pivot race; a
+        // column whose only remaining candidates are NaN/zero is singular.
+        let a = vec![vec![f64::NAN, 1.0], vec![f64::NAN, 2.0]];
+        assert_eq!(solve(a, vec![1.0, 2.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn nan_entry_elsewhere_does_not_steal_the_pivot() {
+        // A NaN in a *later* row of the pivot column must lose to the
+        // finite candidate instead of winning via comparison collapse;
+        // once the NaN row is eliminated it poisons column 1, which must
+        // surface as a deterministic SingularMatrix — never NaN output.
+        let a = vec![vec![2.0, 1.0], vec![f64::NAN, 1.0]];
+        assert_eq!(solve(a, vec![4.0, 1.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn negative_zero_magnitude_is_singular() {
+        // -0.0 has magnitude 0; total_cmp orders -0.0 < +0.0, which must
+        // not let a sign bit smuggle a zero pivot past the threshold.
+        let a = vec![vec![-0.0, 1.0], vec![0.0, 2.0]];
+        assert_eq!(solve(a, vec![1.0, 2.0]), Err(SingularMatrix));
+    }
+
+    #[test]
+    fn negative_zero_entries_solve_like_positive_zero() {
+        let neg = solve(vec![vec![-0.0, 1.0], vec![1.0, -0.0]], vec![5.0, 7.0]).unwrap();
+        let pos = solve(vec![vec![0.0, 1.0], vec![1.0, 0.0]], vec![5.0, 7.0]).unwrap();
+        assert_eq!(neg, pos);
     }
 
     #[test]

@@ -99,6 +99,7 @@ pub fn mean_window_correlation(xs: &[f64], window: usize) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
 

@@ -1,5 +1,8 @@
 //! Property-based tests of the statistics substrate.
 
+// Exact float equality below asserts bit-reproducibility (determinism contract).
+#![allow(clippy::float_cmp)]
+
 use dd_stats::{
     autocorrelation, chi2_p_value, chi2_statistic, fit_polynomial, mean, normalized_chi2_error,
     pearson, std_dev, Histogram, Normal, Poisson, SeedStream, Weibull,

@@ -81,6 +81,7 @@ pub fn total_load_seconds(runtimes: &[LanguageRuntime]) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
 

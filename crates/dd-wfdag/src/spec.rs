@@ -180,8 +180,8 @@ impl WorkflowSpec {
         inputs: Vec<&str>,
         phase_templates: usize,
     ) -> Self {
-        let runtimes = params.runtimes.clone();
-        let catalog = generate_catalog(workflow, params);
+        let catalog = generate_catalog(workflow, &params);
+        let runtimes = params.runtimes;
         let concurrency_scale = mean_concurrency / concurrency_weibull.mean();
         Self {
             workflow,
@@ -293,7 +293,7 @@ struct CatalogParams<'a> {
 /// threshold, interleaved evenly through the catalog so any contiguous
 /// window has a similar friendly fraction (the property behind the paper's
 /// "<5% phase-to-phase variation" observation).
-fn generate_catalog(workflow: Workflow, params: CatalogParams<'_>) -> Vec<ComponentType> {
+fn generate_catalog(workflow: Workflow, params: &CatalogParams<'_>) -> Vec<ComponentType> {
     let seeds = SeedStream::new(0xDA1D_2EA3).derive(workflow.name());
     let mut rng = seeds.rng_for("catalog");
     let mut catalog = Vec::with_capacity(params.catalog_size);
@@ -338,6 +338,7 @@ fn generate_catalog(workflow: Workflow, params: CatalogParams<'_>) -> Vec<Compon
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
 

@@ -97,6 +97,7 @@ impl UsageSeries {
 }
 
 #[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
 mod tests {
     use super::*;
     use crate::generator::RunGenerator;

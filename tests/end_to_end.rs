@@ -1,6 +1,9 @@
 //! Cross-crate integration tests: generator → platform → schedulers →
 //! metrics, exercised end to end.
 
+// Exact float equality below asserts bit-reproducibility (determinism contract).
+#![allow(clippy::float_cmp)]
+
 use daydream::baselines::{NaiveScheduler, OracleScheduler, Pegasus, WildScheduler};
 use daydream::core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use daydream::platform::{FaasConfig, FaasExecutor, PoolTrigger, RunOutcome};
