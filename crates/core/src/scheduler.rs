@@ -124,7 +124,21 @@ impl ServerlessScheduler for DayDreamScheduler {
         // it; each phase is observed exactly once.
         self.predictor.observe(observed_so_far.concurrency);
         self.tracker.observe(observed_so_far.friendly_fraction);
-        self.sample_pool()
+        let mut request = self.sample_pool();
+        // Retry-aware headroom: when the previous phase needed recovery
+        // (fault-injected retries / speculation), pad the pool with a few
+        // extra high-end hot starts — bounded by a quarter of the sampled
+        // pool so a pathological phase cannot blow the keep-alive bill.
+        // With fault injection off `retried_components` is always zero and
+        // this is a strict no-op.
+        let headroom = (observed_so_far.retried_components as usize).min(request.entries.len() / 4);
+        for _ in 0..headroom {
+            request.entries.push(dd_platform::PoolEntryRequest {
+                tier: dd_platform::Tier::HighEnd,
+                preload: None,
+            });
+        }
+        request
     }
 
     fn place(&mut self, phase: &Phase, available: &[InstanceView], now: SimTime) -> Vec<Placement> {

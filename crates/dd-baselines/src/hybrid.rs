@@ -342,6 +342,7 @@ mod tests {
             concurrency,
             component_counts,
             friendly_fraction: 0.4,
+            retried_components: 0,
         });
     }
 

@@ -302,6 +302,7 @@ mod tests {
             concurrency: 2,
             component_counts: [(ComponentTypeId(1), 2)].into_iter().collect(),
             friendly_fraction: 0.5,
+            retried_components: 0,
         };
         wild.record(&obs);
         assert_eq!(wild.history.len(), 1);
@@ -326,6 +327,7 @@ mod tests {
             concurrency: 5,
             component_counts: [(ComponentTypeId(9), 5)].into_iter().collect(),
             friendly_fraction: 0.5,
+            retried_components: 0,
         };
         for i in 0..20 {
             wild.record(&obs(i));
@@ -348,6 +350,7 @@ mod tests {
             concurrency: 500,
             component_counts: [(ComponentTypeId(1), 500)].into_iter().collect(),
             friendly_fraction: 0.5,
+            retried_components: 0,
         };
         for i in 0..10 {
             wild.record(&obs(i));

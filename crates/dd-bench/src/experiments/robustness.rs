@@ -1,24 +1,78 @@
-//! Straggler robustness (extension / failure injection).
+//! Fault-matrix robustness (extension / failure injection).
 //!
-//! Real FaaS platforms hiccup: image-pull retries, placement delays,
-//! noisy neighbours. The paper evaluates a clean environment; this study
-//! injects stragglers — a fraction of component starts pay an 8×
-//! start-up — and checks whether DayDream's ranking survives.
+//! Real FaaS platforms fail: transient invocation errors, instance
+//! crashes, start failures, storage hiccups, stragglers. The paper
+//! evaluates a clean environment; this study sweeps injected failure
+//! rate x recovery policy through the deterministic fault engine
+//! (`dd_platform::faults`) and checks whether DayDream's ranking
+//! survives once every scheduler pays for retries.
 //!
-//! Finding: the ranking survives at every injection rate, but the lead
-//! *compresses* (≈ −9.5 % → −5.5 % vs Wild from 0 % to 10 % stragglers):
-//! a straggling phase's makespan is set by the straggler itself, which
-//! hits every scheduler alike and dilutes their differences. Scheduling
-//! optimizes the common case; tail hiccups need a different tool
-//! (speculative re-execution), which is out of the paper's scope.
+//! Grid: failure rate ∈ {0%, 1%, 5%} (uniform across all fault kinds)
+//! x recovery policy ∈ {none, backoff, speculate}, DayDream vs Wild on
+//! the serverless executor, Pegasus on its HPC cluster through a fault
+//! adapter that stretches each phase by the worst per-slot recovery
+//! factor (a gang-scheduled cluster phase cannot finish before its
+//! slowest retried node).
+//!
+//! Finding: the ranking survives every cell, but the lead compresses as
+//! the rate grows — recovery time is scheduler-independent, so it
+//! dilutes scheduling differences. Speculation claws back most of the
+//! straggler tail at a small retry-cost premium.
 
 use crate::report::{pct_change, section, Table};
 use crate::workloads::{mean, ExperimentContext};
 use daydream_core::{DayDreamHistory, DayDreamScheduler};
-use dd_baselines::{OracleScheduler, WildScheduler};
-use dd_platform::{FaasConfig, FaasExecutor, StartupModel};
+use dd_baselines::{Pegasus, WildScheduler};
+use dd_platform::{FaasConfig, FaasExecutor, FaultConfig, FaultPlan, RecoveryPolicy, RunOutcome};
 use dd_stats::SeedStream;
-use dd_wfdag::Workflow;
+use dd_wfdag::{LanguageRuntime, Workflow, WorkflowRun};
+
+/// Uniform per-kind failure rates swept by the matrix.
+const RATES: [f64; 3] = [0.0, 0.01, 0.05];
+
+/// Recovery policies swept by the matrix.
+const POLICIES: [RecoveryPolicy; 3] = [
+    RecoveryPolicy::none(),
+    RecoveryPolicy::backoff(),
+    RecoveryPolicy::speculative(),
+];
+
+/// Executes Pegasus under the fault plan: each phase is stretched by the
+/// worst per-slot recovery factor (unit-exec timelines), because the
+/// gang-scheduled cluster phase cannot complete before its slowest
+/// retried node. The added node-time is billed to the `retry` ledger
+/// component at the run's effective execution rate.
+fn pegasus_with_faults(
+    run: &WorkflowRun,
+    runtimes: &[LanguageRuntime],
+    ctx: &ExperimentContext,
+    config: FaultConfig,
+    policy: RecoveryPolicy,
+) -> RunOutcome {
+    let mut outcome = Pegasus.execute_on(run, runtimes, ctx.vendor);
+    let plan = FaultPlan::for_run(config, policy, run.label.run_index as u64);
+    if plan.is_clean() {
+        return outcome;
+    }
+    let clean_exec: f64 = outcome.phases.iter().map(|p| p.exec_secs).sum();
+    let mut extra = 0.0;
+    for phase in &mut outcome.phases {
+        let factor = (0..phase.concurrency.max(1) as usize)
+            .map(|slot| {
+                plan.timeline(phase.index, slot, 0.0, 1.0, 0.0)
+                    .completion_offset_secs
+            })
+            .fold(1.0_f64, f64::max);
+        extra += phase.exec_secs * (factor - 1.0);
+        phase.exec_secs *= factor;
+    }
+    outcome.service_time_secs += extra;
+    if clean_exec > 0.0 {
+        // Bill the stretch at the run's effective $/exec-second rate.
+        outcome.ledger.retry = outcome.ledger.execution * (extra / clean_exec);
+    }
+    outcome
+}
 
 /// Runs the experiment.
 pub fn run(ctx: &ExperimentContext) -> String {
@@ -29,63 +83,67 @@ pub fn run(ctx: &ExperimentContext) -> String {
     let runs: Vec<_> = (0..ctx.runs_per_workflow.min(3))
         .map(|i| gen.generate(i))
         .collect();
+    let fault_seed = SeedStream::new(ctx.seed).derive("fault-matrix").seed();
 
     let mut table = Table::new([
-        "straggler rate",
-        "oracle (s)",
+        "fault rate",
+        "policy",
         "daydream (s)",
         "wild (s)",
+        "pegasus (s)",
+        "dd retry ($)",
         "daydream vs wild",
     ]);
-    // Fraction x run cells, fanned over the sweep executor.
-    const FRACTIONS: [f64; 4] = [0.0, 0.02, 0.05, 0.10];
-    let cells = crate::sweep::par_map(ctx.jobs, FRACTIONS.len() * runs.len(), |cell| {
-        let fraction = FRACTIONS[cell / runs.len()];
+    // (rate x policy) x run cells, fanned over the sweep executor.
+    let cell_count = RATES.len() * POLICIES.len() * runs.len();
+    let cells = crate::sweep::par_map(ctx.jobs, cell_count, |cell| {
+        let grid = cell / runs.len();
+        let rate = RATES[grid / POLICIES.len()];
+        let policy = POLICIES[grid % POLICIES.len()];
         let idx = cell % runs.len();
         let run = &runs[idx];
-        let startup = StartupModel {
-            straggler_fraction: fraction,
-            straggler_multiplier: 8.0,
-            ..StartupModel::aws()
-        };
+        let faults = FaultConfig::uniform(rate).with_seed(fault_seed);
         let executor = FaasExecutor::new(FaasConfig {
             vendor: ctx.vendor,
+            faults,
+            recovery: policy,
             ..FaasConfig::default()
-        })
-        .with_startup(startup);
+        });
         let seeds = SeedStream::new(ctx.seed)
             .derive("robustness")
             .derive_index(idx as u64);
+        let dd = executor.execute(run, &runtimes, &mut DayDreamScheduler::aws(&history, seeds));
+        let wild = executor.execute(run, &runtimes, &mut WildScheduler::new());
+        let pegasus = pegasus_with_faults(run, &runtimes, ctx, faults, policy);
         [
-            executor
-                .execute(run, &runtimes, &mut OracleScheduler::new(run.clone(), 0.20))
-                .service_time_secs,
-            executor
-                .execute(run, &runtimes, &mut DayDreamScheduler::aws(&history, seeds))
-                .service_time_secs,
-            executor
-                .execute(run, &runtimes, &mut WildScheduler::new())
-                .service_time_secs,
+            dd.service_time_secs,
+            dd.ledger.retry,
+            wild.service_time_secs,
+            pegasus.service_time_secs,
         ]
     });
 
-    for (level, fraction) in FRACTIONS.into_iter().enumerate() {
-        let slice = &cells[level * runs.len()..(level + 1) * runs.len()];
-        let or: Vec<f64> = slice.iter().map(|c| c[0]).collect();
-        let dd: Vec<f64> = slice.iter().map(|c| c[1]).collect();
-        let wi: Vec<f64> = slice.iter().map(|c| c[2]).collect();
+    for (grid, chunk) in cells.chunks(runs.len()).enumerate() {
+        let rate = RATES[grid / POLICIES.len()];
+        let policy = POLICIES[grid % POLICIES.len()];
+        let dd = mean(chunk.iter().map(|c| c[0]));
+        let retry = mean(chunk.iter().map(|c| c[1]));
+        let wild = mean(chunk.iter().map(|c| c[2]));
+        let pegasus = mean(chunk.iter().map(|c| c[3]));
         table.row([
-            format!("{:.0}%", fraction * 100.0),
-            format!("{:.0}", mean(or.iter().copied())),
-            format!("{:.0}", mean(dd.iter().copied())),
-            format!("{:.0}", mean(wi.iter().copied())),
-            pct_change(mean(dd.iter().copied()), mean(wi.iter().copied())),
+            format!("{:.0}%", rate * 100.0),
+            policy.name().to_string(),
+            format!("{dd:.0}"),
+            format!("{wild:.0}"),
+            format!("{pegasus:.0}"),
+            format!("{retry:.4}"),
+            pct_change(dd, wild),
         ]);
     }
     section(
-        "Straggler robustness — 8x start-up hiccups injected (ExaFEL)",
+        "Fault matrix — failure rate x recovery policy (ExaFEL)",
         &format!(
-            "{}\n(the ranking survives but compresses: a straggling phase is dominated by the straggler\n itself, which hits every scheduler alike — tail hiccups need speculation, not scheduling)",
+            "{}\n(the ranking survives every cell but compresses with the failure rate: recovery\n time is scheduler-independent and dilutes scheduling differences; speculation\n recovers most of the straggler tail for a small retry-cost premium)",
             table.render()
         ),
     )
@@ -95,50 +153,79 @@ pub fn run(ctx: &ExperimentContext) -> String {
 mod tests {
     use super::*;
 
+    fn data_rows(out: &str) -> Vec<Vec<String>> {
+        out.lines()
+            .filter(|l| l.trim_start().ends_with('%') && !l.contains("fault rate"))
+            .map(|l| l.split_whitespace().map(str::to_string).collect())
+            .collect()
+    }
+
     #[test]
-    fn ranking_survives_stragglers() {
+    fn ranking_survives_faults() {
         let ctx = ExperimentContext {
             runs_per_workflow: 2,
             scale_down: 15,
             ..ExperimentContext::default()
         };
         let out = run(&ctx);
-        // Every row's DayDream-vs-Wild delta stays negative.
-        let deltas: Vec<&str> = out
-            .lines()
-            .filter(|l| l.contains('%') && !l.contains("straggler rate") && !l.contains("paper"))
-            .filter_map(|l| l.split_whitespace().last())
-            .filter(|c| c.ends_with('%'))
-            .collect();
-        assert!(deltas.len() >= 4, "{out}");
-        for d in deltas {
-            assert!(d.starts_with('-'), "DayDream must stay ahead: {d}\n{out}");
+        let rows = data_rows(&out);
+        assert_eq!(rows.len(), RATES.len() * POLICIES.len(), "{out}");
+        // Every cell's DayDream-vs-Wild delta stays negative.
+        for row in &rows {
+            let delta = row.last().expect("delta column");
+            assert!(
+                delta.starts_with('-'),
+                "DayDream must stay ahead: {delta}\n{out}"
+            );
         }
     }
 
     #[test]
-    fn service_time_grows_with_straggler_rate() {
+    fn service_time_grows_with_fault_rate() {
         let ctx = ExperimentContext {
             runs_per_workflow: 1,
             scale_down: 15,
             ..ExperimentContext::default()
         };
         let out = run(&ctx);
-        let daydream_times: Vec<f64> = out
-            .lines()
-            .filter(|l| {
-                l.ends_with('%')
-                    && (l.starts_with('0')
-                        || l.starts_with('2')
-                        || l.starts_with('5')
-                        || l.starts_with('1'))
-            })
-            .filter_map(|l| l.split_whitespace().nth(2).and_then(|c| c.parse().ok()))
-            .collect();
-        assert!(daydream_times.len() >= 4, "{out}");
+        let rows = data_rows(&out);
+        let dd_time = |rate: &str, policy: &str| -> f64 {
+            rows.iter()
+                .find(|r| r[0] == rate && r[1] == policy)
+                .and_then(|r| r[2].parse().ok())
+                .unwrap_or_else(|| panic!("missing cell {rate}/{policy}\n{out}"))
+        };
+        // Under backoff recovery, 5% faults must be slower than clean.
         assert!(
-            daydream_times[3] > daydream_times[0],
-            "10% stragglers should be slower than 0%: {daydream_times:?}"
+            dd_time("5%", "backoff") > dd_time("0%", "backoff"),
+            "5% faults should be slower than 0%:\n{out}"
         );
+        // Retry cost is zero on the clean rows, positive on faulty ones.
+        let retry = |rate: &str, policy: &str| -> f64 {
+            rows.iter()
+                .find(|r| r[0] == rate && r[1] == policy)
+                .and_then(|r| r[5].parse().ok())
+                .expect("retry column")
+        };
+        assert!(retry("0%", "none").abs() < 1e-12, "{out}");
+        assert!(retry("5%", "backoff") > 0.0, "{out}");
+    }
+
+    #[test]
+    fn zero_rate_rows_match_across_policies() {
+        // With every fault rate at zero the recovery policy must be
+        // unobservable: all three 0% rows carry identical times.
+        let ctx = ExperimentContext {
+            runs_per_workflow: 1,
+            scale_down: 15,
+            ..ExperimentContext::default()
+        };
+        let out = run(&ctx);
+        let rows = data_rows(&out);
+        let zero: Vec<_> = rows.iter().filter(|r| r[0] == "0%").collect();
+        assert_eq!(zero.len(), POLICIES.len(), "{out}");
+        for r in &zero[1..] {
+            assert_eq!(r[2..6], zero[0][2..6], "clean rows must agree\n{out}");
+        }
     }
 }

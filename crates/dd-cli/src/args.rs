@@ -1,6 +1,7 @@
 //! Argument parsing for `daydream-cli` (hand-rolled; the workspace's
 //! dependency policy has no CLI crate).
 
+use dd_platform::RecoveryPolicy;
 use dd_wfdag::Workflow;
 use std::path::PathBuf;
 
@@ -68,6 +69,16 @@ pub struct RunArgs {
     /// Worker threads for executing runs (default: all cores). Results
     /// are byte-identical at any setting.
     pub jobs: usize,
+    /// Uniform fault-injection rate across all fault kinds (default 0 =
+    /// clean execution, byte-identical to builds without the fault
+    /// engine).
+    pub fault_rate: f64,
+    /// Seed for the deterministic fault plan (independent of `--seed`
+    /// so fault placement can be varied without regenerating runs).
+    pub fault_seed: u64,
+    /// Recovery policy for faulted attempts
+    /// (none|backoff|timeout|speculate).
+    pub retry_policy: RecoveryPolicy,
 }
 
 /// A parsed CLI invocation.
@@ -112,6 +123,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut out = None;
     let mut tolerance = 0.10f64;
     let mut jobs = dd_bench::default_jobs();
+    let mut fault_rate = 0.0f64;
+    let mut fault_seed = 0u64;
+    let mut retry_policy = RecoveryPolicy::backoff();
 
     let mut i = 1;
     while i < args.len() {
@@ -151,6 +165,20 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map_err(|_| "--tolerance takes a percentage".to_string())?;
                 tolerance = pct / 100.0;
             }
+            "--fault-rate" => {
+                fault_rate = value()?
+                    .parse()
+                    .map_err(|_| "--fault-rate takes a probability".to_string())?;
+                if !(0.0..=1.0).contains(&fault_rate) {
+                    return Err("--fault-rate must be within [0, 1]".to_string());
+                }
+            }
+            "--fault-seed" => {
+                fault_seed = value()?
+                    .parse()
+                    .map_err(|_| "--fault-seed takes a number".to_string())?
+            }
+            "--retry-policy" => retry_policy = RecoveryPolicy::parse(value()?)?,
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 2;
@@ -165,6 +193,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         out: out.ok_or("--out is required")?,
         tolerance,
         jobs,
+        fault_rate,
+        fault_seed,
+        retry_policy,
     };
     Ok(if verb == "run" {
         Command::Run(run_args)
@@ -264,6 +295,62 @@ mod tests {
             "x",
             "--jobs",
             "many",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn parses_fault_flags() {
+        let cmd = parse_args(&strs(&[
+            "run",
+            "--workflow",
+            "ccl",
+            "--out",
+            "x",
+            "--fault-rate",
+            "0.05",
+            "--fault-seed",
+            "99",
+            "--retry-policy",
+            "speculate",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert!((a.fault_rate - 0.05).abs() < 1e-12);
+                assert_eq!(a.fault_seed, 99);
+                assert_eq!(a.retry_policy, RecoveryPolicy::speculative());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Defaults: clean execution with the backoff policy armed.
+        match parse_args(&strs(&["run", "--workflow", "ccl", "--out", "x"])).unwrap() {
+            Command::Run(a) => {
+                assert!(a.fault_rate.abs() < 1e-12);
+                assert_eq!(a.fault_seed, 0);
+                assert_eq!(a.retry_policy, RecoveryPolicy::backoff());
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Out-of-range rate and unknown policy both error.
+        assert!(parse_args(&strs(&[
+            "run",
+            "--workflow",
+            "ccl",
+            "--out",
+            "x",
+            "--fault-rate",
+            "1.5",
+        ]))
+        .is_err());
+        assert!(parse_args(&strs(&[
+            "run",
+            "--workflow",
+            "ccl",
+            "--out",
+            "x",
+            "--retry-policy",
+            "pray",
         ]))
         .is_err());
     }

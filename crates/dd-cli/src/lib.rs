@@ -19,12 +19,15 @@ daydream-cli — execute dynamic scientific workflows with hot starts
 USAGE:
     daydream-cli run    --workflow <exafel|cosmoscout|ccl> [--runs N] [--scheduler S]
                         [--seed N] [--scale N] [--jobs N] --out <dir>
+                        [--fault-rate P] [--fault-seed N] [--retry-policy R]
     daydream-cli verify --workflow <exafel|cosmoscout|ccl> [--runs N] [--scheduler S]
                         [--seed N] [--scale N] [--jobs N] --out <dir> [--tolerance PCT]
+                        [--fault-rate P] [--fault-seed N] [--retry-policy R]
     daydream-cli info
     daydream-cli help
 
 SCHEDULERS: daydream (default), oracle, wild, pegasus, naive, hybrid
+RETRY POLICIES: none, backoff (default), timeout, speculate
 
 `run` executes N runs (default 50) and writes run-1/ .. run-N/ under
 --out, each containing phase_time.txt, function_service_time.txt and
@@ -32,4 +35,11 @@ execution_cost.txt — the paper artifact's per-run files. `verify`
 re-executes and compares against existing files, succeeding when every
 aggregate matches within the tolerance (default 10%, the artifact's
 reproduction bound). Both execute runs on --jobs worker threads
-(default: all cores); output is byte-identical at any setting.";
+(default: all cores); output is byte-identical at any setting.
+
+--fault-rate injects failures (transient errors, crashes, start
+failures, storage hiccups, stragglers) uniformly at probability P per
+component attempt, recovered per --retry-policy; placement is fully
+determined by --fault-seed, so faulty runs reproduce exactly. The
+default P = 0 executes cleanly and matches fault-free output byte for
+byte.";

@@ -4,7 +4,7 @@ use crate::args::{Command, RunArgs, SchedulerChoice};
 use crate::output::{read_series, write_run_outputs, RunFiles};
 use daydream_core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use dd_baselines::{HybridScheduler, NaiveScheduler, OracleScheduler, Pegasus, WildScheduler};
-use dd_platform::{CloudVendor, ExecutionTrace, FaasExecutor, RunOutcome};
+use dd_platform::{CloudVendor, ExecutionTrace, FaasConfig, FaasExecutor, FaultConfig, RunOutcome};
 use dd_stats::SeedStream;
 use dd_wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
 
@@ -62,7 +62,14 @@ fn execute_one(
     runtimes: &[dd_wfdag::LanguageRuntime],
     history: &DayDreamHistory,
 ) -> (RunOutcome, ExecutionTrace) {
-    let executor = FaasExecutor::aws();
+    // At the default `--fault-rate 0` this config is identical to
+    // `FaasExecutor::aws()` — clean runs stay byte-identical to builds
+    // without the fault engine.
+    let executor = FaasExecutor::new(FaasConfig {
+        faults: FaultConfig::uniform(args.fault_rate).with_seed(args.fault_seed),
+        recovery: args.retry_policy,
+        ..FaasConfig::default()
+    });
     let seeds = SeedStream::new(args.seed)
         .derive("cli")
         .derive_index(run.label.run_index as u64);
@@ -128,6 +135,8 @@ fn pegasus_trace(run: &WorkflowRun, outcome: &RunOutcome) -> ExecutionTrace {
                 overhead_secs: 0.0,
                 exec_secs: busy,
                 write_secs: 0.0,
+                attempts: 1,
+                recovery_secs: 0.0,
             });
         }
         now = now.after(record.exec_secs.max(result.phase_secs));
@@ -254,6 +263,9 @@ mod tests {
             out,
             tolerance: 0.10,
             jobs: 2,
+            fault_rate: 0.0,
+            fault_seed: 0,
+            retry_policy: dd_platform::RecoveryPolicy::backoff(),
         }
     }
 
@@ -304,6 +316,23 @@ mod tests {
         }
         let _ = std::fs::remove_dir_all(out1);
         let _ = std::fs::remove_dir_all(out8);
+    }
+
+    #[test]
+    fn faulty_runs_reproduce_deterministically() {
+        let out = tmpdir("faulty");
+        let a = RunArgs {
+            fault_rate: 0.05,
+            fault_seed: 7,
+            retry_policy: dd_platform::RecoveryPolicy::speculative(),
+            ..args(SchedulerChoice::DayDream, out.clone())
+        };
+        execute_all(&a, |_, _| {}).unwrap();
+        // Fault injection is fully seeded: re-execution lands on the
+        // exact same artifacts.
+        let report = verify_against(&a).unwrap();
+        assert!(report.contains("REPRODUCED"), "{report}");
+        let _ = std::fs::remove_dir_all(out);
     }
 
     #[test]

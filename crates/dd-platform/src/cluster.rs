@@ -309,9 +309,11 @@ impl ClusterSim {
                 keep_alive_used: 0.0,
                 keep_alive_wasted: 0.0,
                 storage: self.pricing.storage_per_sec * makespan,
+                retry: 0.0,
             },
             phases: records,
             utilization,
+            faults: crate::faults::FaultStats::default(),
         }
     }
 }

@@ -21,6 +21,7 @@
 //! dynamics live.
 
 use crate::des::SimTime;
+use crate::faults::{FaultConfig, FaultPlan, FaultStats, RecoveryPolicy};
 use crate::pool::{InstanceId, PoolRequest, PooledInstance};
 use crate::pricing::{CloudVendor, PriceSheet};
 use crate::sched::{observe_phase, RunInfo, ServerlessScheduler, StartKind};
@@ -28,7 +29,7 @@ use crate::startup::StartupModel;
 use crate::storage::BackendStore;
 use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
 use crate::tier::Tier;
-use crate::trace::{ComponentTrace, ExecutionTrace, PoolTrace};
+use crate::trace::{AttemptTrace, ComponentTrace, ExecutionTrace, PoolTrace};
 use dd_wfdag::{LanguageRuntime, WorkflowRun};
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +62,12 @@ pub struct FaasConfig {
     /// is incurred"; lowering this models a constrained account limit —
     /// excess components wait for a slot (`report concurrency`).
     pub invocation_limit: usize,
+    /// Fault-injection rates and seed (all zero = the paper's clean
+    /// environment; the engine is then a strict no-op).
+    pub faults: FaultConfig,
+    /// What the platform does about faulty attempts (retry backoff,
+    /// timeout, speculation). Irrelevant while `faults` is clean.
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for FaasConfig {
@@ -71,6 +78,8 @@ impl Default for FaasConfig {
             provisioned_concurrency: 1_000,
             trigger: PoolTrigger::HalfPhase,
             invocation_limit: 1_000,
+            faults: FaultConfig::none(),
+            recovery: RecoveryPolicy::backoff(),
         }
     }
 }
@@ -161,6 +170,12 @@ impl FaasExecutor {
         let mut records = Vec::with_capacity(run.phases.len());
         let mut now = SimTime::ZERO;
         let mut next_instance_id = 0u64;
+        // One fault plan per run: the run index is mixed into the seed so
+        // different runs of a sweep see different fault placements (the
+        // old straggler injection hardcoded seed 0 here).
+        let faults = self.config.faults.absorbing_startup(&self.startup);
+        let plan = FaultPlan::for_run(faults, self.config.recovery, run.label.run_index as u64);
+        let mut fault_stats = FaultStats::default();
 
         let info = RunInfo {
             workflow: run.label.workflow,
@@ -200,6 +215,7 @@ impl FaasExecutor {
             let mut warm_starts = 0u32;
             let mut hot_starts = 0u32;
             let mut cold_starts = 0u32;
+            let mut phase_retried = 0u32;
             // Execution slots: at most `invocation_limit` concurrently
             // running instances; components beyond it wait for the
             // earliest finish (wave scheduling, in placement order).
@@ -232,7 +248,19 @@ impl FaasExecutor {
                                 self.startup.warm_overhead_secs(component, inst.tier)
                             }
                             StartKind::Hot => self.startup.hot_overhead_secs(component, inst.tier),
-                            StartKind::Cold => unreachable!(),
+                            // A pooled instance is always hot or warm by
+                            // construction (kind derives from `preload`
+                            // just above); if a future fault path ever
+                            // downgrades one, fall back to the cold
+                            // overhead instead of panicking mid-run.
+                            StartKind::Cold => {
+                                dd_debug_invariant!(
+                                    false,
+                                    "pooled instance {id} resolved to a cold start"
+                                );
+                                self.startup
+                                    .cold_overhead_secs(component, inst.tier, runtimes)
+                            }
                         };
                         (inst.tier, kind, start, overhead)
                     }
@@ -249,8 +277,21 @@ impl FaasExecutor {
                     StartKind::Cold => cold_starts += 1,
                 }
 
-                // Failure injection: stragglers pay a multiplied start-up.
-                let overhead = overhead * self.startup.straggler_multiplier_for(phase_idx, slot, 0);
+                // Fault engine: resolve this component's attempt timeline
+                // (stragglers, failures, retries, speculation). A strict
+                // arithmetic no-op when every rate is zero.
+                let exec = tier.exec_secs(component)
+                    * self.startup.exec_multiplier(kind == StartKind::Cold);
+                let write = self.startup.output_write_secs(component, tier);
+                let timeline = plan.timeline(phase_idx, slot, overhead, exec, write);
+                // Drain finished executions so the heap tracks the set
+                // *currently running* instead of growing all phase long.
+                while slots
+                    .peek()
+                    .is_some_and(|&std::cmp::Reverse(free)| free <= start)
+                {
+                    slots.pop();
+                }
                 // Wait for an execution slot when the platform is at its
                 // concurrency limit.
                 let start = if slots.len() >= self.config.invocation_limit {
@@ -267,10 +308,11 @@ impl FaasExecutor {
                         self.pricing.cost(inst.tier, start.since(inst.requested_at));
                     utilization.record_idle(inst.tier, start.since(inst.requested_at));
                 }
-                let exec = tier.exec_secs(component)
-                    * self.startup.exec_multiplier(kind == StartKind::Cold);
-                let write = self.startup.output_write_secs(component, tier);
-                let finish = start.after(overhead + exec + write);
+                let finish = start.after(timeline.completion_offset_secs);
+                dd_debug_invariant!(
+                    finish >= start,
+                    "phase {phase_idx} slot {slot}: recovery rewound completion to {finish} before start {start}"
+                );
                 slots.push(std::cmp::Reverse(finish));
                 if let Some(t) = trace.as_mut() {
                     t.components.push(ComponentTrace {
@@ -280,14 +322,38 @@ impl FaasExecutor {
                         tier,
                         instance: placement.instance,
                         start,
-                        overhead_secs: overhead,
+                        overhead_secs: timeline.overhead_secs,
                         exec_secs: exec,
                         write_secs: write,
+                        attempts: timeline.attempt_count(),
+                        recovery_secs: timeline.recovery_secs,
                     });
+                    for a in &timeline.attempts {
+                        t.attempts.push(AttemptTrace {
+                            phase: phase_idx,
+                            slot,
+                            attempt: a.index,
+                            speculative: a.speculative,
+                            fault: a.fault,
+                            outcome: a.outcome,
+                            start: start.after(a.start_offset_secs),
+                            busy_secs: a.busy_secs,
+                        });
+                    }
                 }
-                let billed = finish.since(start);
+                let billed = start.after(timeline.primary_busy_secs).since(start);
                 ledger.execution += self.pricing.cost(tier, billed);
-                overhead_sum += overhead;
+                // Instance-seconds burned on losing attempts bill to the
+                // separate retry component (billed-but-unused capacity).
+                if timeline.retry_busy_secs > 0.0 {
+                    ledger.retry += self.pricing.cost(tier, timeline.retry_busy_secs);
+                    utilization.record_idle(tier, timeline.retry_busy_secs);
+                }
+                phase_retried += u32::from(timeline.retried());
+                if !plan.is_clean() {
+                    fault_stats.absorb(&timeline);
+                }
+                overhead_sum += timeline.overhead_secs;
 
                 utilization.record_execution(
                     tier,
@@ -326,7 +392,8 @@ impl FaasExecutor {
             }
 
             let notifications = store.notifications(phase_idx);
-            let observation = observe_phase(phase, self.config.friendly_threshold);
+            let mut observation = observe_phase(phase, self.config.friendly_threshold);
+            observation.retried_components = phase_retried;
 
             // Same pool hot/cold accounting identities the DES executor
             // checks: both models must close their books the same way.
@@ -386,6 +453,7 @@ impl FaasExecutor {
                 ledger,
                 phases: records,
                 utilization,
+                faults: fault_stats,
             },
             trace,
         )

@@ -15,6 +15,7 @@
 
 use crate::des::{EventQueue, SimTime};
 use crate::faas::{FaasConfig, FaasExecutor, PoolTrigger};
+use crate::faults::{FaultPlan, FaultStats};
 use crate::pool::{InstanceId, InstanceView, PoolRequest, PooledInstance};
 use crate::sched::{observe_phase, RunInfo, ServerlessScheduler, StartKind};
 use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
@@ -41,6 +42,7 @@ struct PhaseProgress {
     cold: u32,
     wasted: u32,
     pool_size: u32,
+    retried: u32,
     overhead_sum: f64,
     started_at: SimTime,
 }
@@ -144,6 +146,11 @@ impl DesFaasExecutor {
         let mut utilization = Utilization::default();
         let mut records: Vec<PhaseRecord> = Vec::with_capacity(run.phases.len());
         let mut next_instance_id = 0u64;
+        // Same fault plan as the analytic executor builds for this run —
+        // single engine, so faulty runs agree by construction.
+        let faults = self.config.faults.absorbing_startup(&startup);
+        let plan = FaultPlan::for_run(faults, self.config.recovery, run.label.run_index as u64);
+        let mut fault_stats = FaultStats::default();
 
         let info = RunInfo {
             workflow: run.label.workflow,
@@ -231,8 +238,19 @@ impl DesFaasExecutor {
                                     StartKind::Hot => {
                                         startup.hot_overhead_secs(component, inst.tier)
                                     }
-                                    // dd-lint: allow(hot-path-panic): the Some(id) arm only yields pool starts; Cold is constructed in the None arm below
-                                    StartKind::Cold => unreachable!(),
+                                    // A pooled instance is always hot or
+                                    // warm by construction (kind derives
+                                    // from `preload` just above); if a
+                                    // future fault path ever downgrades
+                                    // one, fall back to the cold overhead
+                                    // instead of panicking mid-run.
+                                    StartKind::Cold => {
+                                        dd_debug_invariant!(
+                                            false,
+                                            "pooled instance {id} resolved to a cold start"
+                                        );
+                                        startup.cold_overhead_secs(component, inst.tier, runtimes)
+                                    }
                                 };
                                 (inst.tier, kind, start, overhead)
                             }
@@ -251,8 +269,22 @@ impl DesFaasExecutor {
                             StartKind::Hot => prog.hot += 1,
                             StartKind::Cold => prog.cold += 1,
                         }
-                        let overhead =
-                            overhead * startup.straggler_multiplier_for(phase, comp_slot, 0);
+                        // Fault engine: identical call (and arithmetic) to
+                        // the analytic executor's — a strict no-op when
+                        // every rate is zero.
+                        let exec = tier.exec_secs(component)
+                            * startup.exec_multiplier(kind == StartKind::Cold);
+                        let write = startup.output_write_secs(component, tier);
+                        let timeline = plan.timeline(phase, comp_slot, overhead, exec, write);
+                        // Drain finished executions so the heap tracks the
+                        // set *currently running* instead of growing all
+                        // phase long.
+                        while slots
+                            .peek()
+                            .is_some_and(|&std::cmp::Reverse(free)| free <= start)
+                        {
+                            slots.pop();
+                        }
                         let start = if slots.len() >= self.config.invocation_limit {
                             // dd-lint: allow(hot-path-panic): len() >= limit >= 1 guarantees a poppable slot on this branch
                             let std::cmp::Reverse(free) = slots.pop().expect("at limit");
@@ -267,14 +299,28 @@ impl DesFaasExecutor {
                                 pricing.cost(inst.tier, start.since(inst.requested_at));
                             utilization.record_idle(inst.tier, start.since(inst.requested_at));
                         }
-                        let exec = tier.exec_secs(component)
-                            * startup.exec_multiplier(kind == StartKind::Cold);
-                        let write = startup.output_write_secs(component, tier);
-                        let finish = start.after(overhead + exec + write);
+                        let finish = start.after(timeline.completion_offset_secs);
+                        // Recovery may only push a completion later, never
+                        // rewind it: the DES clock is monotone even under
+                        // retries, timeouts and speculation.
+                        dd_invariant!(
+                            finish >= start,
+                            "phase {phase} slot {comp_slot}: recovery rewound completion to {finish} before start {start}"
+                        );
                         slots.push(std::cmp::Reverse(finish));
-                        let billed = finish.since(start);
+                        let billed = start.after(timeline.primary_busy_secs).since(start);
                         ledger.execution += pricing.cost(tier, billed);
-                        prog.overhead_sum += overhead;
+                        // Losing attempts bill to the separate retry
+                        // component (billed-but-unused capacity).
+                        if timeline.retry_busy_secs > 0.0 {
+                            ledger.retry += pricing.cost(tier, timeline.retry_busy_secs);
+                            utilization.record_idle(tier, timeline.retry_busy_secs);
+                        }
+                        prog.retried += u32::from(timeline.retried());
+                        if !plan.is_clean() {
+                            fault_stats.absorb(&timeline);
+                        }
+                        prog.overhead_sum += timeline.overhead_secs;
                         utilization.record_execution(
                             tier,
                             exec,
@@ -316,8 +362,11 @@ impl DesFaasExecutor {
                     };
                     if trigger_now && phase + 1 < run.phases.len() {
                         prog.half_fired = true;
-                        let observation =
+                        let mut observation =
                             observe_phase(&run.phases[phase], self.config.friendly_threshold);
+                        // Attempt timelines are resolved at dispatch, so
+                        // the phase's retry count is already final here.
+                        observation.retried_components = prog.retried;
                         let request = scheduler.pool_for_next_phase(phase, &observation);
                         pending_pool = spawn(
                             &startup,
@@ -350,8 +399,9 @@ impl DesFaasExecutor {
                             prog.wasted,
                             prog.pool_size
                         );
-                        let observation =
+                        let mut observation =
                             observe_phase(&run.phases[phase], self.config.friendly_threshold);
+                        observation.retried_components = prog.retried;
                         scheduler.observe_phase(&observation);
                         records.push(PhaseRecord {
                             index: phase,
@@ -383,6 +433,7 @@ impl DesFaasExecutor {
             ledger,
             phases: records,
             utilization,
+            faults: fault_stats,
         }
     }
 }
@@ -696,6 +747,55 @@ mod straggler_tests {
     }
 
     #[test]
+    fn different_run_indices_place_stragglers_differently() {
+        // Regression for the hardcoded-zero seed: both executors used to
+        // pass `straggler_multiplier_for(phase, slot, 0)`, so every run
+        // of a sweep straggled in exactly the same places. Re-labelling
+        // the *same* run content with a different run index must move the
+        // placement — and both executors must agree on either variant.
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(12);
+        let runtimes = spec.runtimes.clone();
+        let run = RunGenerator::new(spec, 6).generate(0);
+        let mut relabeled = run.clone();
+        relabeled.label.run_index = 1;
+
+        let faulty_model = StartupModel {
+            straggler_fraction: 0.10,
+            straggler_multiplier: 8.0,
+            ..StartupModel::aws()
+        };
+        let exec = FaasExecutor::aws().with_startup(faulty_model);
+        let a = exec.execute(&run, &runtimes, &mut AllCold);
+        let b = exec.execute(&relabeled, &runtimes, &mut AllCold);
+        assert!(
+            (a.service_time_secs - b.service_time_secs).abs() > 1e-6,
+            "straggler placement identical across run indices: {} vs {}",
+            a.service_time_secs,
+            b.service_time_secs
+        );
+
+        // With the engine disabled the run index has no effect at all.
+        let clean_a = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
+        let clean_b = FaasExecutor::aws().execute(&relabeled, &runtimes, &mut AllCold);
+        assert_eq!(clean_a.service_time_secs, clean_b.service_time_secs);
+
+        // Equal seeds: the DES executor reproduces both variants exactly.
+        for (run, analytic) in [(&run, &a), (&relabeled, &b)] {
+            let des = DesFaasExecutor::aws().with_startup(faulty_model).execute(
+                run,
+                &runtimes,
+                &mut AllCold,
+            );
+            assert!(
+                (des.service_time_secs - analytic.service_time_secs).abs() < 1e-9,
+                "des {:.3} vs analytic {:.3}",
+                des.service_time_secs,
+                analytic.service_time_secs
+            );
+        }
+    }
+
+    #[test]
     fn zero_fraction_is_identity() {
         let m = StartupModel::aws();
         for phase in 0..50 {
@@ -716,5 +816,118 @@ mod straggler_tests {
             .count();
         let rate = hits as f64 / 100_000.0;
         assert!((rate - 0.2).abs() < 0.01, "straggler rate {rate}");
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility, the determinism contract
+mod fault_tests {
+    use super::*;
+    use crate::faults::{FaultConfig, RecoveryPolicy};
+    use crate::pool::InstanceView;
+    use crate::sched::{PhaseObservation, Placement};
+    use dd_wfdag::{Phase, RunGenerator, Workflow, WorkflowSpec};
+
+    struct AllCold;
+    impl ServerlessScheduler for AllCold {
+        fn name(&self) -> &'static str {
+            "all-cold"
+        }
+        fn initial_pool(&mut self, _: &RunInfo) -> PoolRequest {
+            PoolRequest::none()
+        }
+        fn pool_for_next_phase(&mut self, _: usize, _: &PhaseObservation) -> PoolRequest {
+            PoolRequest::none()
+        }
+        fn place(&mut self, phase: &Phase, _: &[InstanceView], _: SimTime) -> Vec<Placement> {
+            phase
+                .components
+                .iter()
+                .map(|_| Placement {
+                    tier: Tier::HighEnd,
+                    instance: None,
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn executors_agree_on_faulty_runs_under_every_policy() {
+        // The acceptance criterion of the fault engine: with every fault
+        // channel live, the analytic and event-driven executors resolve
+        // the same timelines — same service time, same ledger including
+        // the retry component — because both query one FaultPlan.
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(12);
+        let runtimes = spec.runtimes.clone();
+        let run = RunGenerator::new(spec, 6).generate(0);
+
+        for policy in [
+            RecoveryPolicy::none(),
+            RecoveryPolicy::backoff(),
+            RecoveryPolicy::timeout(),
+            RecoveryPolicy::speculative(),
+        ] {
+            let config = FaasConfig {
+                faults: FaultConfig::uniform(0.08).with_seed(0xFA17),
+                recovery: policy,
+                ..FaasConfig::default()
+            };
+            let analytic = FaasExecutor::new(config).execute(&run, &runtimes, &mut AllCold);
+            let des = DesFaasExecutor::new(config).execute(&run, &runtimes, &mut AllCold);
+            assert!(
+                (analytic.service_time_secs - des.service_time_secs).abs() < 1e-9,
+                "{policy:?}: analytic {:.4}s vs des {:.4}s",
+                analytic.service_time_secs,
+                des.service_time_secs
+            );
+            for (x, y) in [
+                (analytic.ledger.execution, des.ledger.execution),
+                (analytic.ledger.retry, des.ledger.retry),
+                (analytic.ledger.storage, des.ledger.storage),
+            ] {
+                assert!((x - y).abs() < 1e-9, "{policy:?}: ledger {x} vs {y}");
+            }
+            assert_eq!(analytic.faults, des.faults, "{policy:?} counters");
+            // Faults actually fired, retry cost is a real non-negative
+            // component, and conservation holds with it included.
+            assert!(analytic.faults.failures() > 0, "{policy:?}");
+            assert!(analytic.ledger.retry > 0.0, "{policy:?}");
+            let l = analytic.ledger;
+            assert!(
+                (l.total()
+                    - (l.execution
+                        + l.keep_alive_used
+                        + l.keep_alive_wasted
+                        + l.storage
+                        + l.retry))
+                    .abs()
+                    < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn clean_config_is_strict_noop() {
+        // Every rate zero: outcomes must be *bit-identical* to an
+        // executor that predates the fault engine — same service time,
+        // zero retry cost, zero counters. (Debug-format equality is the
+        // strongest cheap proxy for bitwise equality.)
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(10);
+        let runtimes = spec.runtimes.clone();
+        let run = RunGenerator::new(spec, 17).generate(0);
+        let default_cfg = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
+        let explicit_clean = FaasExecutor::new(FaasConfig {
+            faults: FaultConfig::none().with_seed(0xDEAD),
+            recovery: RecoveryPolicy::speculative(),
+            ..FaasConfig::default()
+        })
+        .execute(&run, &runtimes, &mut AllCold);
+        assert_eq!(
+            format!("{default_cfg:?}"),
+            format!("{explicit_clean:?}"),
+            "clean fault config must not perturb any output"
+        );
+        assert_eq!(default_cfg.ledger.retry, 0.0);
+        assert_eq!(default_cfg.faults, crate::faults::FaultStats::default());
     }
 }

@@ -16,7 +16,9 @@
 //!   back-end storage models, each calibrated to the constants the paper
 //!   reports (Sec. IV–V),
 //! * [`pool`], [`telemetry`] — instance-pool bookkeeping and the cost /
-//!   metrics ledger every experiment reads.
+//!   metrics ledger every experiment reads,
+//! * [`faults`] — the deterministic fault-injection and recovery engine
+//!   (retry / timeout / backoff / speculation) shared by both executors.
 //!
 //! ```
 //! use dd_platform::{BackendStore, SimTime};
@@ -46,6 +48,7 @@ pub mod contention;
 pub mod des;
 pub mod faas;
 pub mod faas_des;
+pub mod faults;
 pub mod instance;
 pub mod pool;
 pub mod pricing;
@@ -61,12 +64,16 @@ pub use contention::ContentionModel;
 pub use des::{EventQueue, SimTime};
 pub use faas::{FaasConfig, FaasExecutor, PoolTrigger};
 pub use faas_des::{DesFaasExecutor, DesSession};
+pub use faults::{
+    Attempt, AttemptOutcome, ComponentTimeline, FaultConfig, FaultKind, FaultPlan, FaultStats,
+    RecoveryPolicy,
+};
 pub use instance::{InstanceLifecycle, InstanceState};
-pub use pool::{InstanceId, InstanceView, PoolRequest, PooledInstance};
+pub use pool::{InstanceId, InstanceView, PoolEntryRequest, PoolRequest, PooledInstance};
 pub use pricing::{CloudVendor, PriceSheet};
 pub use sched::{PhaseObservation, Placement, RunInfo, ServerlessScheduler, StartKind};
 pub use startup::StartupModel;
 pub use storage::BackendStore;
 pub use telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
 pub use tier::Tier;
-pub use trace::{ComponentTrace, ExecutionTrace, PoolTrace};
+pub use trace::{AttemptTrace, ComponentTrace, ExecutionTrace, PoolTrace};

@@ -47,6 +47,10 @@ pub struct PhaseObservation {
     /// Observed fraction of high-end-friendly components (at the
     /// scheduler-configured threshold).
     pub friendly_fraction: f64,
+    /// Components of this phase that needed more than one attempt under
+    /// fault injection (0 on clean runs). Retry-aware schedulers can use
+    /// this to provision recovery headroom for the next phase.
+    pub retried_components: u32,
 }
 
 /// How a component was started (paper terminology).
@@ -126,6 +130,9 @@ pub fn observe_phase(phase: &Phase, threshold: f64) -> PhaseObservation {
         concurrency: phase.concurrency(),
         component_counts: phase.component_concurrency(),
         friendly_fraction: phase.high_end_friendly_fraction(threshold),
+        // The executors overwrite this with their per-phase retry count;
+        // the DAG alone cannot know it.
+        retried_components: 0,
     }
 }
 

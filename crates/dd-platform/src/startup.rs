@@ -152,24 +152,19 @@ impl StartupModel {
     /// Straggler injection: deterministic per (phase, slot, seed), so the
     /// analytic and event-driven executors agree exactly. Returns the
     /// start-up overhead multiplier for the component (1.0 = healthy).
+    ///
+    /// The draw itself lives in [`crate::faults`] — the executors consume
+    /// it through a [`crate::faults::FaultPlan`] (which threads the run
+    /// seed, fixing the old hardcoded-zero call sites); this method is the
+    /// legacy entry point and uses the identical hash.
     pub fn straggler_multiplier_for(&self, phase: usize, slot: usize, seed: u64) -> f64 {
-        if self.straggler_fraction <= 0.0 {
-            return 1.0;
-        }
-        // SplitMix64-style hash of (phase, slot, seed).
-        let mut z = (phase as u64)
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add((slot as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
-            .wrapping_add(seed);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        let u = (z >> 11) as f64 / (1u64 << 53) as f64;
-        if u < self.straggler_fraction {
-            self.straggler_multiplier
-        } else {
-            1.0
-        }
+        crate::faults::straggler_multiplier(
+            self.straggler_fraction,
+            self.straggler_multiplier,
+            phase,
+            slot,
+            seed,
+        )
     }
 
     /// Execution-time multiplier for a component started the given way:

@@ -6,6 +6,7 @@
 //! error, pre-load success, start kinds — Figs. 13 and 16d), and resource
 //! utilization (Fig. 16a–c).
 
+use crate::faults::FaultStats;
 use crate::tier::Tier;
 use serde::{Deserialize, Serialize};
 
@@ -22,12 +23,15 @@ pub struct CostLedger {
     pub keep_alive_wasted: f64,
     /// Back-end storage maintenance over the run.
     pub storage: f64,
+    /// Instance-seconds burned on failed, timed-out, or superseded
+    /// attempts under fault injection (`0.0` on clean runs).
+    pub retry: f64,
 }
 
 impl CostLedger {
     /// Total service cost.
     pub fn total(&self) -> f64 {
-        self.execution + self.keep_alive_used + self.keep_alive_wasted + self.storage
+        self.execution + self.keep_alive_used + self.keep_alive_wasted + self.storage + self.retry
     }
 
     /// Total keep-alive cost (used + wasted).
@@ -41,6 +45,7 @@ impl CostLedger {
         self.keep_alive_used += other.keep_alive_used;
         self.keep_alive_wasted += other.keep_alive_wasted;
         self.storage += other.storage;
+        self.retry += other.retry;
     }
 
     /// Debug-build conservation check: money is only ever *added* to a
@@ -53,6 +58,7 @@ impl CostLedger {
             ("keep_alive_used", self.keep_alive_used),
             ("keep_alive_wasted", self.keep_alive_wasted),
             ("storage", self.storage),
+            ("retry", self.retry),
         ] {
             dd_debug_invariant!(
                 value.is_finite() && value >= 0.0,
@@ -60,7 +66,8 @@ impl CostLedger {
             );
         }
         dd_debug_invariant!(
-            (self.total() - (self.execution + self.keep_alive() + self.storage)).abs() < 1e-9,
+            (self.total() - (self.execution + self.keep_alive() + self.storage + self.retry)).abs()
+                < 1e-9,
             "cost ledger total {} diverged from its components",
             self.total()
         );
@@ -190,6 +197,8 @@ pub struct RunOutcome {
     pub phases: Vec<PhaseRecord>,
     /// Resource utilization.
     pub utilization: Utilization,
+    /// Fault-injection and recovery counters (all zero on clean runs).
+    pub faults: FaultStats,
 }
 
 impl RunOutcome {
@@ -245,7 +254,8 @@ mod tests {
             execution: 1.0,
             keep_alive_used: 0.2,
             keep_alive_wasted: 0.3,
-            storage: 0.5,
+            storage: 0.4,
+            retry: 0.1,
         };
         assert!((l.total() - 2.0).abs() < 1e-12);
         assert!((l.keep_alive() - 0.5).abs() < 1e-12);
@@ -347,6 +357,7 @@ mod tests {
                 },
             ],
             utilization: Utilization::default(),
+            faults: FaultStats::default(),
         };
         assert!((outcome.mean_prediction_error() - 2.0).abs() < 1e-12);
         assert_eq!(outcome.start_counts(), (0, 9, 4));
@@ -362,6 +373,7 @@ mod tests {
             ledger: CostLedger::default(),
             phases: vec![],
             utilization: Utilization::default(),
+            faults: FaultStats::default(),
         };
         assert_eq!(outcome.mean_prediction_error(), 0.0);
         assert_eq!(outcome.mean_preload_success(), 0.0);

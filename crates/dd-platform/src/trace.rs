@@ -10,6 +10,7 @@
 //! two components, outputs never precede starts).
 
 use crate::des::SimTime;
+use crate::faults::{AttemptOutcome, FaultKind};
 use crate::pool::InstanceId;
 use crate::sched::StartKind;
 use crate::tier::Tier;
@@ -37,13 +38,18 @@ pub struct ComponentTrace {
     pub exec_secs: f64,
     /// Output-write duration.
     pub write_secs: f64,
+    /// Attempts launched under fault injection (1 on a clean run).
+    pub attempts: u32,
+    /// Time spent on failed attempts and backoff gaps before the winning
+    /// attempt completed (`0.0` on a clean run).
+    pub recovery_secs: f64,
 }
 
 impl ComponentTrace {
     /// Completion instant (output in storage).
     pub fn finish(&self) -> SimTime {
         self.start
-            .after(self.overhead_secs + self.exec_secs + self.write_secs)
+            .after(self.overhead_secs + self.exec_secs + self.write_secs + self.recovery_secs)
     }
 
     /// Total busy (billed) duration.
@@ -56,6 +62,29 @@ impl ComponentTrace {
     pub fn service_secs(&self) -> f64 {
         self.busy_secs()
     }
+}
+
+/// One attempt of a component under fault injection: which fault hit it,
+/// how it ended, and what it burned. Clean runs record none of these (the
+/// single healthy attempt is implicit in [`ComponentTrace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttemptTrace {
+    /// Phase index.
+    pub phase: usize,
+    /// Position within the phase.
+    pub slot: usize,
+    /// Primary attempt index (a speculative copy shares its primary's).
+    pub attempt: u32,
+    /// Whether this is a speculative backup copy.
+    pub speculative: bool,
+    /// The fault that hit the attempt, if any.
+    pub fault: Option<FaultKind>,
+    /// How the attempt ended.
+    pub outcome: AttemptOutcome,
+    /// Attempt launch instant.
+    pub start: SimTime,
+    /// Billed instance-seconds the attempt consumed.
+    pub busy_secs: f64,
 }
 
 /// A pool-instance lifecycle event.
@@ -85,6 +114,8 @@ pub struct ExecutionTrace {
     pub components: Vec<ComponentTrace>,
     /// Every pooled instance ever requested.
     pub pool: Vec<PoolTrace>,
+    /// Every attempt of every faulted component (empty on clean runs).
+    pub attempts: Vec<AttemptTrace>,
     /// Phase start instants.
     pub phase_starts: Vec<SimTime>,
     /// Phase completion instants (all outputs in storage).
@@ -148,6 +179,38 @@ impl ExecutionTrace {
             if c.overhead_secs < 0.0 || c.exec_secs <= 0.0 || c.write_secs < 0.0 {
                 return Err(format!("non-positive durations in phase {}", c.phase));
             }
+            if c.attempts == 0 || c.recovery_secs < 0.0 {
+                return Err(format!(
+                    "phase {} slot {}: attempts {} / recovery {}s out of range",
+                    c.phase, c.slot, c.attempts, c.recovery_secs
+                ));
+            }
+        }
+        // Attempt records belong to a traced component and never start
+        // before their component's dispatch.
+        for a in &self.attempts {
+            let c = self
+                .components
+                .iter()
+                .find(|c| c.phase == a.phase && c.slot == a.slot)
+                .ok_or_else(|| {
+                    format!(
+                        "attempt references untraced component {}/{}",
+                        a.phase, a.slot
+                    )
+                })?;
+            if a.start < c.start {
+                return Err(format!(
+                    "phase {} slot {} attempt {} starts at {} before dispatch {}",
+                    a.phase, a.slot, a.attempt, a.start, c.start
+                ));
+            }
+            if a.busy_secs < 0.0 {
+                return Err(format!(
+                    "phase {} slot {} attempt {} has negative busy time",
+                    a.phase, a.slot, a.attempt
+                ));
+            }
         }
         // Every component's lifecycle must follow the instance state
         // machine for its start kind.
@@ -205,6 +268,8 @@ mod tests {
             overhead_secs: 0.9,
             exec_secs: 3.0,
             write_secs: 0.2,
+            attempts: 1,
+            recovery_secs: 0.0,
         }
     }
 
@@ -224,6 +289,7 @@ mod tests {
         ExecutionTrace {
             components: vec![component(0, 1.0, Some(1))],
             pool: vec![pool_entry(1, 0.5, true)],
+            attempts: vec![],
             phase_starts: vec![SimTime::from_secs(1.0)],
             phase_ends: vec![SimTime::from_secs(5.2)],
         }
@@ -281,5 +347,50 @@ mod tests {
         let mut t = valid_trace();
         t.components[0].phase = 7;
         assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn detects_orphan_attempt_record() {
+        let mut t = valid_trace();
+        t.attempts.push(AttemptTrace {
+            phase: 0,
+            slot: 9, // no such component
+            attempt: 0,
+            speculative: false,
+            fault: Some(FaultKind::InstanceCrash),
+            outcome: AttemptOutcome::Failed,
+            start: SimTime::from_secs(1.0),
+            busy_secs: 0.5,
+        });
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("untraced component"), "{err}");
+    }
+
+    #[test]
+    fn detects_attempt_before_dispatch() {
+        let mut t = valid_trace();
+        t.attempts.push(AttemptTrace {
+            phase: 0,
+            slot: 0,
+            attempt: 0,
+            speculative: false,
+            fault: None,
+            outcome: AttemptOutcome::Superseded,
+            start: SimTime::from_secs(0.2),
+            busy_secs: 0.5,
+        });
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("before dispatch"), "{err}");
+    }
+
+    #[test]
+    fn recovery_extends_finish_and_is_validated() {
+        let mut c = component(0, 1.0, None);
+        c.recovery_secs = 2.0;
+        assert!((c.finish().as_secs() - 7.1).abs() < 1e-12);
+        let mut t = valid_trace();
+        t.components[0].recovery_secs = -0.1;
+        let err = t.validate().unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
     }
 }

@@ -160,11 +160,70 @@ proptest! {
         for (a, b) in serial.iter().zip(&parallel) {
             prop_assert_eq!(a.ledger, b.ledger);
             let l = a.ledger;
-            let total = l.execution + l.keep_alive_used + l.keep_alive_wasted + l.storage;
+            let total = l.execution + l.keep_alive_used + l.keep_alive_wasted + l.storage + l.retry;
             prop_assert!(
                 (a.service_cost() - total).abs() < 1e-12,
                 "ledger components must sum to the service cost"
             );
+        }
+    }
+
+    /// Fault injection stays deterministic under the parallel sweep and
+    /// across executors: for any fault seed, rate and policy, runs are
+    /// byte-identical (Debug rendering) at any `--jobs`, the DES
+    /// executor agrees with the analytic one, and the retry ledger
+    /// component is non-negative while preserving conservation.
+    #[test]
+    fn fault_injection_is_deterministic_across_workers(
+        fault_seed in 0u64..200,
+        rate in 0.01f64..0.15,
+        policy_idx in 0usize..4,
+        jobs in 2usize..9,
+    ) {
+        use daydream::platform::{DesFaasExecutor, FaasConfig, FaultConfig, RecoveryPolicy};
+        let policy = [
+            RecoveryPolicy::none(),
+            RecoveryPolicy::backoff(),
+            RecoveryPolicy::timeout(),
+            RecoveryPolicy::speculative(),
+        ][policy_idx];
+        let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(25);
+        let runtimes = spec.runtimes.clone();
+        let gen = RunGenerator::new(spec, 13);
+        let config = FaasConfig {
+            faults: FaultConfig::uniform(rate).with_seed(fault_seed),
+            recovery: policy,
+            ..FaasConfig::default()
+        };
+        let execute = |idx: usize| {
+            let mut oracle = OracleScheduler::new(gen.generate(idx), 0.20);
+            FaasExecutor::new(config).execute(&gen.generate(idx), &runtimes, &mut oracle)
+        };
+
+        let serial = dd_bench::par_map(1, 4, execute);
+        let parallel = dd_bench::par_map(jobs, 4, execute);
+        for (idx, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            prop_assert_eq!(
+                format!("{a:?}"), format!("{b:?}"),
+                "faulty run must not depend on --jobs"
+            );
+            prop_assert!(a.ledger.retry >= 0.0);
+            prop_assert!(
+                (a.service_cost() - (a.ledger.execution + a.ledger.keep_alive_used
+                    + a.ledger.keep_alive_wasted + a.ledger.storage + a.ledger.retry)).abs() < 1e-12,
+                "retry must preserve ledger conservation"
+            );
+            // The DES executor replays the same fault plan to the same
+            // outcome.
+            let run = gen.generate(idx);
+            let mut oracle = OracleScheduler::new(run.clone(), 0.20);
+            let des = DesFaasExecutor::new(config).execute(&run, &runtimes, &mut oracle);
+            prop_assert!(
+                (a.service_time_secs - des.service_time_secs).abs() < 1e-9,
+                "DES {} vs analytic {}", des.service_time_secs, a.service_time_secs
+            );
+            prop_assert!((a.ledger.retry - des.ledger.retry).abs() < 1e-9);
+            prop_assert_eq!(&a.faults, &des.faults);
         }
     }
 
