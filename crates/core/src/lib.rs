@@ -21,7 +21,7 @@
 //!
 //! ```
 //! use daydream_core::{DayDreamHistory, DayDreamScheduler};
-//! use dd_platform::FaasExecutor;
+//! use dd_platform::prelude::*;
 //! use dd_stats::SeedStream;
 //! use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec};
 //!
@@ -34,7 +34,9 @@
 //! history.learn_from_run(&generator.generate(0), 0.20, 24);
 //! let run = generator.generate(1);
 //! let mut scheduler = DayDreamScheduler::aws(&history, SeedStream::new(7));
-//! let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut scheduler);
+//! let outcome = FaasExecutor::aws()
+//!     .run(RunRequest::new(&run, &runtimes, &mut scheduler))
+//!     .into_outcome();
 //!
 //! let (_, hot, cold) = outcome.start_counts();
 //! assert!(hot > cold, "hot starts dominate");

@@ -22,7 +22,7 @@ use crate::predictor::WeibullPredictor;
 use crate::tiering::FriendlyTracker;
 use dd_platform::pricing::PriceSheet;
 use dd_platform::{
-    CloudVendor, InstanceView, PhaseObservation, Placement, PoolRequest, RunInfo,
+    CloudVendor, InstanceView, PhaseObservation, Placement, PoolRequest, RunInfo, SchedulerEvent,
     ServerlessScheduler, SimTime, StartupModel,
 };
 use dd_stats::{SeedStream, Weibull};
@@ -39,6 +39,10 @@ pub struct DayDreamScheduler {
     tracker: FriendlyTracker,
     optimizer: PlacementOptimizer,
     runtimes: Vec<LanguageRuntime>,
+    // Write-only observability buffer (see `ServerlessScheduler::
+    // set_event_recording`): decisions never read it.
+    record_events: bool,
+    events: Vec<SchedulerEvent>,
 }
 
 /// Bootstrap prior used when no history exists yet (the first run of a
@@ -74,6 +78,8 @@ impl DayDreamScheduler {
             ),
             config,
             runtimes: Vec::new(),
+            record_events: false,
+            events: Vec::new(),
         }
     }
 
@@ -100,6 +106,13 @@ impl DayDreamScheduler {
             return PoolRequest::hot(n as usize, 0);
         }
         let (he, le) = self.tracker.split(n);
+        if self.record_events {
+            self.events.push(SchedulerEvent::TierSplit {
+                pool: n,
+                high_end: he,
+                low_end: le,
+            });
+        }
         PoolRequest::hot(he as usize, le as usize)
     }
 }
@@ -122,7 +135,16 @@ impl ServerlessScheduler for DayDreamScheduler {
         // The observation feeds the predictor here (not in
         // `observe_phase`) so the *next* phase's sample already reflects
         // it; each phase is observed exactly once.
+        let fits_before = self.predictor.interval_count();
         self.predictor.observe(observed_so_far.concurrency);
+        if self.record_events && self.predictor.interval_count() > fits_before {
+            let current = self.predictor.current();
+            self.events.push(SchedulerEvent::WeibullRefit {
+                alpha: current.alpha(),
+                beta: current.beta(),
+                intervals: self.predictor.interval_count(),
+            });
+        }
         self.tracker.observe(observed_so_far.friendly_fraction);
         let mut request = self.sample_pool();
         // Retry-aware headroom: when the previous phase needed recovery
@@ -148,12 +170,24 @@ impl ServerlessScheduler for DayDreamScheduler {
     fn overhead_secs(&self) -> f64 {
         self.config.overhead_secs
     }
+
+    fn set_event_recording(&mut self, enabled: bool) {
+        self.record_events = enabled;
+        if enabled {
+            self.events.clear();
+        }
+    }
+
+    fn drain_events(&mut self) -> Vec<SchedulerEvent> {
+        std::mem::take(&mut self.events)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dd_platform::FaasExecutor;
+    use dd_platform::{Executor, RunRequest};
     use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec};
 
     fn setup(scale: usize) -> (dd_wfdag::WorkflowRun, Vec<LanguageRuntime>, DayDreamHistory) {
@@ -169,7 +203,9 @@ mod tests {
     fn executes_run_end_to_end() {
         let (run, runtimes, history) = setup(4);
         let mut sched = DayDreamScheduler::aws(&history, SeedStream::new(1));
-        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut sched);
+        let outcome = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut sched))
+            .into_outcome();
         assert_eq!(outcome.scheduler, "daydream");
         assert_eq!(outcome.phases.len(), run.phase_count());
         // DayDream hot starts aggressively: most components must not be
@@ -185,7 +221,7 @@ mod tests {
     #[test]
     fn beats_all_cold_on_service_time() {
         let (run, runtimes, history) = setup(4);
-        let exec = FaasExecutor::aws();
+        let mut exec = FaasExecutor::aws();
 
         struct AllCold;
         impl ServerlessScheduler for AllCold {
@@ -210,9 +246,13 @@ mod tests {
             }
         }
 
-        let cold = exec.execute(&run, &runtimes, &mut AllCold);
+        let cold = exec
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         let mut sched = DayDreamScheduler::aws(&history, SeedStream::new(1));
-        let daydream = exec.execute(&run, &runtimes, &mut sched);
+        let daydream = exec
+            .run(RunRequest::new(&run, &runtimes, &mut sched))
+            .into_outcome();
         assert!(
             daydream.service_time_secs < cold.service_time_secs,
             "daydream {:.1}s vs all-cold {:.1}s",
@@ -226,7 +266,9 @@ mod tests {
         let (run, runtimes, _) = setup(6);
         let empty = DayDreamHistory::new();
         let mut sched = DayDreamScheduler::aws(&empty, SeedStream::new(2));
-        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut sched);
+        let outcome = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut sched))
+            .into_outcome();
         assert!(outcome.service_time_secs > 0.0);
         // Without history the first phases mispredict, but the dynamic
         // re-fit must still produce hot starts overall.
@@ -244,7 +286,9 @@ mod tests {
             SeedStream::new(3),
         );
         let before = sched.current_distribution();
-        let _ = FaasExecutor::aws().execute(&run, &runtimes, &mut sched);
+        let _ = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut sched))
+            .into_outcome();
         let after = sched.current_distribution();
         // With ≥ 10 observed phases, at least one interval re-fit ran and
         // the averaged parameters moved.
@@ -259,7 +303,9 @@ mod tests {
     fn prediction_error_small_with_history() {
         let (run, runtimes, history) = setup(2);
         let mut sched = DayDreamScheduler::aws(&history, SeedStream::new(4));
-        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut sched);
+        let outcome = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut sched))
+            .into_outcome();
         let err = outcome.mean_prediction_error();
         let mean_conc = 9.0; // CCL
         assert!(

@@ -110,6 +110,7 @@ mod tests {
     use super::*;
     use daydream_core::DayDreamScheduler;
     use dd_platform::FaasExecutor;
+    use dd_platform::{Executor, RunRequest};
     use dd_stats::SeedStream;
     use dd_wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
 
@@ -127,9 +128,11 @@ mod tests {
         // The paper's strawman: a 3× pool nearly eliminates cold starts
         // but pays for it in wasted keep-alive.
         let (run, runtimes, history) = setup();
-        let exec = FaasExecutor::aws();
+        let mut exec = FaasExecutor::aws();
         let mut big = FixedPoolScheduler::from_mean_multiple(3.0, &history);
-        let big_out = exec.execute(&run, &runtimes, &mut big);
+        let big_out = exec
+            .run(RunRequest::new(&run, &runtimes, &mut big))
+            .into_outcome();
         let (_, hot, cold) = big_out.start_counts();
         assert!(hot > cold * 10, "3x pool should almost never cold start");
         assert!(
@@ -141,13 +144,17 @@ mod tests {
     #[test]
     fn daydream_beats_fixed_pool_on_cost_at_similar_time() {
         let (run, runtimes, history) = setup();
-        let exec = FaasExecutor::aws();
+        let mut exec = FaasExecutor::aws();
 
         let mut dd = DayDreamScheduler::aws(&history, SeedStream::new(2));
-        let dd_out = exec.execute(&run, &runtimes, &mut dd);
+        let dd_out = exec
+            .run(RunRequest::new(&run, &runtimes, &mut dd))
+            .into_outcome();
 
         let mut big = FixedPoolScheduler::from_mean_multiple(3.0, &history);
-        let big_out = exec.execute(&run, &runtimes, &mut big);
+        let big_out = exec
+            .run(RunRequest::new(&run, &runtimes, &mut big))
+            .into_outcome();
 
         // The 3× pool may be marginally faster (never underprovisions)…
         assert!(big_out.service_time_secs < dd_out.service_time_secs * 1.05);
@@ -165,7 +172,9 @@ mod tests {
         let (run, runtimes, history) = setup();
         let mut tiny = FixedPoolScheduler::new(2, &history);
         assert_eq!(tiny.pool_size(), 2);
-        let out = FaasExecutor::aws().execute(&run, &runtimes, &mut tiny);
+        let out = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut tiny))
+            .into_outcome();
         let (_, hot, cold) = out.start_counts();
         assert!(cold > hot, "a 2-instance pool must mostly cold start");
     }

@@ -271,6 +271,7 @@ impl ServerlessScheduler for HybridScheduler {
 mod tests {
     use super::*;
     use dd_platform::FaasExecutor;
+    use dd_platform::{Executor, RunRequest};
     use dd_wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
 
     fn setup() -> (WorkflowRun, Vec<LanguageRuntime>, DayDreamHistory) {
@@ -294,7 +295,9 @@ mod tests {
         history.learn_from_run(&gen.generate(1_000), 0.20, 24);
         let run = gen.generate(0);
         let mut hybrid = HybridScheduler::aws(&history, SeedStream::new(1));
-        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut hybrid);
+        let outcome = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut hybrid))
+            .into_outcome();
         let (warm, hot, _cold) = outcome.start_counts();
         assert!(hot > 0, "hybrid must hot start");
         assert!(warm > 0, "hybrid must warm-pair confident streaks");
@@ -306,11 +309,15 @@ mod tests {
         // least match) each technique alone. Allow a small tolerance —
         // the combination helps most when streaks dominate.
         let (run, runtimes, history) = setup();
-        let exec = FaasExecutor::aws();
+        let mut exec = FaasExecutor::aws();
         let mut dd = daydream_core::DayDreamScheduler::aws(&history, SeedStream::new(2));
-        let dd_outcome = exec.execute(&run, &runtimes, &mut dd);
+        let dd_outcome = exec
+            .run(RunRequest::new(&run, &runtimes, &mut dd))
+            .into_outcome();
         let mut hy = HybridScheduler::aws(&history, SeedStream::new(2));
-        let hy_outcome = exec.execute(&run, &runtimes, &mut hy);
+        let hy_outcome = exec
+            .run(RunRequest::new(&run, &runtimes, &mut hy))
+            .into_outcome();
         assert!(
             hy_outcome.service_time_secs <= dd_outcome.service_time_secs * 1.03,
             "hybrid {:.1}s should track daydream {:.1}s",
@@ -322,11 +329,15 @@ mod tests {
     #[test]
     fn hybrid_beats_wild() {
         let (run, runtimes, history) = setup();
-        let exec = FaasExecutor::aws();
+        let mut exec = FaasExecutor::aws();
         let mut wild = crate::WildScheduler::new();
-        let wild_outcome = exec.execute(&run, &runtimes, &mut wild);
+        let wild_outcome = exec
+            .run(RunRequest::new(&run, &runtimes, &mut wild))
+            .into_outcome();
         let mut hy = HybridScheduler::aws(&history, SeedStream::new(3));
-        let hy_outcome = exec.execute(&run, &runtimes, &mut hy);
+        let hy_outcome = exec
+            .run(RunRequest::new(&run, &runtimes, &mut hy))
+            .into_outcome();
         assert!(hy_outcome.service_time_secs < wild_outcome.service_time_secs);
         assert!(hy_outcome.service_cost() < wild_outcome.service_cost());
     }

@@ -48,6 +48,7 @@ impl ServerlessScheduler for NaiveScheduler {
 mod tests {
     use super::*;
     use dd_platform::FaasExecutor;
+    use dd_platform::{Executor, RunRequest};
     use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec};
 
     #[test]
@@ -55,7 +56,9 @@ mod tests {
         let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(10);
         let runtimes = spec.runtimes.clone();
         let run = RunGenerator::new(spec, 1).generate(0);
-        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut NaiveScheduler);
+        let outcome = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut NaiveScheduler))
+            .into_outcome();
         let (w, h, c) = outcome.start_counts();
         assert_eq!((w, h), (0, 0));
         assert_eq!(c as usize, run.total_components());

@@ -145,6 +145,7 @@ impl ServerlessScheduler for OracleScheduler {
 mod tests {
     use super::*;
     use dd_platform::FaasExecutor;
+    use dd_platform::{Executor, RunRequest};
     use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec};
 
     fn setup() -> (WorkflowRun, Vec<dd_wfdag::LanguageRuntime>) {
@@ -157,7 +158,9 @@ mod tests {
     fn oracle_never_cold_never_wastes() {
         let (run, runtimes) = setup();
         let mut oracle = OracleScheduler::new(run.clone(), 0.20);
-        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut oracle);
+        let outcome = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut oracle))
+            .into_outcome();
         let (w, h, c) = outcome.start_counts();
         assert_eq!(w, 0);
         assert_eq!(c, 0, "oracle must not cold start");
@@ -207,7 +210,9 @@ mod tests {
         let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(10);
         let other = RunGenerator::new(spec, 999).generate(7);
         let mut oracle = OracleScheduler::new(other, 0.20);
-        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut oracle);
+        let outcome = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut oracle))
+            .into_outcome();
         assert_eq!(outcome.phases.len(), run.phase_count());
     }
 }

@@ -264,6 +264,7 @@ impl ServerlessScheduler for WildScheduler {
 mod tests {
     use super::*;
     use dd_platform::FaasExecutor;
+    use dd_platform::{Executor, RunRequest};
     use dd_wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
 
     fn setup() -> (WorkflowRun, Vec<dd_wfdag::LanguageRuntime>) {
@@ -275,7 +276,9 @@ mod tests {
     #[test]
     fn executes_and_mixes_warm_and_cold() {
         let (run, runtimes) = setup();
-        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut WildScheduler::new());
+        let outcome = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+            .into_outcome();
         let (warm, hot, cold) = outcome.start_counts();
         assert_eq!(hot, 0, "Wild never uses runtime-only hot starts");
         assert!(cold > 0, "dynamic DAGs must defeat some forecasts");
@@ -287,7 +290,9 @@ mod tests {
     fn wild_wastes_keep_alive() {
         // The paper's Fig. 16d: warming wrong components wastes cost.
         let (run, runtimes) = setup();
-        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut WildScheduler::new());
+        let outcome = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+            .into_outcome();
         assert!(
             outcome.ledger.keep_alive_wasted > 0.0,
             "mispredicted warm pairings must show up as waste"
@@ -367,7 +372,9 @@ mod tests {
         // Execute and verify the invariant the platform enforces: no
         // panic means Wild never paired a warm instance with the wrong
         // component type.
-        let _ = FaasExecutor::aws().execute(&run, &runtimes, &mut WildScheduler::new());
+        let _ = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+            .into_outcome();
     }
 }
 

@@ -8,6 +8,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use daydream_core::{DayDreamHistory, DayDreamScheduler};
 use dd_baselines::{OracleScheduler, Pegasus, WildScheduler};
 use dd_platform::{DesFaasExecutor, FaasExecutor};
+use dd_platform::{Executor, RunRequest};
 use dd_stats::SeedStream;
 use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec};
 use std::hint::black_box;
@@ -27,27 +28,45 @@ fn setup() -> (
 
 fn bench_schedulers(c: &mut Criterion) {
     let (run, runtimes, history) = setup();
-    let executor = FaasExecutor::aws();
+    let mut executor = FaasExecutor::aws();
     let mut group = c.benchmark_group("executor/ccl_scaled_run");
 
     group.bench_function("daydream", |b| {
         b.iter_batched(
             || DayDreamScheduler::aws(&history, SeedStream::new(7)),
-            |mut s| black_box(executor.execute(&run, &runtimes, &mut s)),
+            |mut s| {
+                black_box(
+                    executor
+                        .run(RunRequest::new(&run, &runtimes, &mut s))
+                        .into_outcome(),
+                )
+            },
             BatchSize::SmallInput,
         )
     });
     group.bench_function("oracle", |b| {
         b.iter_batched(
             || OracleScheduler::new(run.clone(), 0.20),
-            |mut s| black_box(executor.execute(&run, &runtimes, &mut s)),
+            |mut s| {
+                black_box(
+                    executor
+                        .run(RunRequest::new(&run, &runtimes, &mut s))
+                        .into_outcome(),
+                )
+            },
             BatchSize::SmallInput,
         )
     });
     group.bench_function("wild", |b| {
         b.iter_batched(
             WildScheduler::new,
-            |mut s| black_box(executor.execute(&run, &runtimes, &mut s)),
+            |mut s| {
+                black_box(
+                    executor
+                        .run(RunRequest::new(&run, &runtimes, &mut s))
+                        .into_outcome(),
+                )
+            },
             BatchSize::SmallInput,
         )
     });
@@ -56,11 +75,16 @@ fn bench_schedulers(c: &mut Criterion) {
     });
     // The event-driven cross-check executor: how much the explicit event
     // queue costs relative to the analytic fast path.
-    let des = DesFaasExecutor::aws();
+    let mut des = DesFaasExecutor::aws();
     group.bench_function("daydream_des", |b| {
         b.iter_batched(
             || DayDreamScheduler::aws(&history, SeedStream::new(7)),
-            |mut s| black_box(des.execute(&run, &runtimes, &mut s)),
+            |mut s| {
+                black_box(
+                    des.run(RunRequest::new(&run, &runtimes, &mut s))
+                        .into_outcome(),
+                )
+            },
             BatchSize::SmallInput,
         )
     });
@@ -70,7 +94,65 @@ fn bench_schedulers(c: &mut Criterion) {
     group.bench_function("daydream_des_session", |b| {
         b.iter_batched(
             || DayDreamScheduler::aws(&history, SeedStream::new(7)),
-            |mut s| black_box(des.execute_with(&mut session, &run, &runtimes, &mut s)),
+            |mut s| {
+                black_box(
+                    des.run_with(&mut session, RunRequest::new(&run, &runtimes, &mut s))
+                        .into_outcome(),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+/// Pins dd-obs design rule 2 (zero cost when disabled): executing with
+/// the [`dd_obs::NoopRecorder`] attached must cost the same as executing
+/// with no recorder at all — the two benches below should be
+/// indistinguishable.
+fn bench_noop_recorder_overhead(c: &mut Criterion) {
+    let (run, runtimes, history) = setup();
+    let mut executor = FaasExecutor::aws();
+    let mut group = c.benchmark_group("executor/obs_overhead");
+
+    group.bench_function("no_recorder", |b| {
+        b.iter_batched(
+            || DayDreamScheduler::aws(&history, SeedStream::new(7)),
+            |mut s| {
+                black_box(
+                    executor
+                        .run(RunRequest::new(&run, &runtimes, &mut s))
+                        .into_outcome(),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("noop_recorder", |b| {
+        b.iter_batched(
+            || DayDreamScheduler::aws(&history, SeedStream::new(7)),
+            |mut s| {
+                let mut noop = dd_obs::NoopRecorder;
+                black_box(
+                    executor
+                        .run(RunRequest::new(&run, &runtimes, &mut s).with_recorder(&mut noop))
+                        .into_outcome(),
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("memory_recorder", |b| {
+        b.iter_batched(
+            || DayDreamScheduler::aws(&history, SeedStream::new(7)),
+            |mut s| {
+                let mut rec = dd_obs::MemoryRecorder::new();
+                black_box(
+                    executor
+                        .run(RunRequest::new(&run, &runtimes, &mut s).with_recorder(&mut rec))
+                        .into_outcome(),
+                )
+            },
             BatchSize::SmallInput,
         )
     });
@@ -88,5 +170,10 @@ fn bench_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_schedulers, bench_generation);
+criterion_group!(
+    benches,
+    bench_schedulers,
+    bench_noop_recorder_overhead,
+    bench_generation
+);
 criterion_main!(benches);

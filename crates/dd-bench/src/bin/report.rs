@@ -18,7 +18,7 @@
 use dd_bench::experiments as exp;
 use dd_bench::{EvaluationMatrix, ExperimentContext, SchedulerKind};
 
-const FIGURES: [&str; 28] = [
+const FIGURES: [&str; 29] = [
     "fig1",
     "fig2",
     "fig3",
@@ -47,6 +47,7 @@ const FIGURES: [&str; 28] = [
     "fixedpool",
     "scaling",
     "robustness",
+    "obs",
 ];
 
 fn main() {
@@ -171,6 +172,7 @@ fn main() {
             "fixedpool" => exp::fixedpool::run(&ctx),
             "scaling" => exp::scaling::run(&ctx),
             "robustness" => exp::robustness::run(&ctx),
+            "obs" => exp::obs::run(&ctx),
             other => {
                 eprintln!("unknown figure '{other}' (see --help)");
                 continue;

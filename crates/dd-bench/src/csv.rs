@@ -108,7 +108,10 @@ pub fn write_matrix_csv(matrix: &EvaluationMatrix, dir: &Path) -> std::io::Resul
     {
         let path = dir.join("phase_times.csv");
         let mut w = std::io::BufWriter::new(std::fs::File::create(&path)?);
-        writeln!(w, "workflow,scheduler,run,phase,concurrency,exec_secs")?;
+        writeln!(
+            w,
+            "workflow,scheduler,run,phase,concurrency,exec_secs,keep_alive_usd,retried"
+        )?;
         for eval in &matrix.workflows {
             for (kind, outcomes) in &eval.outcomes {
                 for (run, o) in outcomes.iter().enumerate().take(3) {
@@ -116,12 +119,14 @@ pub fn write_matrix_csv(matrix: &EvaluationMatrix, dir: &Path) -> std::io::Resul
                     for p in o.phases.iter().step_by(stride) {
                         writeln!(
                             w,
-                            "{},{},{run},{},{},{:.3}",
+                            "{},{},{run},{},{},{:.3},{:.6},{}",
                             eval.workflow.name(),
                             kind.name(),
                             p.index,
                             p.concurrency,
                             p.exec_secs,
+                            p.keep_alive(),
+                            p.faults.retried_components,
                         )?;
                     }
                 }

@@ -14,6 +14,7 @@ use crate::workloads::{mean, ExperimentContext};
 use daydream_core::{DayDreamConfig, DayDreamScheduler};
 use dd_baselines::HybridScheduler;
 use dd_platform::{CloudVendor, FaasConfig, FaasExecutor, PoolTrigger};
+use dd_platform::{Executor, RunRequest};
 use dd_stats::SeedStream;
 use dd_wfdag::Workflow;
 
@@ -89,7 +90,7 @@ fn evaluate(ctx: &ExperimentContext, variant: Variant, hard_only: bool) -> (f64,
     let results = crate::sweep::par_map(ctx.jobs, cells.len(), |c| {
         let (wf_idx, idx) = cells[c];
         let (gen, runtimes, history) = &shared[wf_idx];
-        let executor = FaasExecutor::new(FaasConfig {
+        let mut executor = FaasExecutor::new(FaasConfig {
             vendor: ctx.vendor,
             trigger: variant.trigger,
             ..FaasConfig::default()
@@ -106,7 +107,9 @@ fn evaluate(ctx: &ExperimentContext, variant: Variant, hard_only: bool) -> (f64,
             .derive("ablation")
             .derive_index(idx as u64);
         let mut sched = DayDreamScheduler::new(history, config, ctx.vendor, seeds);
-        let outcome = executor.execute(&run, runtimes, &mut sched);
+        let outcome = executor
+            .run(RunRequest::new(&run, runtimes, &mut sched))
+            .into_outcome();
         (outcome.service_time_secs, outcome.service_cost())
     });
     let times = results.iter().map(|r| r.0);
@@ -157,7 +160,7 @@ pub fn run(ctx: &ExperimentContext) -> String {
         let results = crate::sweep::par_map(ctx.jobs, shared.len() * budget, |cell| {
             let (gen, runtimes, history) = &shared[cell / budget];
             let idx = cell % budget;
-            let executor = FaasExecutor::new(FaasConfig {
+            let mut executor = FaasExecutor::new(FaasConfig {
                 vendor: ctx.vendor,
                 ..FaasConfig::default()
             });
@@ -167,7 +170,9 @@ pub fn run(ctx: &ExperimentContext) -> String {
                 .derive_index(idx as u64);
             let mut sched =
                 HybridScheduler::new(history, DayDreamConfig::default(), CloudVendor::Aws, seeds);
-            let outcome = executor.execute(&run, runtimes, &mut sched);
+            let outcome = executor
+                .run(RunRequest::new(&run, runtimes, &mut sched))
+                .into_outcome();
             (outcome.service_time_secs, outcome.service_cost())
         });
         let (t, c) = (

@@ -10,6 +10,7 @@
 use crate::report::{pct_change, section, Table};
 use crate::workloads::{mean, ExperimentContext};
 use daydream_core::{DayDreamHistory, DayDreamScheduler};
+use dd_platform::{Executor, RunRequest};
 use dd_platform::{FaasConfig, FaasExecutor};
 use dd_stats::SeedStream;
 use dd_wfdag::Workflow;
@@ -35,7 +36,7 @@ pub fn run(ctx: &ExperimentContext) -> String {
     ]);
     let mut base: Option<(f64, f64)> = None;
     for limit in [1_000usize, 128, 64, 32, 16] {
-        let executor = FaasExecutor::new(FaasConfig {
+        let mut executor = FaasExecutor::new(FaasConfig {
             vendor: ctx.vendor,
             invocation_limit: limit,
             ..FaasConfig::default()
@@ -47,7 +48,9 @@ pub fn run(ctx: &ExperimentContext) -> String {
                 .derive("concurrency")
                 .derive_index(idx as u64);
             let mut sched = DayDreamScheduler::aws(&history, seeds);
-            let outcome = executor.execute(run, &runtimes, &mut sched);
+            let outcome = executor
+                .run(RunRequest::new(run, &runtimes, &mut sched))
+                .into_outcome();
             times.push(outcome.service_time_secs);
             costs.push(outcome.service_cost());
         }

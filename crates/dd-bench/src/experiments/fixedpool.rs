@@ -11,6 +11,7 @@ use crate::report::{pct_change, section, Table};
 use crate::workloads::{mean, ExperimentContext};
 use daydream_core::{DayDreamHistory, DayDreamScheduler};
 use dd_baselines::FixedPoolScheduler;
+use dd_platform::{Executor, RunRequest};
 use dd_platform::{FaasConfig, FaasExecutor, RunOutcome, ServerlessScheduler};
 use dd_stats::SeedStream;
 use dd_wfdag::{Workflow, WorkflowRun};
@@ -22,7 +23,7 @@ fn evaluate(
     history: &DayDreamHistory,
     mut make: impl FnMut(u64) -> Box<dyn ServerlessScheduler>,
 ) -> (f64, f64, f64) {
-    let executor = FaasExecutor::new(FaasConfig {
+    let mut executor = FaasExecutor::new(FaasConfig {
         vendor: ctx.vendor,
         ..FaasConfig::default()
     });
@@ -31,7 +32,9 @@ fn evaluate(
         .enumerate()
         .map(|(i, run)| {
             let mut s = make(i as u64);
-            executor.execute(run, runtimes, s.as_mut())
+            executor
+                .run(RunRequest::new(run, runtimes, s.as_mut()))
+                .into_outcome()
         })
         .collect();
     let _ = history;

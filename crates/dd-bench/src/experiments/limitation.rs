@@ -15,6 +15,7 @@
 use crate::report::{pct_change, section, Table};
 use crate::workloads::ExperimentContext;
 use daydream_core::{DayDreamHistory, DayDreamScheduler};
+use dd_platform::{Executor, RunRequest};
 use dd_platform::{FaasExecutor, StartupModel};
 use dd_stats::SeedStream;
 use dd_wfdag::{LanguageRuntime, Workflow};
@@ -40,7 +41,7 @@ pub fn run(ctx: &ExperimentContext) -> String {
     let gen = ctx.generator(Workflow::Ccl);
     let mut history = DayDreamHistory::new();
     history.learn_from_run(&gen.generate(1_000), 0.20, 24);
-    let executor = FaasExecutor::aws();
+    let mut executor = FaasExecutor::aws();
     let startup = StartupModel::aws();
 
     let mut table = Table::new([
@@ -62,7 +63,9 @@ pub fn run(ctx: &ExperimentContext) -> String {
                 .derive("limitation")
                 .derive_index(idx as u64);
             let mut sched = DayDreamScheduler::aws(&history, seeds);
-            let outcome = executor.execute(&run, set, &mut sched);
+            let outcome = executor
+                .run(RunRequest::new(&run, set, &mut sched))
+                .into_outcome();
             times.push(outcome.service_time_secs);
             costs.push(outcome.service_cost());
         }

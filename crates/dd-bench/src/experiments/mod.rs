@@ -32,6 +32,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fixedpool;
 pub mod limitation;
+pub mod obs;
 pub mod overhead;
 pub mod robustness;
 pub mod scaling;

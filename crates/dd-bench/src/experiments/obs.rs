@@ -1,0 +1,101 @@
+//! Observability sweep (DESIGN.md §8): per-run metric snapshots from the
+//! dd-obs recorder, merged deterministically in run-index order.
+//!
+//! Each run executes with its own [`MemoryRecorder`] (nothing shared
+//! across worker threads), so the sweep fans out over `--jobs` workers
+//! and still renders byte-identically at any setting: per-run snapshots
+//! come back ordered by run index and merge left-to-right.
+
+use crate::report::{section, Table};
+use crate::workloads::ExperimentContext;
+use daydream_core::{DayDreamConfig, DayDreamScheduler};
+use dd_obs::{MemoryRecorder, MetricsRegistry};
+use dd_platform::prelude::*;
+use dd_stats::SeedStream;
+use dd_wfdag::Workflow;
+
+/// Runs the experiment.
+pub fn run(ctx: &ExperimentContext) -> String {
+    let gen = ctx.generator(Workflow::Ccl);
+    let runtimes = gen.spec().runtimes.clone();
+    let history = ctx.history(Workflow::Ccl);
+
+    let snapshots = crate::sweep::par_map(ctx.jobs, ctx.runs_per_workflow, |idx| {
+        let run = gen.generate(idx);
+        let seeds = SeedStream::new(ctx.seed)
+            .derive("obs")
+            .derive_index(idx as u64);
+        let mut scheduler =
+            DayDreamScheduler::new(&history, DayDreamConfig::default(), ctx.vendor, seeds);
+        let mut recorder = MemoryRecorder::new();
+        let mut executor = FaasExecutor::new(FaasConfig {
+            vendor: ctx.vendor,
+            ..FaasConfig::default()
+        });
+        let outcome = executor
+            .run(RunRequest::new(&run, &runtimes, &mut scheduler).with_recorder(&mut recorder))
+            .into_outcome();
+        (outcome.service_time_secs, recorder)
+    });
+
+    let mut table = Table::new([
+        "run",
+        "events",
+        "hot",
+        "cold",
+        "preload hits",
+        "refits",
+        "service time",
+    ]);
+    let mut merged = MetricsRegistry::new();
+    for (idx, (service_secs, recorder)) in snapshots.iter().enumerate() {
+        table.row([
+            format!("{idx}"),
+            format!("{}", recorder.events.len()),
+            format!("{}", recorder.metrics.counter(metrics::STARTS_HOT)),
+            format!("{}", recorder.metrics.counter(metrics::STARTS_COLD)),
+            format!("{}", recorder.metrics.counter(metrics::PRELOAD_HITS)),
+            format!("{}", recorder.metrics.counter(metrics::WEIBULL_REFITS)),
+            format!("{service_secs:.3}s"),
+        ]);
+        merged.merge(&recorder.metrics);
+    }
+
+    section(
+        "DESIGN.md §8 — observability sweep (CCL, DayDream)",
+        &format!(
+            "{}\nmerged metrics over {} runs\n{}",
+            table.render(),
+            snapshots.len(),
+            dd_obs::export::metrics_summary(&merged)
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_metrics_cover_every_run() {
+        let ctx = ExperimentContext {
+            runs_per_workflow: 3,
+            scale_down: 20,
+            ..ExperimentContext::default()
+        };
+        let out = run(&ctx);
+        assert!(out.contains("merged metrics over 3 runs"), "{out}");
+        assert!(out.contains(metrics::STARTS_HOT), "{out}");
+        assert!(out.contains(metrics::SERVICE_TIME_SECS), "{out}");
+    }
+
+    #[test]
+    fn report_is_jobs_invariant() {
+        let ctx = ExperimentContext {
+            runs_per_workflow: 3,
+            scale_down: 20,
+            ..ExperimentContext::default()
+        };
+        assert_eq!(run(&ctx.with_jobs(1)), run(&ctx.with_jobs(8)));
+    }
+}

@@ -23,6 +23,7 @@ use crate::report::{pct_change, section, Table};
 use crate::workloads::{mean, ExperimentContext};
 use daydream_core::{DayDreamHistory, DayDreamScheduler};
 use dd_baselines::{Pegasus, WildScheduler};
+use dd_platform::{Executor, RunRequest};
 use dd_platform::{FaasConfig, FaasExecutor, FaultConfig, FaultPlan, RecoveryPolicy, RunOutcome};
 use dd_stats::SeedStream;
 use dd_wfdag::{LanguageRuntime, Workflow, WorkflowRun};
@@ -103,7 +104,7 @@ pub fn run(ctx: &ExperimentContext) -> String {
         let idx = cell % runs.len();
         let run = &runs[idx];
         let faults = FaultConfig::uniform(rate).with_seed(fault_seed);
-        let executor = FaasExecutor::new(FaasConfig {
+        let mut executor = FaasExecutor::new(FaasConfig {
             vendor: ctx.vendor,
             faults,
             recovery: policy,
@@ -112,8 +113,16 @@ pub fn run(ctx: &ExperimentContext) -> String {
         let seeds = SeedStream::new(ctx.seed)
             .derive("robustness")
             .derive_index(idx as u64);
-        let dd = executor.execute(run, &runtimes, &mut DayDreamScheduler::aws(&history, seeds));
-        let wild = executor.execute(run, &runtimes, &mut WildScheduler::new());
+        let dd = executor
+            .run(RunRequest::new(
+                run,
+                &runtimes,
+                &mut DayDreamScheduler::aws(&history, seeds),
+            ))
+            .into_outcome();
+        let wild = executor
+            .run(RunRequest::new(run, &runtimes, &mut WildScheduler::new()))
+            .into_outcome();
         let pegasus = pegasus_with_faults(run, &runtimes, ctx, faults, policy);
         [
             dd.service_time_secs,

@@ -11,6 +11,7 @@ use crate::report::{pct_change, section, Table};
 use crate::workloads::{mean, ExperimentContext};
 use daydream_core::{DayDreamHistory, DayDreamScheduler};
 use dd_baselines::{Pegasus, WildScheduler};
+use dd_platform::{Executor, RunRequest};
 use dd_platform::{FaasConfig, FaasExecutor};
 use dd_stats::SeedStream;
 use dd_wfdag::{RunGenerator, WorkflowSpec};
@@ -47,7 +48,7 @@ pub fn run(ctx: &ExperimentContext) -> String {
     let cells = crate::sweep::par_map(ctx.jobs, levels.len() * n_runs, |cell| {
         let (_, gen, runtimes, history) = &levels[cell / n_runs];
         let idx = cell % n_runs;
-        let executor = FaasExecutor::new(FaasConfig {
+        let mut executor = FaasExecutor::new(FaasConfig {
             vendor: ctx.vendor,
             ..FaasConfig::default()
         });
@@ -55,8 +56,16 @@ pub fn run(ctx: &ExperimentContext) -> String {
         let seeds = SeedStream::new(ctx.seed)
             .derive("scaling")
             .derive_index(idx as u64);
-        let dd = executor.execute(&run, runtimes, &mut DayDreamScheduler::aws(history, seeds));
-        let wi = executor.execute(&run, runtimes, &mut WildScheduler::new());
+        let dd = executor
+            .run(RunRequest::new(
+                &run,
+                runtimes,
+                &mut DayDreamScheduler::aws(history, seeds),
+            ))
+            .into_outcome();
+        let wi = executor
+            .run(RunRequest::new(&run, runtimes, &mut WildScheduler::new()))
+            .into_outcome();
         let pe = Pegasus.execute_on(&run, runtimes, ctx.vendor);
         [
             [dd.service_time_secs, dd.service_cost()],

@@ -11,6 +11,7 @@
 use crate::report::{pct_change, section, Table};
 use crate::workloads::{mean, ExperimentContext};
 use daydream_core::{DayDreamConfig, DayDreamScheduler};
+use dd_platform::{Executor, RunRequest};
 use dd_platform::{FaasConfig, FaasExecutor};
 use dd_stats::SeedStream;
 use dd_wfdag::Workflow;
@@ -31,7 +32,7 @@ fn daydream_means(ctx: &ExperimentContext, config: DayDreamConfig) -> (f64, f64)
     let results = crate::sweep::par_map(ctx.jobs, shared.len() * budget, |cell| {
         let (gen, runtimes, history) = &shared[cell / budget];
         let idx = cell % budget;
-        let executor = FaasExecutor::new(FaasConfig {
+        let mut executor = FaasExecutor::new(FaasConfig {
             vendor: ctx.vendor,
             friendly_threshold: config.friendly_threshold,
             ..FaasConfig::default()
@@ -41,7 +42,9 @@ fn daydream_means(ctx: &ExperimentContext, config: DayDreamConfig) -> (f64, f64)
             .derive("sensitivity")
             .derive_index(idx as u64);
         let mut sched = DayDreamScheduler::new(history, config, ctx.vendor, seeds);
-        let outcome = executor.execute(&run, runtimes, &mut sched);
+        let outcome = executor
+            .run(RunRequest::new(&run, runtimes, &mut sched))
+            .into_outcome();
         (outcome.service_time_secs, outcome.service_cost())
     });
     (

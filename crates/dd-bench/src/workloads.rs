@@ -11,6 +11,7 @@
 use daydream_core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use dd_baselines::{NaiveScheduler, OracleScheduler, Pegasus, WildScheduler};
 use dd_platform::{CloudVendor, FaasConfig, FaasExecutor, RunOutcome};
+use dd_platform::{Executor, RunRequest};
 use dd_stats::SeedStream;
 use dd_wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
 
@@ -141,7 +142,7 @@ pub fn execute_run(
     history: &DayDreamHistory,
     kind: SchedulerKind,
 ) -> RunOutcome {
-    let executor = FaasExecutor::new(FaasConfig {
+    let mut executor = FaasExecutor::new(FaasConfig {
         vendor: ctx.vendor,
         ..FaasConfig::default()
     });
@@ -151,21 +152,29 @@ pub fn execute_run(
     match kind {
         SchedulerKind::Oracle => {
             let mut s = OracleScheduler::new(run.clone(), 0.20);
-            executor.execute(run, runtimes, &mut s)
+            executor
+                .run(RunRequest::new(run, runtimes, &mut s))
+                .into_outcome()
         }
         SchedulerKind::DayDream => {
             let mut s =
                 DayDreamScheduler::new(history, DayDreamConfig::default(), ctx.vendor, seeds);
-            executor.execute(run, runtimes, &mut s)
+            executor
+                .run(RunRequest::new(run, runtimes, &mut s))
+                .into_outcome()
         }
         SchedulerKind::Wild => {
             let mut s = WildScheduler::new();
-            executor.execute(run, runtimes, &mut s)
+            executor
+                .run(RunRequest::new(run, runtimes, &mut s))
+                .into_outcome()
         }
         SchedulerKind::Pegasus => Pegasus.execute_on(run, runtimes, ctx.vendor),
         SchedulerKind::Naive => {
             let mut s = NaiveScheduler;
-            executor.execute(run, runtimes, &mut s)
+            executor
+                .run(RunRequest::new(run, runtimes, &mut s))
+                .into_outcome()
         }
     }
 }

@@ -49,6 +49,47 @@ impl SchedulerChoice {
     }
 }
 
+/// Observability export format (`--obs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsFormat {
+    /// One JSON object per trace event, plus the metric table.
+    Jsonl,
+    /// chrome://tracing / Perfetto `trace.json`.
+    Chrome,
+    /// Human-readable per-phase timing and metric tables.
+    Summary,
+}
+
+impl ObsFormat {
+    /// Parses a format name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "jsonl" => Ok(Self::Jsonl),
+            "chrome" => Ok(Self::Chrome),
+            "summary" => Ok(Self::Summary),
+            other => Err(format!("unknown --obs format '{other}'")),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Jsonl => "jsonl",
+            Self::Chrome => "chrome",
+            Self::Summary => "summary",
+        }
+    }
+
+    /// Per-run export file name.
+    pub fn file_name(self) -> &'static str {
+        match self {
+            Self::Jsonl => "obs.jsonl",
+            Self::Chrome => "trace.json",
+            Self::Summary => "obs_summary.txt",
+        }
+    }
+}
+
 /// Parameters shared by `run` and `verify`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunArgs {
@@ -79,6 +120,11 @@ pub struct RunArgs {
     /// Recovery policy for faulted attempts
     /// (none|backoff|timeout|speculate).
     pub retry_policy: RecoveryPolicy,
+    /// Observability export written per run (None = recording off, the
+    /// zero-cost no-op recorder).
+    pub obs: Option<ObsFormat>,
+    /// Directory for the observability exports (defaults to `--out`).
+    pub obs_out: Option<PathBuf>,
 }
 
 /// A parsed CLI invocation.
@@ -126,6 +172,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let mut fault_rate = 0.0f64;
     let mut fault_seed = 0u64;
     let mut retry_policy = RecoveryPolicy::backoff();
+    let mut obs = None;
+    let mut obs_out = None;
 
     let mut i = 1;
     while i < args.len() {
@@ -179,9 +227,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .map_err(|_| "--fault-seed takes a number".to_string())?
             }
             "--retry-policy" => retry_policy = RecoveryPolicy::parse(value()?)?,
+            "--obs" => obs = Some(ObsFormat::parse(value()?)?),
+            "--obs-out" => obs_out = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 2;
+    }
+
+    if obs_out.is_some() && obs.is_none() {
+        return Err("--obs-out requires --obs".to_string());
     }
 
     let run_args = RunArgs {
@@ -196,6 +250,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
         fault_rate,
         fault_seed,
         retry_policy,
+        obs,
+        obs_out,
     };
     Ok(if verb == "run" {
         Command::Run(run_args)
@@ -353,6 +409,68 @@ mod tests {
             "pray",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn parses_obs_flags() {
+        let cmd = parse_args(&strs(&[
+            "run",
+            "--workflow",
+            "ccl",
+            "--out",
+            "x",
+            "--obs",
+            "chrome",
+            "--obs-out",
+            "obs-dir",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(a) => {
+                assert_eq!(a.obs, Some(ObsFormat::Chrome));
+                assert_eq!(a.obs_out, Some(PathBuf::from("obs-dir")));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Defaults: recording off, exports land under --out.
+        match parse_args(&strs(&["run", "--workflow", "ccl", "--out", "x"])).unwrap() {
+            Command::Run(a) => {
+                assert_eq!(a.obs, None);
+                assert_eq!(a.obs_out, None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Unknown format and an --obs-out without --obs both error.
+        assert!(parse_args(&strs(&[
+            "run",
+            "--workflow",
+            "ccl",
+            "--out",
+            "x",
+            "--obs",
+            "xml",
+        ]))
+        .is_err());
+        assert!(parse_args(&strs(&[
+            "run",
+            "--workflow",
+            "ccl",
+            "--out",
+            "x",
+            "--obs-out",
+            "obs-dir",
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn obs_format_names_roundtrip() {
+        for name in ["jsonl", "chrome", "summary"] {
+            assert_eq!(ObsFormat::parse(name).unwrap().name(), name);
+        }
+        assert_eq!(ObsFormat::Jsonl.file_name(), "obs.jsonl");
+        assert_eq!(ObsFormat::Chrome.file_name(), "trace.json");
+        assert_eq!(ObsFormat::Summary.file_name(), "obs_summary.txt");
     }
 
     #[test]

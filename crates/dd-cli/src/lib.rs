@@ -8,8 +8,8 @@ pub mod args;
 pub mod output;
 pub mod runner;
 
-pub use args::{parse_args, Command, RunArgs, SchedulerChoice};
-pub use output::{read_series, write_run_outputs, RunFiles};
+pub use args::{parse_args, Command, ObsFormat, RunArgs, SchedulerChoice};
+pub use output::{read_series, write_obs, write_run_outputs, RunFiles};
 pub use runner::{execute_all, run_command, verify_against};
 
 /// CLI usage text.
@@ -20,6 +20,7 @@ USAGE:
     daydream-cli run    --workflow <exafel|cosmoscout|ccl> [--runs N] [--scheduler S]
                         [--seed N] [--scale N] [--jobs N] --out <dir>
                         [--fault-rate P] [--fault-seed N] [--retry-policy R]
+                        [--obs FMT] [--obs-out <dir>]
     daydream-cli verify --workflow <exafel|cosmoscout|ccl> [--runs N] [--scheduler S]
                         [--seed N] [--scale N] [--jobs N] --out <dir> [--tolerance PCT]
                         [--fault-rate P] [--fault-seed N] [--retry-policy R]
@@ -28,6 +29,7 @@ USAGE:
 
 SCHEDULERS: daydream (default), oracle, wild, pegasus, naive, hybrid
 RETRY POLICIES: none, backoff (default), timeout, speculate
+OBS FORMATS: jsonl, chrome, summary
 
 `run` executes N runs (default 50) and writes run-1/ .. run-N/ under
 --out, each containing phase_time.txt, function_service_time.txt and
@@ -42,4 +44,11 @@ failures, storage hiccups, stragglers) uniformly at probability P per
 component attempt, recovered per --retry-policy; placement is fully
 determined by --fault-seed, so faulty runs reproduce exactly. The
 default P = 0 executes cleanly and matches fault-free output byte for
-byte.";
+byte.
+
+--obs enables the deterministic observability recorder and writes one
+export per run next to the artifact files (obs.jsonl, trace.json for
+chrome://tracing, or obs_summary.txt); --obs-out redirects them to a
+separate directory. All timestamps come from the simulator's virtual
+clock, so exports are byte-identical at any --jobs setting. Without
+--obs the no-op recorder runs and output bytes are unchanged.";

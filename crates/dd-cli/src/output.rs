@@ -12,6 +12,8 @@
 //! This module writes and reads that exact layout (one `%.6f` value per
 //! line) so outputs are diffable against any other producer.
 
+use crate::args::ObsFormat;
+use dd_obs::MemoryRecorder;
 use dd_platform::{ExecutionTrace, RunOutcome};
 use std::fs;
 use std::io::{BufRead, BufReader, Write};
@@ -46,6 +48,29 @@ impl RunFiles {
     pub fn execution_cost(&self) -> PathBuf {
         self.dir.join("execution_cost.txt")
     }
+
+    /// Path of the observability export for `format` (`--obs`).
+    pub fn obs(&self, format: ObsFormat) -> PathBuf {
+        self.dir.join(format.file_name())
+    }
+}
+
+/// Renders one run's recorder into `format` and writes it next to the
+/// run's artifact files (or under `--obs-out`). All timestamps in the
+/// export come from the executor's virtual clock, so the bytes are
+/// identical at any `--jobs` setting.
+pub fn write_obs(
+    files: &RunFiles,
+    format: ObsFormat,
+    recorder: &MemoryRecorder,
+) -> std::io::Result<()> {
+    fs::create_dir_all(&files.dir)?;
+    let rendered = match format {
+        ObsFormat::Jsonl => dd_obs::export::to_jsonl(recorder),
+        ObsFormat::Chrome => dd_obs::export::to_chrome_trace(recorder),
+        ObsFormat::Summary => dd_obs::export::summary(recorder),
+    };
+    fs::write(files.obs(format), rendered)
 }
 
 /// Writes one value per line.
@@ -149,5 +174,38 @@ mod tests {
             .function_service_time()
             .ends_with("function_service_time.txt"));
         assert!(f.execution_cost().ends_with("execution_cost.txt"));
+        assert_eq!(
+            f.obs(ObsFormat::Jsonl),
+            Path::new("/tmp/out/run-3/obs.jsonl")
+        );
+        assert_eq!(
+            f.obs(ObsFormat::Chrome),
+            Path::new("/tmp/out/run-3/trace.json")
+        );
+        assert_eq!(
+            f.obs(ObsFormat::Summary),
+            Path::new("/tmp/out/run-3/obs_summary.txt")
+        );
+    }
+
+    #[test]
+    fn write_obs_renders_each_format() {
+        use dd_obs::Recorder;
+        let dir = tmpdir("obs");
+        let mut rec = MemoryRecorder::new();
+        rec.declare_counter("starts_hot");
+        rec.add("starts_hot", 3);
+        rec.span("phase", "phase", 0.0, 1.0, Vec::new());
+        for format in [ObsFormat::Jsonl, ObsFormat::Chrome, ObsFormat::Summary] {
+            let files = RunFiles::new(&dir, 1);
+            write_obs(&files, format, &rec).unwrap();
+            let text = fs::read_to_string(files.obs(format)).unwrap();
+            assert!(
+                text.contains("starts_hot") || format == ObsFormat::Chrome,
+                "{text}"
+            );
+            assert!(!text.is_empty());
+        }
+        let _ = fs::remove_dir_all(dir);
     }
 }

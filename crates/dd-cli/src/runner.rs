@@ -1,10 +1,14 @@
 //! Command execution: run the workload, write/verify artifact files.
 
 use crate::args::{Command, RunArgs, SchedulerChoice};
-use crate::output::{read_series, write_run_outputs, RunFiles};
+use crate::output::{read_series, write_obs, write_run_outputs, RunFiles};
 use daydream_core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use dd_baselines::{HybridScheduler, NaiveScheduler, OracleScheduler, Pegasus, WildScheduler};
-use dd_platform::{CloudVendor, ExecutionTrace, FaasConfig, FaasExecutor, FaultConfig, RunOutcome};
+use dd_obs::MemoryRecorder;
+use dd_platform::{
+    CloudVendor, ExecutionTrace, Executor, FaasConfig, FaasExecutor, FaultConfig, RunOutcome,
+    RunRequest, ServerlessScheduler,
+};
 use dd_stats::SeedStream;
 use dd_wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
 
@@ -54,58 +58,79 @@ pub fn run_command(cmd: &Command) -> Result<(), String> {
     }
 }
 
-/// Executes one run under the chosen scheduler, returning the outcome and
-/// full trace.
+/// Runs one scheduler through the unified [`Executor`] API, recording
+/// into `recorder` when observability is on.
+fn serve(
+    executor: &mut FaasExecutor,
+    run: &WorkflowRun,
+    runtimes: &[dd_wfdag::LanguageRuntime],
+    scheduler: &mut dyn ServerlessScheduler,
+    recorder: Option<&mut MemoryRecorder>,
+) -> (RunOutcome, ExecutionTrace) {
+    let mut req = RunRequest::new(run, runtimes, scheduler).traced();
+    if let Some(rec) = recorder {
+        req = req.with_recorder(rec);
+    }
+    executor.run(req).into_traced()
+}
+
+/// Executes one run under the chosen scheduler, returning the outcome,
+/// full trace and (when `--obs` is set) the run's recorder.
 fn execute_one(
     args: &RunArgs,
     run: &WorkflowRun,
     runtimes: &[dd_wfdag::LanguageRuntime],
     history: &DayDreamHistory,
-) -> (RunOutcome, ExecutionTrace) {
+) -> (RunOutcome, ExecutionTrace, Option<MemoryRecorder>) {
     // At the default `--fault-rate 0` this config is identical to
     // `FaasExecutor::aws()` — clean runs stay byte-identical to builds
     // without the fault engine.
-    let executor = FaasExecutor::new(FaasConfig {
+    let mut executor = FaasExecutor::new(FaasConfig {
         faults: FaultConfig::uniform(args.fault_rate).with_seed(args.fault_seed),
         recovery: args.retry_policy,
         ..FaasConfig::default()
     });
+    // One recorder per run: recording stays deterministic under --jobs
+    // because nothing is shared across worker threads.
+    let mut recorder = args.obs.map(|_| MemoryRecorder::new());
     let seeds = SeedStream::new(args.seed)
         .derive("cli")
         .derive_index(run.label.run_index as u64);
-    match args.scheduler {
+    let (outcome, trace) = match args.scheduler {
         SchedulerChoice::DayDream => {
             let mut s =
                 DayDreamScheduler::new(history, DayDreamConfig::default(), CloudVendor::Aws, seeds);
-            executor.execute_traced(run, runtimes, &mut s)
+            serve(&mut executor, run, runtimes, &mut s, recorder.as_mut())
         }
         SchedulerChoice::Oracle => {
             let mut s = OracleScheduler::new(run.clone(), 0.20);
-            executor.execute_traced(run, runtimes, &mut s)
+            serve(&mut executor, run, runtimes, &mut s, recorder.as_mut())
         }
         SchedulerChoice::Wild => {
             let mut s = WildScheduler::new();
-            executor.execute_traced(run, runtimes, &mut s)
+            serve(&mut executor, run, runtimes, &mut s, recorder.as_mut())
         }
         SchedulerChoice::Naive => {
             let mut s = NaiveScheduler;
-            executor.execute_traced(run, runtimes, &mut s)
+            serve(&mut executor, run, runtimes, &mut s, recorder.as_mut())
         }
         SchedulerChoice::Hybrid => {
             let mut s =
                 HybridScheduler::new(history, DayDreamConfig::default(), CloudVendor::Aws, seeds);
-            executor.execute_traced(run, runtimes, &mut s)
+            serve(&mut executor, run, runtimes, &mut s, recorder.as_mut())
         }
         SchedulerChoice::Pegasus => {
             // The cluster path has no pooled-instance trace; synthesize a
             // component trace from the outcome's phase records is not
             // possible, so Pegasus runs re-execute on the cluster sim and
-            // derive the files from its phase records.
+            // derive the files from its phase records. It also bypasses
+            // the serverless executor, so its recorder stays empty.
             let outcome = Pegasus.execute(run, runtimes);
             let trace = pegasus_trace(run, &outcome);
             (outcome, trace)
         }
-    }
+    };
+    (outcome, trace, recorder)
 }
 
 /// Builds a minimal trace for cluster executions (phase spans and
@@ -171,10 +196,16 @@ pub fn execute_all(
 
     let mut outcomes = Vec::with_capacity(args.runs);
     for (idx, cell) in executed.into_iter().enumerate() {
-        let (outcome, trace) = cell?;
+        let (outcome, trace, recorder) = cell?;
         let files = RunFiles::new(&args.out, idx + 1);
         write_run_outputs(&files, &outcome, &trace)
             .map_err(|e| format!("writing {}: {e}", files.dir.display()))?;
+        if let (Some(format), Some(recorder)) = (args.obs, recorder.as_ref()) {
+            let obs_base = args.obs_out.as_deref().unwrap_or(&args.out);
+            let obs_files = RunFiles::new(obs_base, idx + 1);
+            write_obs(&obs_files, format, recorder)
+                .map_err(|e| format!("writing {}: {e}", obs_files.obs(format).display()))?;
+        }
         progress(idx + 1, &outcome);
         outcomes.push(outcome);
     }
@@ -202,7 +233,7 @@ pub fn verify_against(args: &RunArgs) -> Result<String, String> {
 
     let mut report = String::new();
     let mut worst: f64 = 0.0;
-    for (idx, (outcome, trace)) in executed.into_iter().enumerate() {
+    for (idx, (outcome, trace, _recorder)) in executed.into_iter().enumerate() {
         let files = RunFiles::new(&args.out, idx + 1);
 
         let compare = |path: std::path::PathBuf, fresh: f64| -> Result<f64, String> {
@@ -266,6 +297,8 @@ mod tests {
             fault_rate: 0.0,
             fault_seed: 0,
             retry_policy: dd_platform::RecoveryPolicy::backoff(),
+            obs: None,
+            obs_out: None,
         }
     }
 
@@ -316,6 +349,52 @@ mod tests {
         }
         let _ = std::fs::remove_dir_all(out1);
         let _ = std::fs::remove_dir_all(out8);
+    }
+
+    #[test]
+    fn obs_exports_identical_across_jobs_and_respect_obs_out() {
+        use crate::args::ObsFormat;
+        let out1 = tmpdir("obs-jobs1");
+        let out8 = tmpdir("obs-jobs8");
+        let obs_dir = tmpdir("obs-redirect");
+        let a1 = RunArgs {
+            jobs: 1,
+            obs: Some(ObsFormat::Jsonl),
+            ..args(SchedulerChoice::DayDream, out1.clone())
+        };
+        let a8 = RunArgs {
+            jobs: 8,
+            obs: Some(ObsFormat::Jsonl),
+            obs_out: Some(obs_dir.clone()),
+            ..args(SchedulerChoice::DayDream, out8.clone())
+        };
+        execute_all(&a1, |_, _| {}).unwrap();
+        execute_all(&a8, |_, _| {}).unwrap();
+        for idx in 1..=2 {
+            let p1 = RunFiles::new(&out1, idx).obs(ObsFormat::Jsonl);
+            let p8 = RunFiles::new(&obs_dir, idx).obs(ObsFormat::Jsonl);
+            let b1 = std::fs::read(&p1).unwrap();
+            let b8 = std::fs::read(&p8).unwrap();
+            assert!(!b1.is_empty(), "empty obs export {}", p1.display());
+            assert_eq!(b1, b8, "obs export differs across --jobs: {}", p1.display());
+            // --obs-out redirected the export away from --out.
+            assert!(!RunFiles::new(&out8, idx).obs(ObsFormat::Jsonl).exists());
+        }
+        for dir in [out1, out8, obs_dir] {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+
+    #[test]
+    fn obs_off_writes_no_export_files() {
+        use crate::args::ObsFormat;
+        let out = tmpdir("obs-off");
+        let a = args(SchedulerChoice::DayDream, out.clone());
+        execute_all(&a, |_, _| {}).unwrap();
+        for format in [ObsFormat::Jsonl, ObsFormat::Chrome, ObsFormat::Summary] {
+            assert!(!RunFiles::new(&out, 1).obs(format).exists());
+        }
+        let _ = std::fs::remove_dir_all(out);
     }
 
     #[test]

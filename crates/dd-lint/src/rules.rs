@@ -7,6 +7,7 @@
 //! | `rng-seed`        | D3 | RNG construction not via seeded constructors (`thread_rng`, `from_entropy`, `rand::random`, `OsRng`) |
 //! | `float-ord`       | N1 | NaN-unsafe float ordering via `partial_cmp` — require `f64::total_cmp` or `SimTime` |
 //! | `hot-path-panic`  | P1 | `panic!` / `.unwrap()` / `.expect(` in the DES event-loop hot path outside documented invariants |
+//! | `executor-api`    | A1 | new `pub fn execute*` entry points outside the unified `Executor` trait (the deprecated shims carry inline allows) |
 //! | `suppression`     | —  | malformed `dd-lint: allow(..)` directives (unknown rule, missing justification) |
 //!
 //! Suppression syntax, always with a mandatory justification after the
@@ -30,6 +31,7 @@ pub const RULE_NAMES: &[&str] = &[
     "rng-seed",
     "float-ord",
     "hot-path-panic",
+    "executor-api",
 ];
 
 /// Rule violated by malformed suppression directives themselves. Not
@@ -96,6 +98,7 @@ pub fn check_file(
     let rng_scope = in_scope("rng-seed");
     let float_scope = in_scope("float-ord");
     let panic_scope = in_scope("hot-path-panic");
+    let api_scope = in_scope("executor-api");
 
     for (idx, line) in classified.lines.iter().enumerate() {
         if line.in_test {
@@ -199,6 +202,28 @@ pub fn check_file(
                             "`{token}` in the DES event-loop hot path; convert to a \
                              dd_invariant!/dd_debug_invariant! check or suppress with \
                              a documented justification"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if api_scope {
+            // A plain token search for "pub fn execute" would miss
+            // `execute_traced` (the `_` extends the identifier past the
+            // token boundary), so match "pub fn" and inspect the
+            // following identifier instead.
+            for col in find_tokens(code, "pub fn") {
+                let rest = code[col + "pub fn".len()..].trim_start();
+                let ident: String = rest.chars().take_while(|c| is_ident(*c)).collect();
+                if ident.starts_with("execute") {
+                    emit(
+                        "executor-api",
+                        col + 1,
+                        format!(
+                            "`pub fn {ident}` adds a public execute entry point outside \
+                             the unified Executor trait; implement Executor::run (or \
+                             extend RunRequest) instead"
                         ),
                     );
                 }
@@ -364,7 +389,8 @@ mod tests {
              [rule.wall-clock]\ncrates = [\"*\"]\n\
              [rule.rng-seed]\ncrates = [\"*\"]\n\
              [rule.float-ord]\ncrates = [\"*\"]\n\
-             [rule.hot-path-panic]\ncrates = [\"*\"]\n",
+             [rule.hot-path-panic]\ncrates = [\"*\"]\n\
+             [rule.executor-api]\ncrates = [\"*\"]\n",
         )
         .expect("static config")
     }
@@ -470,6 +496,35 @@ mod tests {
     #[test]
     fn dd_invariant_macros_not_flagged_as_panics() {
         assert!(lint("dd_invariant!(a <= b, \"clock\");\ndd_debug_invariant!(ok);\n").is_empty());
+    }
+
+    #[test]
+    fn new_pub_execute_entry_points_flagged() {
+        let f = lint("pub fn execute_fancy(&self) -> RunOutcome {\n");
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "executor-api");
+        assert!(f[0].message.contains("execute_fancy"), "{}", f[0].message);
+        // `execute` itself (the shim name) is also an execute* entry point.
+        assert_eq!(lint("pub fn execute(&self) {\n")[0].rule, "executor-api");
+    }
+
+    #[test]
+    fn non_execute_pub_fns_and_private_execute_fns_not_flagged() {
+        assert!(lint("pub fn run(&mut self, req: RunRequest) {\n").is_empty());
+        assert!(lint("fn execute_inner(&self) {\n").is_empty());
+        assert!(lint("pub fn executor_name(&self) -> &str {\n").is_empty());
+        assert_eq!(
+            lint("pub fn executed_count(&self) -> usize {\n").len(),
+            1,
+            "execute* is a prefix match by design: `executed_count` is flagged too"
+        );
+    }
+
+    #[test]
+    fn execute_shim_suppression_accepted() {
+        let src = "// dd-lint: allow(executor-api): fixture justification\n\
+                   pub fn execute(&self) {\n";
+        assert!(lint(src).is_empty());
     }
 
     #[test]

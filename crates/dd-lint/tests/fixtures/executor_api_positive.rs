@@ -1,0 +1,14 @@
+// Fixture: A1 positive — new public execute* entry points outside the
+// unified Executor trait.
+pub fn execute(run: &WorkflowRun) -> RunOutcome {
+    todo_run(run)
+}
+pub fn execute_traced(run: &WorkflowRun) -> (RunOutcome, ExecutionTrace) {
+    todo_run_traced(run)
+}
+fn execute_inner(run: &WorkflowRun) -> RunOutcome {
+    todo_run(run)
+}
+pub fn run(run: &WorkflowRun) -> RunOutcome {
+    todo_run(run)
+}

@@ -18,6 +18,8 @@ crates = ["*"]
 crates = ["*"]
 [rule.hot-path-panic]
 files = ["hot_path_positive.rs", "hot_path_suppressed.rs"]
+[rule.executor-api]
+files = ["executor_api_positive.rs", "executor_api_suppressed.rs"]
 "#;
 
 fn lint_fixture(name: &str) -> Vec<Finding> {
@@ -129,6 +131,22 @@ fn hot_path_panic_positive() {
 #[test]
 fn hot_path_panic_suppressed() {
     let findings = lint_fixture("hot_path_suppressed.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn executor_api_positive() {
+    let findings = lint_fixture("executor_api_positive.rs");
+    assert_eq!(
+        spans(&findings),
+        owned(&[(3, "executor-api"), (6, "executor-api")]),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn executor_api_suppressed() {
+    let findings = lint_fixture("executor_api_suppressed.rs");
     assert!(findings.is_empty(), "{findings:#?}");
 }
 

@@ -21,6 +21,7 @@
 //! dynamics live.
 
 use crate::des::SimTime;
+use crate::executor::{self as obs, ComponentObs, Executor, RunReport, RunRequest};
 use crate::faults::{FaultConfig, FaultPlan, FaultStats, RecoveryPolicy};
 use crate::pool::{InstanceId, PoolRequest, PooledInstance};
 use crate::pricing::{CloudVendor, PriceSheet};
@@ -30,6 +31,7 @@ use crate::storage::BackendStore;
 use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
 use crate::tier::Tier;
 use crate::trace::{AttemptTrace, ComponentTrace, ExecutionTrace, PoolTrace};
+use dd_obs::{NoopRecorder, Recorder};
 use dd_wfdag::{LanguageRuntime, WorkflowRun};
 use serde::{Deserialize, Serialize};
 
@@ -126,43 +128,67 @@ impl FaasExecutor {
         &self.startup
     }
 
-    /// Executes `run` under `scheduler` and returns the full outcome.
-    ///
-    /// `runtimes` is the DAG's language-runtime set (pre-loaded into every
-    /// hot instance, per the hot-start mechanism).
-    ///
-    /// # Panics
-    /// Panics if the scheduler returns malformed placements: wrong count,
-    /// an unknown or reused instance id, or a warm instance paired with a
-    /// different component type.
+    /// The active configuration.
+    pub fn config(&self) -> &FaasConfig {
+        &self.config
+    }
+
+    /// Deprecated shim over [`Executor::run`].
+    #[deprecated(note = "build a RunRequest and call Executor::run instead")]
+    // dd-lint: allow(executor-api): deprecated back-compat shim over Executor::run, kept for one release
     pub fn execute(
         &self,
         run: &WorkflowRun,
         runtimes: &[LanguageRuntime],
         scheduler: &mut dyn ServerlessScheduler,
     ) -> RunOutcome {
-        self.run_internal(run, runtimes, scheduler, false).0
+        self.serve(RunRequest::new(run, runtimes, scheduler))
+            .into_outcome()
     }
 
-    /// Like [`FaasExecutor::execute`], additionally collecting the full
-    /// [`ExecutionTrace`] (every component lifecycle and pool event).
+    /// Deprecated shim over [`Executor::run`] with
+    /// [`RunRequest::traced`].
+    #[deprecated(note = "build a RunRequest::traced and call Executor::run instead")]
+    // dd-lint: allow(executor-api): deprecated back-compat shim over Executor::run, kept for one release
     pub fn execute_traced(
         &self,
         run: &WorkflowRun,
         runtimes: &[LanguageRuntime],
         scheduler: &mut dyn ServerlessScheduler,
     ) -> (RunOutcome, ExecutionTrace) {
-        let (outcome, trace) = self.run_internal(run, runtimes, scheduler, true);
-        (outcome, trace.expect("trace requested"))
+        self.serve(RunRequest::new(run, runtimes, scheduler).traced())
+            .into_traced()
     }
 
-    fn run_internal(
-        &self,
-        run: &WorkflowRun,
-        runtimes: &[LanguageRuntime],
-        scheduler: &mut dyn ServerlessScheduler,
-        collect_trace: bool,
-    ) -> (RunOutcome, Option<ExecutionTrace>) {
+    /// Executes a [`RunRequest`] — the single entry point behind both
+    /// the [`Executor`] impl and the deprecated shims.
+    ///
+    /// `runtimes` is the DAG's language-runtime set (pre-loaded into
+    /// every hot instance, per the hot-start mechanism).
+    ///
+    /// # Panics
+    /// Panics if the scheduler returns malformed placements: wrong count,
+    /// an unknown or reused instance id, or a warm instance paired with a
+    /// different component type.
+    pub(crate) fn serve(&self, req: RunRequest<'_>) -> RunReport {
+        let RunRequest {
+            run,
+            runtimes,
+            scheduler,
+            recorder,
+            collect_trace,
+            faults: fault_override,
+        } = req;
+        let mut noop = NoopRecorder;
+        let rec: &mut dyn Recorder = match recorder {
+            Some(r) => r,
+            None => &mut noop,
+        };
+        let recording = rec.enabled();
+        if recording {
+            obs::declare_metrics(rec);
+        }
+        scheduler.set_event_recording(recording);
         let mut trace = collect_trace.then(ExecutionTrace::default);
         let mut ledger = CostLedger::default();
         let mut utilization = Utilization::default();
@@ -172,9 +198,12 @@ impl FaasExecutor {
         let mut next_instance_id = 0u64;
         // One fault plan per run: the run index is mixed into the seed so
         // different runs of a sweep see different fault placements (the
-        // old straggler injection hardcoded seed 0 here).
-        let faults = self.config.faults.absorbing_startup(&self.startup);
-        let plan = FaultPlan::for_run(faults, self.config.recovery, run.label.run_index as u64);
+        // old straggler injection hardcoded seed 0 here). A request-level
+        // override replaces the configured plan wholesale.
+        let (fault_cfg, recovery) =
+            fault_override.unwrap_or((self.config.faults, self.config.recovery));
+        let faults = fault_cfg.absorbing_startup(&self.startup);
+        let plan = FaultPlan::for_run(faults, recovery, run.label.run_index as u64);
         let mut fault_stats = FaultStats::default();
 
         let info = RunInfo {
@@ -190,10 +219,16 @@ impl FaasExecutor {
             runtimes,
             &mut next_instance_id,
         );
+        if recording {
+            obs::emit_sched_events(rec, now, scheduler);
+            obs::emit_pool(rec, 0, now, &pool);
+        }
 
         for (phase_idx, phase) in run.phases.iter().enumerate() {
             // Scheduling decision overhead (Sec. V "Overhead").
+            let decided_at = now;
             now = now.after(scheduler.overhead_secs());
+            let phase_started_at = now;
             store.begin_phase(phase_idx, phase.components.len());
             if let Some(t) = trace.as_mut() {
                 t.phase_starts.push(now);
@@ -201,6 +236,16 @@ impl FaasExecutor {
 
             let views: Vec<_> = pool.iter().map(Into::into).collect();
             let placements = scheduler.place(phase, &views, now);
+            if recording {
+                obs::emit_place(
+                    rec,
+                    phase_idx,
+                    decided_at,
+                    scheduler.overhead_secs(),
+                    phase.components.len(),
+                );
+                obs::emit_sched_events(rec, now, scheduler);
+            }
             assert_eq!(
                 placements.len(),
                 phase.components.len(),
@@ -211,6 +256,11 @@ impl FaasExecutor {
             );
 
             let mut used = vec![false; pool.len()];
+            // Per-phase cost/fault attribution: snapshot the accumulating
+            // run-level books and record the growth, so the run totals
+            // keep their original float-addition order.
+            let ledger_mark = ledger;
+            let faults_mark = fault_stats;
             let mut overhead_sum = 0.0;
             let mut warm_starts = 0u32;
             let mut hot_starts = 0u32;
@@ -286,11 +336,13 @@ impl FaasExecutor {
                 let timeline = plan.timeline(phase_idx, slot, overhead, exec, write);
                 // Drain finished executions so the heap tracks the set
                 // *currently running* instead of growing all phase long.
+                let mut heap_drains = 0u64;
                 while slots
                     .peek()
                     .is_some_and(|&std::cmp::Reverse(free)| free <= start)
                 {
                     slots.pop();
+                    heap_drains += 1;
                 }
                 // Wait for an execution slot when the platform is at its
                 // concurrency limit.
@@ -302,11 +354,13 @@ impl FaasExecutor {
                 };
                 // Keep-alive: from request until the component actually
                 // begins (slot waits included), at the instance's rate.
+                let mut keep_alive_secs = None;
                 if let Some(id) = placement.instance {
                     let inst = pool.iter().find(|i| i.id == id).expect("validated above");
-                    ledger.keep_alive_used +=
-                        self.pricing.cost(inst.tier, start.since(inst.requested_at));
-                    utilization.record_idle(inst.tier, start.since(inst.requested_at));
+                    let idle = start.since(inst.requested_at);
+                    ledger.keep_alive_used += self.pricing.cost(inst.tier, idle);
+                    utilization.record_idle(inst.tier, idle);
+                    keep_alive_secs = Some(idle);
                 }
                 let finish = start.after(timeline.completion_offset_secs);
                 dd_debug_invariant!(
@@ -340,6 +394,21 @@ impl FaasExecutor {
                             busy_secs: a.busy_secs,
                         });
                     }
+                }
+                if recording {
+                    obs::emit_component(
+                        rec,
+                        &ComponentObs {
+                            phase: phase_idx,
+                            slot,
+                            kind,
+                            tier,
+                            start,
+                            timeline: &timeline,
+                            keep_alive_secs,
+                            heap_drains,
+                        },
+                    );
                 }
                 let billed = start.after(timeline.primary_busy_secs).since(start);
                 ledger.execution += self.pricing.cost(tier, billed);
@@ -377,6 +446,12 @@ impl FaasExecutor {
                     ledger.keep_alive_wasted +=
                         self.pricing.cost(inst.tier, now.since(inst.requested_at));
                     utilization.record_idle(inst.tier, now.since(inst.requested_at));
+                    if recording {
+                        rec.record(
+                            obs::metrics::KEEP_ALIVE_WASTED_SECS,
+                            now.since(inst.requested_at),
+                        );
+                    }
                 }
                 if let Some(t) = trace.as_mut() {
                     t.pool.push(PoolTrace {
@@ -420,6 +495,8 @@ impl FaasExecutor {
                 wasted_instances: wasted,
                 exec_secs: notifications.complete.since(now),
                 mean_start_overhead_secs: overhead_sum / phase.components.len().max(1) as f64,
+                ledger: ledger.delta_since(&ledger_mark),
+                faults: fault_stats.delta_since(&faults_mark),
             });
 
             // Half-phase trigger: request the next phase's pool while this
@@ -430,13 +507,27 @@ impl FaasExecutor {
                     PoolTrigger::HalfPhase => notifications.half_complete,
                     PoolTrigger::PhaseComplete => notifications.complete,
                 };
-                self.spawn_pool(request, trigger_at, runtimes, &mut next_instance_id)
+                let next = self.spawn_pool(request, trigger_at, runtimes, &mut next_instance_id);
+                if recording {
+                    obs::emit_sched_events(rec, trigger_at, scheduler);
+                    obs::emit_pool(rec, phase_idx + 1, trigger_at, &next);
+                }
+                next
             } else {
                 Vec::new()
             };
 
             scheduler.observe_phase(&observation);
             now = notifications.complete;
+            if recording {
+                obs::emit_observe(rec, now, &observation);
+                obs::emit_sched_events(rec, now, scheduler);
+                obs::emit_phase(
+                    rec,
+                    phase_started_at,
+                    records.last().expect("phase record just pushed"),
+                );
+            }
             if let Some(t) = trace.as_mut() {
                 t.phase_ends.push(now);
             }
@@ -445,9 +536,12 @@ impl FaasExecutor {
         // Storage maintenance for the run's whole duration.
         ledger.storage = self.pricing.storage_per_sec * now.as_secs();
         ledger.debug_validate();
+        if recording {
+            rec.set(obs::metrics::SERVICE_TIME_SECS, now.as_secs());
+        }
 
-        (
-            RunOutcome {
+        RunReport {
+            outcome: RunOutcome {
                 scheduler: scheduler.name().to_string(),
                 service_time_secs: now.as_secs(),
                 ledger,
@@ -456,7 +550,7 @@ impl FaasExecutor {
                 faults: fault_stats,
             },
             trace,
-        )
+        }
     }
 
     /// Materializes a pool request: caps it at provisioned concurrency and
@@ -490,6 +584,12 @@ impl FaasExecutor {
                 }
             })
             .collect()
+    }
+}
+
+impl Executor for FaasExecutor {
+    fn run(&mut self, req: RunRequest<'_>) -> RunReport {
+        self.serve(req)
     }
 }
 
@@ -570,7 +670,9 @@ mod tests {
     #[test]
     fn all_cold_run_completes() {
         let (run, runtimes) = small_run();
-        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
+        let outcome = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         assert_eq!(outcome.phases.len(), run.phase_count());
         assert!(outcome.service_time_secs > 0.0);
         assert!(outcome.ledger.execution > 0.0);
@@ -585,9 +687,17 @@ mod tests {
     #[test]
     fn perfect_hot_beats_all_cold_on_time() {
         let (run, runtimes) = small_run();
-        let exec = FaasExecutor::aws();
-        let cold = exec.execute(&run, &runtimes, &mut AllCold);
-        let hot = exec.execute(&run, &runtimes, &mut PerfectHot { run: run.clone() });
+        let mut exec = FaasExecutor::aws();
+        let cold = exec
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
+        let hot = exec
+            .run(RunRequest::new(
+                &run,
+                &runtimes,
+                &mut PerfectHot { run: run.clone() },
+            ))
+            .into_outcome();
         assert!(
             hot.service_time_secs < cold.service_time_secs,
             "hot {:.1}s vs cold {:.1}s",
@@ -604,7 +714,9 @@ mod tests {
     fn phase_times_sum_to_service_time() {
         let (run, runtimes) = small_run();
         let mut sched = AllCold;
-        let outcome = FaasExecutor::aws().execute(&run, &runtimes, &mut sched);
+        let outcome = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut sched))
+            .into_outcome();
         let phase_sum: f64 = outcome.phases.iter().map(|p| p.exec_secs).sum();
         let overheads = run.phase_count() as f64 * sched.overhead_secs();
         assert!(
@@ -617,8 +729,10 @@ mod tests {
     #[test]
     fn storage_cost_scales_with_time() {
         let (run, runtimes) = small_run();
-        let exec = FaasExecutor::aws();
-        let outcome = exec.execute(&run, &runtimes, &mut AllCold);
+        let mut exec = FaasExecutor::aws();
+        let outcome = exec
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         let want = exec.pricing().storage_per_sec * outcome.service_time_secs;
         assert!((outcome.ledger.storage - want).abs() < 1e-12);
     }
@@ -626,7 +740,7 @@ mod tests {
     #[test]
     fn provisioned_concurrency_caps_pool() {
         let (run, runtimes) = small_run();
-        let exec = FaasExecutor::new(FaasConfig {
+        let mut exec = FaasExecutor::new(FaasConfig {
             provisioned_concurrency: 2,
             ..FaasConfig::default()
         });
@@ -667,7 +781,9 @@ mod tests {
             }
         }
 
-        let outcome = exec.execute(&run, &runtimes, &mut Greedy);
+        let outcome = exec
+            .run(RunRequest::new(&run, &runtimes, &mut Greedy))
+            .into_outcome();
         for p in &outcome.phases {
             assert!(p.pool_size <= 2, "pool {} exceeds cap", p.pool_size);
         }
@@ -692,18 +808,21 @@ mod tests {
             }
         }
         let (run, runtimes) = small_run();
-        let _ = FaasExecutor::aws().execute(&run, &runtimes, &mut Broken);
+        let _ = FaasExecutor::aws().run(RunRequest::new(&run, &runtimes, &mut Broken));
     }
 
     #[test]
     fn vendor_multiplier_slows_service_time() {
         let (run, runtimes) = small_run();
-        let aws = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
+        let aws = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         let azure = FaasExecutor::new(FaasConfig {
             vendor: CloudVendor::Azure,
             ..FaasConfig::default()
         })
-        .execute(&run, &runtimes, &mut AllCold);
+        .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+        .into_outcome();
         assert!(
             azure.service_time_secs > aws.service_time_secs,
             "azure {:.1}s vs aws {:.1}s",

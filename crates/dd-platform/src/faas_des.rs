@@ -8,18 +8,40 @@
 //! are all explicit events popped in time order.
 //!
 //! The two implementations must agree **exactly** — same service time,
-//! same ledger, same phase records — for every scheduler; the test suite
-//! (and `tests/end_to_end.rs` at the workspace root) asserts it. A
-//! divergence means one of the two models has a semantics bug, which is
-//! precisely what an analytic shortcut can otherwise hide.
+//! same ledger, same phase records, same [`crate::trace::ExecutionTrace`]
+//! and same recorder output — for every scheduler; the test suite (and
+//! `tests/end_to_end.rs` at the workspace root) asserts it. A divergence
+//! means one of the two models has a semantics bug, which is precisely
+//! what an analytic shortcut can otherwise hide.
+//!
+//! # API mapping
+//!
+//! [`DesFaasExecutor`] mirrors [`FaasExecutor`] one-to-one, so the two
+//! are drop-in interchangeable behind [`crate::executor::Executor`]:
+//!
+//! | [`FaasExecutor`]                  | [`DesFaasExecutor`]                  |
+//! |-----------------------------------|--------------------------------------|
+//! | [`FaasExecutor::new`]             | [`DesFaasExecutor::new`]             |
+//! | [`FaasExecutor::aws`]             | [`DesFaasExecutor::aws`]             |
+//! | [`FaasExecutor::with_startup`]    | [`DesFaasExecutor::with_startup`]    |
+//! | [`FaasExecutor::pricing`]         | [`DesFaasExecutor::pricing`]         |
+//! | [`FaasExecutor::startup`]         | [`DesFaasExecutor::startup`]         |
+//! | [`FaasExecutor::config`]          | [`DesFaasExecutor::config`]          |
+//! | [`Executor::run`]                 | [`Executor::run`]                    |
+//! | —                                 | [`DesFaasExecutor::run_with`] (session reuse) |
 
 use crate::des::{EventQueue, SimTime};
+use crate::executor::{self as obs, ComponentObs, Executor, RunReport, RunRequest};
 use crate::faas::{FaasConfig, FaasExecutor, PoolTrigger};
 use crate::faults::{FaultPlan, FaultStats};
 use crate::pool::{InstanceId, InstanceView, PoolRequest, PooledInstance};
+use crate::pricing::PriceSheet;
 use crate::sched::{observe_phase, RunInfo, ServerlessScheduler, StartKind};
+use crate::startup::StartupModel;
 use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
 use crate::tier::Tier;
+use crate::trace::{AttemptTrace, ComponentTrace, ExecutionTrace, PoolTrace};
+use dd_obs::{NoopRecorder, Recorder};
 use dd_wfdag::{LanguageRuntime, WorkflowRun};
 
 /// Events of the serverless execution.
@@ -45,16 +67,21 @@ struct PhaseProgress {
     retried: u32,
     overhead_sum: f64,
     started_at: SimTime,
+    // Run-ledger snapshots taken at phase start; the per-phase books are
+    // the growth since (same attribution scheme as the analytic
+    // executor's, so the deltas agree bitwise).
+    ledger_mark: CostLedger,
+    faults_mark: FaultStats,
 }
 
 /// Reusable simulation state for [`DesFaasExecutor`].
 ///
 /// Multi-run sweeps pay a measurable price for re-allocating the event
 /// heap and per-phase scratch buffers on every run. A session keeps those
-/// allocations alive across [`DesFaasExecutor::execute_with`] calls; it is
+/// allocations alive across [`DesFaasExecutor::run_with`] calls; it is
 /// fully reset at the start of each execution, so results are bit-identical
-/// to a fresh [`DesFaasExecutor::execute`] — the workspace test suite
-/// asserts this invariance.
+/// to a fresh [`Executor::run`] — the workspace test suite asserts this
+/// invariance.
 #[derive(Debug, Default)]
 pub struct DesSession {
     queue: EventQueue<Event>,
@@ -107,30 +134,45 @@ impl DesFaasExecutor {
 
     /// Replaces the start-up model (mirrors
     /// [`FaasExecutor::with_startup`]).
-    pub fn with_startup(mut self, startup: crate::startup::StartupModel) -> Self {
+    pub fn with_startup(mut self, startup: StartupModel) -> Self {
         self.analytic = self.analytic.with_startup(startup);
         self
     }
 
-    /// Executes `run` under `scheduler`, event by event.
-    ///
-    /// The scheduler callback order is identical to the analytic
-    /// executor's (initial pool → per phase: place, half-phase pool
-    /// request, observation), so a deterministic scheduler produces the
-    /// same decisions under both.
+    /// The active price sheet (mirrors [`FaasExecutor::pricing`]).
+    pub fn pricing(&self) -> &PriceSheet {
+        self.analytic.pricing()
+    }
+
+    /// The active start-up model (mirrors [`FaasExecutor::startup`]).
+    pub fn startup(&self) -> &StartupModel {
+        self.analytic.startup()
+    }
+
+    /// The active configuration (mirrors [`FaasExecutor::config`]).
+    pub fn config(&self) -> &FaasConfig {
+        &self.config
+    }
+
+    /// Deprecated shim over [`Executor::run`].
+    #[deprecated(note = "build a RunRequest and call Executor::run instead")]
+    // dd-lint: allow(executor-api): deprecated back-compat shim over Executor::run, kept for one release
     pub fn execute(
         &self,
         run: &WorkflowRun,
         runtimes: &[LanguageRuntime],
         scheduler: &mut dyn ServerlessScheduler,
     ) -> RunOutcome {
-        self.execute_with(&mut DesSession::new(), run, runtimes, scheduler)
+        self.serve_with(
+            &mut DesSession::new(),
+            RunRequest::new(run, runtimes, scheduler),
+        )
+        .into_outcome()
     }
 
-    /// Executes `run` reusing `session`'s allocations — the fast path for
-    /// multi-run sweeps. Produces exactly the same outcome as
-    /// [`DesFaasExecutor::execute`] regardless of what the session ran
-    /// before.
+    /// Deprecated shim over [`DesFaasExecutor::run_with`].
+    #[deprecated(note = "build a RunRequest and call DesFaasExecutor::run_with instead")]
+    // dd-lint: allow(executor-api): deprecated back-compat shim over run_with, kept for one release
     pub fn execute_with(
         &self,
         session: &mut DesSession,
@@ -138,6 +180,47 @@ impl DesFaasExecutor {
         runtimes: &[LanguageRuntime],
         scheduler: &mut dyn ServerlessScheduler,
     ) -> RunOutcome {
+        self.serve_with(session, RunRequest::new(run, runtimes, scheduler))
+            .into_outcome()
+    }
+
+    /// Executes a [`RunRequest`] reusing `session`'s allocations — the
+    /// fast path for multi-run sweeps. Produces exactly the same report
+    /// as [`Executor::run`] regardless of what the session ran before.
+    pub fn run_with(&self, session: &mut DesSession, req: RunRequest<'_>) -> RunReport {
+        self.serve_with(session, req)
+    }
+
+    /// Executes a [`RunRequest`], event by event — the single entry point
+    /// behind the [`Executor`] impl, [`DesFaasExecutor::run_with`] and the
+    /// deprecated shims.
+    ///
+    /// The scheduler callback order is identical to the analytic
+    /// executor's (initial pool → per phase: place, half-phase pool
+    /// request, observation), so a deterministic scheduler produces the
+    /// same decisions under both; recorder emissions follow the canonical
+    /// order documented on [`crate::executor`], so exports agree byte for
+    /// byte too.
+    fn serve_with(&self, session: &mut DesSession, req: RunRequest<'_>) -> RunReport {
+        let RunRequest {
+            run,
+            runtimes,
+            scheduler,
+            recorder,
+            collect_trace,
+            faults: fault_override,
+        } = req;
+        let mut noop = NoopRecorder;
+        let rec: &mut dyn Recorder = match recorder {
+            Some(r) => r,
+            None => &mut noop,
+        };
+        let recording = rec.enabled();
+        if recording {
+            obs::declare_metrics(rec);
+        }
+        scheduler.set_event_recording(recording);
+        let mut trace = collect_trace.then(ExecutionTrace::default);
         session.reset();
         let pricing = *self.analytic.pricing();
         let startup = *self.analytic.startup();
@@ -147,9 +230,12 @@ impl DesFaasExecutor {
         let mut records: Vec<PhaseRecord> = Vec::with_capacity(run.phases.len());
         let mut next_instance_id = 0u64;
         // Same fault plan as the analytic executor builds for this run —
-        // single engine, so faulty runs agree by construction.
-        let faults = self.config.faults.absorbing_startup(&startup);
-        let plan = FaultPlan::for_run(faults, self.config.recovery, run.label.run_index as u64);
+        // single engine, so faulty runs agree by construction. A
+        // request-level override replaces the configured plan wholesale.
+        let (fault_cfg, recovery) =
+            fault_override.unwrap_or((self.config.faults, self.config.recovery));
+        let faults = fault_cfg.absorbing_startup(&startup);
+        let plan = FaultPlan::for_run(faults, recovery, run.label.run_index as u64);
         let mut fault_stats = FaultStats::default();
 
         let info = RunInfo {
@@ -167,6 +253,10 @@ impl DesFaasExecutor {
             &mut next_instance_id,
             self.config.provisioned_concurrency,
         );
+        if recording {
+            obs::emit_sched_events(rec, SimTime::ZERO, scheduler);
+            obs::emit_pool(rec, 0, SimTime::ZERO, &pending_pool);
+        }
 
         let DesSession {
             queue,
@@ -187,10 +277,23 @@ impl DesFaasExecutor {
                 Event::PhaseStart { phase } => {
                     let now = at.after(scheduler.overhead_secs());
                     let phase_ref = &run.phases[phase];
+                    if let Some(t) = trace.as_mut() {
+                        t.phase_starts.push(now);
+                    }
                     let pool = std::mem::take(&mut pending_pool);
                     views.clear();
                     views.extend(pool.iter().map(InstanceView::from));
                     let placements = scheduler.place(phase_ref, views, now);
+                    if recording {
+                        obs::emit_place(
+                            rec,
+                            phase,
+                            at,
+                            scheduler.overhead_secs(),
+                            phase_ref.components.len(),
+                        );
+                        obs::emit_sched_events(rec, now, scheduler);
+                    }
                     dd_invariant!(
                         placements.len() == phase_ref.components.len(),
                         "scheduler returned {} placements for {} components",
@@ -202,6 +305,8 @@ impl DesFaasExecutor {
                         expected: phase_ref.components.len(),
                         pool_size: pool.len() as u32,
                         started_at: now,
+                        ledger_mark: ledger,
+                        faults_mark: fault_stats,
                         ..PhaseProgress::default()
                     };
 
@@ -279,11 +384,13 @@ impl DesFaasExecutor {
                         // Drain finished executions so the heap tracks the
                         // set *currently running* instead of growing all
                         // phase long.
+                        let mut heap_drains = 0u64;
                         while slots
                             .peek()
                             .is_some_and(|&std::cmp::Reverse(free)| free <= start)
                         {
                             slots.pop();
+                            heap_drains += 1;
                         }
                         let start = if slots.len() >= self.config.invocation_limit {
                             // dd-lint: allow(hot-path-panic): len() >= limit >= 1 guarantees a poppable slot on this branch
@@ -292,12 +399,14 @@ impl DesFaasExecutor {
                         } else {
                             start
                         };
+                        let mut keep_alive_secs = None;
                         if let Some(id) = placement.instance {
                             // dd-lint: allow(hot-path-panic): the id was resolved against this same pool when computing the start kind above
                             let inst = pool.iter().find(|i| i.id == id).expect("validated above");
-                            ledger.keep_alive_used +=
-                                pricing.cost(inst.tier, start.since(inst.requested_at));
-                            utilization.record_idle(inst.tier, start.since(inst.requested_at));
+                            let idle = start.since(inst.requested_at);
+                            ledger.keep_alive_used += pricing.cost(inst.tier, idle);
+                            utilization.record_idle(inst.tier, idle);
+                            keep_alive_secs = Some(idle);
                         }
                         let finish = start.after(timeline.completion_offset_secs);
                         // Recovery may only push a completion later, never
@@ -308,6 +417,48 @@ impl DesFaasExecutor {
                             "phase {phase} slot {comp_slot}: recovery rewound completion to {finish} before start {start}"
                         );
                         slots.push(std::cmp::Reverse(finish));
+                        if let Some(t) = trace.as_mut() {
+                            t.components.push(ComponentTrace {
+                                phase,
+                                slot: comp_slot,
+                                kind,
+                                tier,
+                                instance: placement.instance,
+                                start,
+                                overhead_secs: timeline.overhead_secs,
+                                exec_secs: exec,
+                                write_secs: write,
+                                attempts: timeline.attempt_count(),
+                                recovery_secs: timeline.recovery_secs,
+                            });
+                            for a in &timeline.attempts {
+                                t.attempts.push(AttemptTrace {
+                                    phase,
+                                    slot: comp_slot,
+                                    attempt: a.index,
+                                    speculative: a.speculative,
+                                    fault: a.fault,
+                                    outcome: a.outcome,
+                                    start: start.after(a.start_offset_secs),
+                                    busy_secs: a.busy_secs,
+                                });
+                            }
+                        }
+                        if recording {
+                            obs::emit_component(
+                                rec,
+                                &ComponentObs {
+                                    phase,
+                                    slot: comp_slot,
+                                    kind,
+                                    tier,
+                                    start,
+                                    timeline: &timeline,
+                                    keep_alive_secs,
+                                    heap_drains,
+                                },
+                            );
+                        }
                         let billed = start.after(timeline.primary_busy_secs).since(start);
                         ledger.execution += pricing.cost(tier, billed);
                         // Losing attempts bill to the separate retry
@@ -338,6 +489,23 @@ impl DesFaasExecutor {
                             ledger.keep_alive_wasted +=
                                 pricing.cost(inst.tier, now.since(inst.requested_at));
                             utilization.record_idle(inst.tier, now.since(inst.requested_at));
+                            if recording {
+                                rec.record(
+                                    obs::metrics::KEEP_ALIVE_WASTED_SECS,
+                                    now.since(inst.requested_at),
+                                );
+                            }
+                        }
+                        if let Some(t) = trace.as_mut() {
+                            t.pool.push(PoolTrace {
+                                instance: inst.id,
+                                tier: inst.tier,
+                                warm: inst.preload.is_some(),
+                                requested_at: inst.requested_at,
+                                ready_at: inst.ready_at,
+                                used: was_used,
+                                released_at: now.max(inst.ready_at),
+                            });
                         }
                     }
                     dd_debug_invariant!(
@@ -376,6 +544,10 @@ impl DesFaasExecutor {
                             &mut next_instance_id,
                             self.config.provisioned_concurrency,
                         );
+                        if recording {
+                            obs::emit_sched_events(rec, at, scheduler);
+                            obs::emit_pool(rec, phase + 1, at, &pending_pool);
+                        }
                     } else if trigger_now {
                         prog.half_fired = true;
                     }
@@ -415,7 +587,22 @@ impl DesFaasExecutor {
                             exec_secs: at.since(prog.started_at),
                             mean_start_overhead_secs: prog.overhead_sum
                                 / prog.expected.max(1) as f64,
+                            ledger: ledger.delta_since(&prog.ledger_mark),
+                            faults: fault_stats.delta_since(&prog.faults_mark),
                         });
+                        if recording {
+                            obs::emit_observe(rec, at, &observation);
+                            obs::emit_sched_events(rec, at, scheduler);
+                            obs::emit_phase(
+                                rec,
+                                prog.started_at,
+                                // dd-lint: allow(hot-path-panic): the record was pushed unconditionally just above
+                                records.last().expect("phase record just pushed"),
+                            );
+                        }
+                        if let Some(t) = trace.as_mut() {
+                            t.phase_ends.push(at);
+                        }
                         end_time = at;
                         if phase + 1 < run.phases.len() {
                             queue.push(at, Event::PhaseStart { phase: phase + 1 });
@@ -427,14 +614,26 @@ impl DesFaasExecutor {
 
         ledger.storage = pricing.storage_per_sec * end_time.as_secs();
         ledger.debug_validate();
-        RunOutcome {
-            scheduler: scheduler.name().to_string(),
-            service_time_secs: end_time.as_secs(),
-            ledger,
-            phases: records,
-            utilization,
-            faults: fault_stats,
+        if recording {
+            rec.set(obs::metrics::SERVICE_TIME_SECS, end_time.as_secs());
         }
+        RunReport {
+            outcome: RunOutcome {
+                scheduler: scheduler.name().to_string(),
+                service_time_secs: end_time.as_secs(),
+                ledger,
+                phases: records,
+                utilization,
+                faults: fault_stats,
+            },
+            trace,
+        }
+    }
+}
+
+impl Executor for DesFaasExecutor {
+    fn run(&mut self, req: RunRequest<'_>) -> RunReport {
+        self.serve_with(&mut DesSession::new(), req)
     }
 }
 
@@ -564,8 +763,12 @@ mod tests {
     #[test]
     fn des_and_analytic_agree_exactly() {
         let (run, runtimes) = sample();
-        let analytic = FaasExecutor::aws().execute(&run, &runtimes, &mut Echo { last: 0 });
-        let des = DesFaasExecutor::aws().execute(&run, &runtimes, &mut Echo { last: 0 });
+        let analytic = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut Echo { last: 0 }))
+            .into_outcome();
+        let des = DesFaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut Echo { last: 0 }))
+            .into_outcome();
         assert_outcomes_equal(&analytic, &des);
     }
 
@@ -576,8 +779,12 @@ mod tests {
             trigger: PoolTrigger::PhaseComplete,
             ..FaasConfig::default()
         };
-        let analytic = FaasExecutor::new(config).execute(&run, &runtimes, &mut Echo { last: 0 });
-        let des = DesFaasExecutor::new(config).execute(&run, &runtimes, &mut Echo { last: 0 });
+        let analytic = FaasExecutor::new(config)
+            .run(RunRequest::new(&run, &runtimes, &mut Echo { last: 0 }))
+            .into_outcome();
+        let des = DesFaasExecutor::new(config)
+            .run(RunRequest::new(&run, &runtimes, &mut Echo { last: 0 }))
+            .into_outcome();
         assert_outcomes_equal(&analytic, &des);
     }
 
@@ -588,13 +795,19 @@ mod tests {
         let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(10);
         let runtimes = spec.runtimes.clone();
         let gen = RunGenerator::new(spec, 17);
-        let executor = DesFaasExecutor::aws();
+        let mut executor = DesFaasExecutor::aws();
         let mut session = DesSession::new();
         for idx in 0..3 {
             let run = gen.generate(idx);
-            let reused =
-                executor.execute_with(&mut session, &run, &runtimes, &mut Echo { last: 0 });
-            let fresh = executor.execute(&run, &runtimes, &mut Echo { last: 0 });
+            let reused = executor
+                .run_with(
+                    &mut session,
+                    RunRequest::new(&run, &runtimes, &mut Echo { last: 0 }),
+                )
+                .into_outcome();
+            let fresh = executor
+                .run(RunRequest::new(&run, &runtimes, &mut Echo { last: 0 }))
+                .into_outcome();
             assert_outcomes_equal(&reused, &fresh);
         }
     }
@@ -603,7 +816,9 @@ mod tests {
     fn des_handles_empty_run() {
         let (mut run, runtimes) = sample();
         run.phases.clear();
-        let out = DesFaasExecutor::aws().execute(&run, &runtimes, &mut Echo { last: 0 });
+        let out = DesFaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut Echo { last: 0 }))
+            .into_outcome();
         assert_eq!(out.service_time_secs, 0.0);
         assert!(out.phases.is_empty());
     }
@@ -646,12 +861,16 @@ mod limit_tests {
         let runtimes = spec.runtimes.clone();
         let run = RunGenerator::new(spec, 5).generate(0);
 
-        let unconstrained = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
+        let unconstrained = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         let config = FaasConfig {
             invocation_limit: 2,
             ..FaasConfig::default()
         };
-        let constrained = FaasExecutor::new(config).execute(&run, &runtimes, &mut AllCold);
+        let constrained = FaasExecutor::new(config)
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         assert!(
             constrained.service_time_secs > unconstrained.service_time_secs * 1.5,
             "a 2-slot limit must serialize phases: {:.1}s vs {:.1}s",
@@ -660,7 +879,9 @@ mod limit_tests {
         );
 
         // DES agreement under the binding limit.
-        let des = DesFaasExecutor::new(config).execute(&run, &runtimes, &mut AllCold);
+        let des = DesFaasExecutor::new(config)
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         assert!(
             (des.service_time_secs - constrained.service_time_secs).abs() < 1e-9,
             "des {:.3} vs analytic {:.3}",
@@ -709,16 +930,18 @@ mod straggler_tests {
         let runtimes = spec.runtimes.clone();
         let run = RunGenerator::new(spec, 6).generate(0);
 
-        let clean = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
+        let clean = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         let faulty_model = StartupModel {
             straggler_fraction: 0.10,
             straggler_multiplier: 8.0,
             ..StartupModel::aws()
         };
-        let faulty =
-            FaasExecutor::aws()
-                .with_startup(faulty_model)
-                .execute(&run, &runtimes, &mut AllCold);
+        let faulty = FaasExecutor::aws()
+            .with_startup(faulty_model)
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         assert!(
             faulty.service_time_secs > clean.service_time_secs * 1.05,
             "10% 8x stragglers should hurt: {:.1}s vs {:.1}s",
@@ -726,18 +949,17 @@ mod straggler_tests {
             clean.service_time_secs
         );
         // Deterministic: same model, same outcome.
-        let again =
-            FaasExecutor::aws()
-                .with_startup(faulty_model)
-                .execute(&run, &runtimes, &mut AllCold);
+        let again = FaasExecutor::aws()
+            .with_startup(faulty_model)
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         assert_eq!(faulty.service_time_secs, again.service_time_secs);
 
         // And the DES executor agrees exactly.
-        let des = DesFaasExecutor::aws().with_startup(faulty_model).execute(
-            &run,
-            &runtimes,
-            &mut AllCold,
-        );
+        let des = DesFaasExecutor::aws()
+            .with_startup(faulty_model)
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         assert!(
             (des.service_time_secs - faulty.service_time_secs).abs() < 1e-9,
             "des {:.3} vs analytic {:.3}",
@@ -764,9 +986,13 @@ mod straggler_tests {
             straggler_multiplier: 8.0,
             ..StartupModel::aws()
         };
-        let exec = FaasExecutor::aws().with_startup(faulty_model);
-        let a = exec.execute(&run, &runtimes, &mut AllCold);
-        let b = exec.execute(&relabeled, &runtimes, &mut AllCold);
+        let mut exec = FaasExecutor::aws().with_startup(faulty_model);
+        let a = exec
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
+        let b = exec
+            .run(RunRequest::new(&relabeled, &runtimes, &mut AllCold))
+            .into_outcome();
         assert!(
             (a.service_time_secs - b.service_time_secs).abs() > 1e-6,
             "straggler placement identical across run indices: {} vs {}",
@@ -775,17 +1001,20 @@ mod straggler_tests {
         );
 
         // With the engine disabled the run index has no effect at all.
-        let clean_a = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
-        let clean_b = FaasExecutor::aws().execute(&relabeled, &runtimes, &mut AllCold);
+        let clean_a = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
+        let clean_b = FaasExecutor::aws()
+            .run(RunRequest::new(&relabeled, &runtimes, &mut AllCold))
+            .into_outcome();
         assert_eq!(clean_a.service_time_secs, clean_b.service_time_secs);
 
         // Equal seeds: the DES executor reproduces both variants exactly.
         for (run, analytic) in [(&run, &a), (&relabeled, &b)] {
-            let des = DesFaasExecutor::aws().with_startup(faulty_model).execute(
-                run,
-                &runtimes,
-                &mut AllCold,
-            );
+            let des = DesFaasExecutor::aws()
+                .with_startup(faulty_model)
+                .run(RunRequest::new(run, &runtimes, &mut AllCold))
+                .into_outcome();
             assert!(
                 (des.service_time_secs - analytic.service_time_secs).abs() < 1e-9,
                 "des {:.3} vs analytic {:.3}",
@@ -872,8 +1101,12 @@ mod fault_tests {
                 recovery: policy,
                 ..FaasConfig::default()
             };
-            let analytic = FaasExecutor::new(config).execute(&run, &runtimes, &mut AllCold);
-            let des = DesFaasExecutor::new(config).execute(&run, &runtimes, &mut AllCold);
+            let analytic = FaasExecutor::new(config)
+                .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+                .into_outcome();
+            let des = DesFaasExecutor::new(config)
+                .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+                .into_outcome();
             assert!(
                 (analytic.service_time_secs - des.service_time_secs).abs() < 1e-9,
                 "{policy:?}: analytic {:.4}s vs des {:.4}s",
@@ -915,13 +1148,16 @@ mod fault_tests {
         let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(10);
         let runtimes = spec.runtimes.clone();
         let run = RunGenerator::new(spec, 17).generate(0);
-        let default_cfg = FaasExecutor::aws().execute(&run, &runtimes, &mut AllCold);
+        let default_cfg = FaasExecutor::aws()
+            .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+            .into_outcome();
         let explicit_clean = FaasExecutor::new(FaasConfig {
             faults: FaultConfig::none().with_seed(0xDEAD),
             recovery: RecoveryPolicy::speculative(),
             ..FaasConfig::default()
         })
-        .execute(&run, &runtimes, &mut AllCold);
+        .run(RunRequest::new(&run, &runtimes, &mut AllCold))
+        .into_outcome();
         assert_eq!(
             format!("{default_cfg:?}"),
             format!("{explicit_clean:?}"),

@@ -418,6 +418,24 @@ impl FaultStats {
     pub fn failures(&self) -> u64 {
         self.transient_failures + self.crashes + self.start_failures
     }
+
+    /// The counter growth since `mark` (an earlier snapshot of the same
+    /// stats). Executors use this to attribute fault activity to
+    /// individual phases in [`crate::telemetry::PhaseRecord`].
+    pub fn delta_since(&self, mark: &FaultStats) -> FaultStats {
+        FaultStats {
+            total_attempts: self.total_attempts - mark.total_attempts,
+            retried_components: self.retried_components - mark.retried_components,
+            transient_failures: self.transient_failures - mark.transient_failures,
+            crashes: self.crashes - mark.crashes,
+            start_failures: self.start_failures - mark.start_failures,
+            storage_hiccups: self.storage_hiccups - mark.storage_hiccups,
+            stragglers: self.stragglers - mark.stragglers,
+            timeouts: self.timeouts - mark.timeouts,
+            speculative_copies: self.speculative_copies - mark.speculative_copies,
+            speculative_wins: self.speculative_wins - mark.speculative_wins,
+        }
+    }
 }
 
 /// SplitMix64-style unit draw in `[0, 1)` from a hashed key — the same

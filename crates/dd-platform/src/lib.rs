@@ -46,6 +46,7 @@ pub mod invariant;
 pub mod cluster;
 pub mod contention;
 pub mod des;
+pub mod executor;
 pub mod faas;
 pub mod faas_des;
 pub mod faults;
@@ -62,6 +63,7 @@ pub mod trace;
 pub use cluster::{ClusterKind, ClusterSim};
 pub use contention::ContentionModel;
 pub use des::{EventQueue, SimTime};
+pub use executor::{Executor, RunReport, RunRequest};
 pub use faas::{FaasConfig, FaasExecutor, PoolTrigger};
 pub use faas_des::{DesFaasExecutor, DesSession};
 pub use faults::{
@@ -71,9 +73,34 @@ pub use faults::{
 pub use instance::{InstanceLifecycle, InstanceState};
 pub use pool::{InstanceId, InstanceView, PoolEntryRequest, PoolRequest, PooledInstance};
 pub use pricing::{CloudVendor, PriceSheet};
-pub use sched::{PhaseObservation, Placement, RunInfo, ServerlessScheduler, StartKind};
+pub use sched::{
+    PhaseObservation, Placement, RunInfo, SchedulerEvent, ServerlessScheduler, StartKind,
+};
 pub use startup::StartupModel;
 pub use storage::BackendStore;
 pub use telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
 pub use tier::Tier;
 pub use trace::{AttemptTrace, ComponentTrace, ExecutionTrace, PoolTrace};
+
+/// Everything a caller needs to build and execute runs through the
+/// unified [`Executor`] API, importable in one line:
+///
+/// ```
+/// use dd_platform::prelude::*;
+/// ```
+///
+/// Re-exports the executor trait and its request/report types, both
+/// executors, the scheduler interface, the telemetry types every
+/// experiment reads, and the [`dd_obs`] recorder surface.
+pub mod prelude {
+    pub use crate::executor::{metrics, Executor, RunReport, RunRequest};
+    pub use crate::faas::{FaasConfig, FaasExecutor, PoolTrigger};
+    pub use crate::faas_des::{DesFaasExecutor, DesSession};
+    pub use crate::faults::{FaultConfig, FaultStats, RecoveryPolicy};
+    pub use crate::sched::{
+        PhaseObservation, Placement, RunInfo, SchedulerEvent, ServerlessScheduler, StartKind,
+    };
+    pub use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
+    pub use crate::trace::ExecutionTrace;
+    pub use dd_obs::{MemoryRecorder, MetricsRegistry, NoopRecorder, Recorder};
+}

@@ -85,6 +85,36 @@ pub struct Placement {
     pub instance: Option<InstanceId>,
 }
 
+/// A decision-internal event a scheduler can surface for observability.
+///
+/// Schedulers buffer these during their callbacks (only while
+/// [`ServerlessScheduler::set_event_recording`] is on) and the executors
+/// drain them after each callback, stamping them with the virtual time
+/// of the decision. Recording is strictly write-only telemetry: it must
+/// never change what the scheduler decides.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SchedulerEvent {
+    /// The concurrency predictor re-fit its Weibull distribution from a
+    /// completed observation interval.
+    WeibullRefit {
+        /// Fitted shape parameter.
+        alpha: f64,
+        /// Fitted scale parameter.
+        beta: f64,
+        /// Interval fits folded into the current distribution.
+        intervals: usize,
+    },
+    /// A pool request was split across instance tiers.
+    TierSplit {
+        /// Total requested pool size.
+        pool: u32,
+        /// Instances placed on the high-end tier.
+        high_end: u32,
+        /// Instances placed on the low-end tier.
+        low_end: u32,
+    },
+}
+
 /// A scheduler of serverless workflow execution.
 pub trait ServerlessScheduler {
     /// Scheduler name for reports.
@@ -119,6 +149,19 @@ pub trait ServerlessScheduler {
     /// Feedback after a phase fully completes. Default: ignore.
     fn observe_phase(&mut self, observation: &PhaseObservation) {
         let _ = observation;
+    }
+
+    /// Turns decision-event buffering on or off. Executors call this
+    /// once per run with the recorder's enabled state; turning it on
+    /// must also clear any stale buffer. Default: events unsupported.
+    fn set_event_recording(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Drains buffered [`SchedulerEvent`]s since the last drain, in
+    /// emission order. Default: none (an empty `Vec` does not allocate).
+    fn drain_events(&mut self) -> Vec<SchedulerEvent> {
+        Vec::new()
     }
 }
 

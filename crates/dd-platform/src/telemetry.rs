@@ -39,6 +39,21 @@ impl CostLedger {
         self.keep_alive_used + self.keep_alive_wasted
     }
 
+    /// The ledger growth since `mark` (an earlier snapshot of the same
+    /// ledger). Executors use this to attribute costs to individual
+    /// phases: the run-level ledger stays the single accumulating sum
+    /// (so totals are not re-derived through a different float-addition
+    /// order), and each phase records the difference.
+    pub fn delta_since(&self, mark: &CostLedger) -> CostLedger {
+        CostLedger {
+            execution: self.execution - mark.execution,
+            keep_alive_used: self.keep_alive_used - mark.keep_alive_used,
+            keep_alive_wasted: self.keep_alive_wasted - mark.keep_alive_wasted,
+            storage: self.storage - mark.storage,
+            retry: self.retry - mark.retry,
+        }
+    }
+
     /// Accumulates another ledger.
     pub fn merge(&mut self, other: &CostLedger) {
         self.execution += other.execution;
@@ -163,12 +178,26 @@ pub struct PhaseRecord {
     pub exec_secs: f64,
     /// Mean per-component start-up overhead in this phase.
     pub mean_start_overhead_secs: f64,
+    /// Cost accrued by this phase alone. Phase ledgers use the same
+    /// [`CostLedger`] accessors as the run-level view; their `storage`
+    /// component is 0 because storage maintenance is billed once for the
+    /// whole run.
+    pub ledger: CostLedger,
+    /// Fault/recovery counters of this phase alone (all zero on clean
+    /// runs), same [`FaultStats`] shape as [`RunOutcome::faults`].
+    pub faults: FaultStats,
 }
 
 impl PhaseRecord {
     /// Absolute prediction error: |pool size − concurrency|.
     pub fn prediction_error(&self) -> u32 {
         self.pool_size.abs_diff(self.concurrency)
+    }
+
+    /// Keep-alive cost (used + wasted) of this phase — the per-phase
+    /// analogue of [`CostLedger::keep_alive`] on the run ledger.
+    pub fn keep_alive(&self) -> f64 {
+        self.ledger.keep_alive()
     }
 
     /// Fraction of this phase's pre-loads that were successful, per the
@@ -316,6 +345,7 @@ mod tests {
             wasted_instances: 0,
             exec_secs: 5.0,
             mean_start_overhead_secs: 1.0,
+            ..PhaseRecord::default()
         };
         assert_eq!(p.prediction_error(), 3);
         assert_eq!(p.preload_success_fraction(), 1.0);
@@ -328,6 +358,39 @@ mod tests {
         };
         assert_eq!(over.prediction_error(), 2);
         assert!((over.preload_success_fraction() - 10.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ledger_delta_since_is_fieldwise() {
+        let mark = CostLedger {
+            execution: 1.0,
+            keep_alive_used: 0.25,
+            ..Default::default()
+        };
+        let later = CostLedger {
+            execution: 1.5,
+            keep_alive_used: 0.25,
+            keep_alive_wasted: 0.125,
+            ..Default::default()
+        };
+        let d = later.delta_since(&mark);
+        assert_eq!(d.execution, 0.5);
+        assert_eq!(d.keep_alive_used, 0.0);
+        assert_eq!(d.keep_alive_wasted, 0.125);
+    }
+
+    #[test]
+    fn phase_keep_alive_matches_ledger_accessor() {
+        let p = PhaseRecord {
+            ledger: CostLedger {
+                keep_alive_used: 0.5,
+                keep_alive_wasted: 0.25,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert_eq!(p.keep_alive(), p.ledger.keep_alive());
+        assert_eq!(p.keep_alive(), 0.75);
     }
 
     #[test]

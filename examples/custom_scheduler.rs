@@ -20,6 +20,7 @@ use daydream::platform::{
 };
 use daydream::stats::SeedStream;
 use daydream::wfdag::{Phase, RunGenerator, Workflow, WorkflowSpec};
+use dd_platform::{Executor, RunRequest};
 
 /// Hot-starts exactly the previous phase's concurrency, split evenly
 /// across tiers.
@@ -94,20 +95,24 @@ fn main() {
     let mut history = DayDreamHistory::new();
     history.learn_from_run(&generator.generate(1_000), 0.20, 24);
 
-    let executor = FaasExecutor::aws();
+    let mut executor = FaasExecutor::aws();
     let n_runs = 5;
     let mut totals = [(0.0f64, 0.0f64, 0.0f64); 2]; // (time, cost, pred err)
     for idx in 0..n_runs {
         let run = generator.generate(idx);
 
         let mut dd = DayDreamScheduler::aws(&history, SeedStream::new(7).derive_index(idx as u64));
-        let o = executor.execute(&run, &runtimes, &mut dd);
+        let o = executor
+            .run(RunRequest::new(&run, &runtimes, &mut dd))
+            .into_outcome();
         totals[0].0 += o.service_time_secs;
         totals[0].1 += o.service_cost();
         totals[0].2 += o.mean_prediction_error();
 
         let mut lv = LastValueScheduler::new();
-        let o = executor.execute(&run, &runtimes, &mut lv);
+        let o = executor
+            .run(RunRequest::new(&run, &runtimes, &mut lv))
+            .into_outcome();
         totals[1].0 += o.service_time_secs;
         totals[1].1 += o.service_cost();
         totals[1].2 += o.mean_prediction_error();

@@ -14,6 +14,7 @@ use daydream::core::{DayDreamHistory, DayDreamScheduler};
 use daydream::platform::FaasExecutor;
 use daydream::stats::SeedStream;
 use daydream::wfdag::{ComponentDef, LanguageRuntime, WorkflowBuilder};
+use dd_platform::{Executor, RunRequest};
 
 fn build_workflow() -> WorkflowBuilder {
     let mut b = WorkflowBuilder::new("climate-extremes");
@@ -80,7 +81,9 @@ fn main() {
 
     let run = workflow.realize(42, 1);
     let mut scheduler = DayDreamScheduler::aws(&history, SeedStream::new(9));
-    let (outcome, trace) = FaasExecutor::aws().execute_traced(&run, &runtimes, &mut scheduler);
+    let (outcome, trace) = FaasExecutor::aws()
+        .run(RunRequest::new(&run, &runtimes, &mut scheduler).traced())
+        .into_traced();
     trace.validate().expect("trace invariants hold");
 
     let (_, hot, cold) = outcome.start_counts();

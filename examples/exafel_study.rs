@@ -14,6 +14,7 @@ use daydream::core::{DayDreamHistory, DayDreamScheduler};
 use daydream::platform::{FaasExecutor, RunOutcome};
 use daydream::stats::SeedStream;
 use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec};
+use dd_platform::{Executor, RunRequest};
 
 fn main() {
     let n_runs: usize = std::env::args()
@@ -35,7 +36,7 @@ fn main() {
     let mut history = DayDreamHistory::new();
     history.learn_from_run(&generator.generate(1_000), 0.20, 24);
 
-    let executor = FaasExecutor::aws();
+    let mut executor = FaasExecutor::aws();
     let mut results: Vec<(&str, Vec<RunOutcome>)> = vec![
         ("oracle", vec![]),
         ("daydream", vec![]),
@@ -45,19 +46,29 @@ fn main() {
     for idx in 0..n_runs {
         let run = generator.generate(idx);
         let seeds = SeedStream::new(7).derive_index(idx as u64);
-        results[0].1.push(executor.execute(
-            &run,
-            &runtimes,
-            &mut OracleScheduler::new(run.clone(), 0.20),
-        ));
-        results[1].1.push(executor.execute(
-            &run,
-            &runtimes,
-            &mut DayDreamScheduler::aws(&history, seeds),
-        ));
-        results[2]
-            .1
-            .push(executor.execute(&run, &runtimes, &mut WildScheduler::new()));
+        results[0].1.push(
+            executor
+                .run(RunRequest::new(
+                    &run,
+                    &runtimes,
+                    &mut OracleScheduler::new(run.clone(), 0.20),
+                ))
+                .into_outcome(),
+        );
+        results[1].1.push(
+            executor
+                .run(RunRequest::new(
+                    &run,
+                    &runtimes,
+                    &mut DayDreamScheduler::aws(&history, seeds),
+                ))
+                .into_outcome(),
+        );
+        results[2].1.push(
+            executor
+                .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+                .into_outcome(),
+        );
         results[3].1.push(Pegasus.execute(&run, &runtimes));
         eprint!("\rrun {}/{n_runs} done", idx + 1);
     }

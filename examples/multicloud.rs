@@ -14,6 +14,7 @@ use daydream::core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use daydream::platform::{CloudVendor, FaasConfig, FaasExecutor};
 use daydream::stats::SeedStream;
 use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec};
+use dd_platform::{Executor, RunRequest};
 
 fn main() {
     let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(2);
@@ -27,7 +28,7 @@ fn main() {
         "vendor", "daydream (s)", "vs wild", "daydream ($)", "vs wild"
     );
     for vendor in CloudVendor::ALL {
-        let executor = FaasExecutor::new(FaasConfig {
+        let mut executor = FaasExecutor::new(FaasConfig {
             vendor,
             ..FaasConfig::default()
         });
@@ -41,10 +42,14 @@ fn main() {
             let run = generator.generate(idx);
             let seeds = SeedStream::new(3).derive_index(idx as u64);
             let mut dd = DayDreamScheduler::new(&history, DayDreamConfig::default(), vendor, seeds);
-            let outcome = executor.execute(&run, &runtimes, &mut dd);
+            let outcome = executor
+                .run(RunRequest::new(&run, &runtimes, &mut dd))
+                .into_outcome();
             dd_time += outcome.service_time_secs;
             dd_cost += outcome.service_cost();
-            let outcome = executor.execute(&run, &runtimes, &mut WildScheduler::new());
+            let outcome = executor
+                .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+                .into_outcome();
             wi_time += outcome.service_time_secs;
             wi_cost += outcome.service_cost();
             pe_time += Pegasus

@@ -9,6 +9,7 @@ use daydream::core::{DayDreamHistory, DayDreamScheduler};
 use daydream::platform::FaasExecutor;
 use daydream::stats::SeedStream;
 use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec};
+use dd_platform::{Executor, RunRequest};
 
 fn main() {
     // 1. The workload: the Core Cosmology Library workflow, scaled down
@@ -37,7 +38,7 @@ fn main() {
         run.label.input
     );
 
-    let executor = FaasExecutor::aws();
+    let mut executor = FaasExecutor::aws();
     println!(
         "{:<12} {:>12} {:>12} {:>8} {:>8} {:>8}",
         "scheduler", "time (s)", "cost ($)", "warm", "hot", "cold"
@@ -56,16 +57,32 @@ fn main() {
     };
 
     let mut oracle = OracleScheduler::new(run.clone(), 0.20);
-    report(executor.execute(&run, &runtimes, &mut oracle));
+    report(
+        executor
+            .run(RunRequest::new(&run, &runtimes, &mut oracle))
+            .into_outcome(),
+    );
 
     let mut daydream = DayDreamScheduler::aws(&history, SeedStream::new(7));
-    report(executor.execute(&run, &runtimes, &mut daydream));
+    report(
+        executor
+            .run(RunRequest::new(&run, &runtimes, &mut daydream))
+            .into_outcome(),
+    );
 
     let mut wild = WildScheduler::new();
-    report(executor.execute(&run, &runtimes, &mut wild));
+    report(
+        executor
+            .run(RunRequest::new(&run, &runtimes, &mut wild))
+            .into_outcome(),
+    );
 
     report(Pegasus.execute(&run, &runtimes));
 
     let mut naive = NaiveScheduler;
-    report(executor.execute(&run, &runtimes, &mut naive));
+    report(
+        executor
+            .run(RunRequest::new(&run, &runtimes, &mut naive))
+            .into_outcome(),
+    );
 }

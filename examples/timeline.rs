@@ -10,6 +10,7 @@ use daydream::core::{DayDreamHistory, DayDreamScheduler};
 use daydream::platform::{ExecutionTrace, FaasExecutor, StartKind};
 use daydream::stats::SeedStream;
 use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec};
+use dd_platform::{Executor, RunRequest};
 
 /// Characters per second of simulated time in the Gantt rows.
 const SCALE: f64 = 0.8;
@@ -47,7 +48,9 @@ fn main() {
 
     let run = generator.generate(0);
     let mut scheduler = DayDreamScheduler::aws(&history, SeedStream::new(3));
-    let (outcome, trace) = FaasExecutor::aws().execute_traced(&run, &runtimes, &mut scheduler);
+    let (outcome, trace) = FaasExecutor::aws()
+        .run(RunRequest::new(&run, &runtimes, &mut scheduler).traced())
+        .into_traced();
     trace.validate().expect("trace invariants");
 
     println!(

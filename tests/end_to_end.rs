@@ -9,6 +9,7 @@ use daydream::core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use daydream::platform::{FaasConfig, FaasExecutor, PoolTrigger, RunOutcome};
 use daydream::stats::SeedStream;
 use daydream::wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
+use dd_platform::{Executor, RunRequest};
 
 fn setup(wf: Workflow, scale: usize) -> (RunGenerator, Vec<daydream::wfdag::LanguageRuntime>) {
     let spec = WorkflowSpec::new(wf).scaled_down(scale);
@@ -25,7 +26,9 @@ fn history_for(gen: &RunGenerator) -> DayDreamHistory {
 fn daydream_outcome(run: &WorkflowRun, gen: &RunGenerator, seed: u64) -> RunOutcome {
     let history = history_for(gen);
     let mut sched = DayDreamScheduler::aws(&history, SeedStream::new(seed));
-    FaasExecutor::aws().execute(run, &gen.spec().runtimes, &mut sched)
+    FaasExecutor::aws()
+        .run(RunRequest::new(run, &gen.spec().runtimes, &mut sched))
+        .into_outcome()
 }
 
 #[test]
@@ -62,13 +65,17 @@ fn headline_ordering_all_workflows() {
     for wf in Workflow::ALL {
         let (gen, runtimes) = setup(wf, 12);
         let run = gen.generate(1);
-        let exec = FaasExecutor::aws();
+        let mut exec = FaasExecutor::aws();
 
         let mut oracle = OracleScheduler::new(run.clone(), 0.20);
-        let o = exec.execute(&run, &runtimes, &mut oracle);
+        let o = exec
+            .run(RunRequest::new(&run, &runtimes, &mut oracle))
+            .into_outcome();
         let d = daydream_outcome(&run, &gen, 3);
         let mut wild = WildScheduler::new();
-        let w = exec.execute(&run, &runtimes, &mut wild);
+        let w = exec
+            .run(RunRequest::new(&run, &runtimes, &mut wild))
+            .into_outcome();
         let p = Pegasus.execute(&run, &runtimes);
 
         assert!(
@@ -98,7 +105,9 @@ fn headline_ordering_all_workflows() {
 fn naive_is_upper_bound_for_daydream() {
     let (gen, runtimes) = setup(Workflow::ExaFel, 12);
     let run = gen.generate(2);
-    let naive = FaasExecutor::aws().execute(&run, &runtimes, &mut NaiveScheduler);
+    let naive = FaasExecutor::aws()
+        .run(RunRequest::new(&run, &runtimes, &mut NaiveScheduler))
+        .into_outcome();
     let dd = daydream_outcome(&run, &gen, 4);
     assert!(dd.service_time_secs < naive.service_time_secs);
 }
@@ -132,20 +141,23 @@ fn phase_end_trigger_never_faster() {
     let run = gen.generate(4);
     let history = history_for(&gen);
 
-    let half = FaasExecutor::new(FaasConfig::default()).execute(
-        &run,
-        &runtimes,
-        &mut DayDreamScheduler::aws(&history, SeedStream::new(9)),
-    );
+    let half = FaasExecutor::new(FaasConfig::default())
+        .run(RunRequest::new(
+            &run,
+            &runtimes,
+            &mut DayDreamScheduler::aws(&history, SeedStream::new(9)),
+        ))
+        .into_outcome();
     let late = FaasExecutor::new(FaasConfig {
         trigger: PoolTrigger::PhaseComplete,
         ..FaasConfig::default()
     })
-    .execute(
+    .run(RunRequest::new(
         &run,
         &runtimes,
         &mut DayDreamScheduler::aws(&history, SeedStream::new(9)),
-    );
+    ))
+    .into_outcome();
     assert!(
         late.service_time_secs >= half.service_time_secs,
         "late trigger {:.1}s vs half-phase {:.1}s",
@@ -163,28 +175,32 @@ fn daydream_config_weights_shift_tradeoff() {
     let (gen, runtimes) = setup(Workflow::ExaFel, 15);
     let run = gen.generate(0);
     let history = history_for(&gen);
-    let exec = FaasExecutor::aws();
+    let mut exec = FaasExecutor::aws();
 
-    let balanced = exec.execute(
-        &run,
-        &runtimes,
-        &mut DayDreamScheduler::new(
-            &history,
-            DayDreamConfig::default(),
-            daydream::platform::CloudVendor::Aws,
-            SeedStream::new(11),
-        ),
-    );
-    let time_heavy = exec.execute(
-        &run,
-        &runtimes,
-        &mut DayDreamScheduler::new(
-            &history,
-            DayDreamConfig::default().with_weights(1.0, 0.0),
-            daydream::platform::CloudVendor::Aws,
-            SeedStream::new(11),
-        ),
-    );
+    let balanced = exec
+        .run(RunRequest::new(
+            &run,
+            &runtimes,
+            &mut DayDreamScheduler::new(
+                &history,
+                DayDreamConfig::default(),
+                daydream::platform::CloudVendor::Aws,
+                SeedStream::new(11),
+            ),
+        ))
+        .into_outcome();
+    let time_heavy = exec
+        .run(RunRequest::new(
+            &run,
+            &runtimes,
+            &mut DayDreamScheduler::new(
+                &history,
+                DayDreamConfig::default().with_weights(1.0, 0.0),
+                daydream::platform::CloudVendor::Aws,
+                SeedStream::new(11),
+            ),
+        ))
+        .into_outcome();
     assert!(
         time_heavy.service_time_secs <= balanced.service_time_secs * 1.005,
         "time-only weighting should not be slower: {:.1}s vs {:.1}s",
@@ -201,25 +217,37 @@ fn execution_traces_validate_for_every_scheduler() {
     let (gen, runtimes) = setup(Workflow::Ccl, 10);
     let run = gen.generate(5);
     let history = history_for(&gen);
-    let exec = FaasExecutor::aws();
+    let mut exec = FaasExecutor::aws();
 
-    let (_, trace) = exec.execute_traced(
-        &run,
-        &runtimes,
-        &mut DayDreamScheduler::aws(&history, SeedStream::new(21)),
-    );
+    let (_, trace) = exec
+        .run(
+            RunRequest::new(
+                &run,
+                &runtimes,
+                &mut DayDreamScheduler::aws(&history, SeedStream::new(21)),
+            )
+            .traced(),
+        )
+        .into_traced();
     trace.validate().expect("daydream trace");
     assert_eq!(trace.components.len(), run.total_components());
     assert_eq!(trace.phase_starts.len(), run.phase_count());
 
-    let (_, trace) = exec.execute_traced(&run, &runtimes, &mut WildScheduler::new());
+    let (_, trace) = exec
+        .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()).traced())
+        .into_traced();
     trace.validate().expect("wild trace");
 
-    let (_, trace) = exec.execute_traced(
-        &run,
-        &runtimes,
-        &mut OracleScheduler::new(run.clone(), 0.20),
-    );
+    let (_, trace) = exec
+        .run(
+            RunRequest::new(
+                &run,
+                &runtimes,
+                &mut OracleScheduler::new(run.clone(), 0.20),
+            )
+            .traced(),
+        )
+        .into_traced();
     trace.validate().expect("oracle trace");
     // The oracle's pool is never wasted: every pool trace entry is used.
     assert!(trace.pool.iter().all(|p| p.used));
@@ -230,17 +258,24 @@ fn traced_and_untraced_outcomes_agree() {
     let (gen, runtimes) = setup(Workflow::ExaFel, 15);
     let run = gen.generate(1);
     let history = history_for(&gen);
-    let exec = FaasExecutor::aws();
-    let plain = exec.execute(
-        &run,
-        &runtimes,
-        &mut DayDreamScheduler::aws(&history, SeedStream::new(2)),
-    );
-    let (traced, trace) = exec.execute_traced(
-        &run,
-        &runtimes,
-        &mut DayDreamScheduler::aws(&history, SeedStream::new(2)),
-    );
+    let mut exec = FaasExecutor::aws();
+    let plain = exec
+        .run(RunRequest::new(
+            &run,
+            &runtimes,
+            &mut DayDreamScheduler::aws(&history, SeedStream::new(2)),
+        ))
+        .into_outcome();
+    let (traced, trace) = exec
+        .run(
+            RunRequest::new(
+                &run,
+                &runtimes,
+                &mut DayDreamScheduler::aws(&history, SeedStream::new(2)),
+            )
+            .traced(),
+        )
+        .into_traced();
     assert_eq!(plain.service_time_secs, traced.service_time_secs);
     assert_eq!(plain.ledger, traced.ledger);
     // Phase times derived from the trace match the phase records.
@@ -278,31 +313,43 @@ fn des_executor_agrees_with_analytic_for_real_schedulers() {
         assert_eq!(a.start_counts(), b.start_counts(), "{name}: start counts");
     };
 
-    let analytic = FaasExecutor::aws().execute(
-        &run,
-        &runtimes,
-        &mut DayDreamScheduler::aws(&history, SeedStream::new(5)),
-    );
-    let des = DesFaasExecutor::aws().execute(
-        &run,
-        &runtimes,
-        &mut DayDreamScheduler::aws(&history, SeedStream::new(5)),
-    );
+    let analytic = FaasExecutor::aws()
+        .run(RunRequest::new(
+            &run,
+            &runtimes,
+            &mut DayDreamScheduler::aws(&history, SeedStream::new(5)),
+        ))
+        .into_outcome();
+    let des = DesFaasExecutor::aws()
+        .run(RunRequest::new(
+            &run,
+            &runtimes,
+            &mut DayDreamScheduler::aws(&history, SeedStream::new(5)),
+        ))
+        .into_outcome();
     check(&analytic, &des, "daydream");
 
-    let analytic = FaasExecutor::aws().execute(&run, &runtimes, &mut WildScheduler::new());
-    let des = DesFaasExecutor::aws().execute(&run, &runtimes, &mut WildScheduler::new());
+    let analytic = FaasExecutor::aws()
+        .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+        .into_outcome();
+    let des = DesFaasExecutor::aws()
+        .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+        .into_outcome();
     check(&analytic, &des, "wild");
 
-    let analytic = FaasExecutor::aws().execute(
-        &run,
-        &runtimes,
-        &mut OracleScheduler::new(run.clone(), 0.20),
-    );
-    let des = DesFaasExecutor::aws().execute(
-        &run,
-        &runtimes,
-        &mut OracleScheduler::new(run.clone(), 0.20),
-    );
+    let analytic = FaasExecutor::aws()
+        .run(RunRequest::new(
+            &run,
+            &runtimes,
+            &mut OracleScheduler::new(run.clone(), 0.20),
+        ))
+        .into_outcome();
+    let des = DesFaasExecutor::aws()
+        .run(RunRequest::new(
+            &run,
+            &runtimes,
+            &mut OracleScheduler::new(run.clone(), 0.20),
+        ))
+        .into_outcome();
     check(&analytic, &des, "oracle");
 }

@@ -1,0 +1,47 @@
+//! Observability golden test: the obs sweep report at smoke scale must
+//! be byte-identical across `--jobs` settings AND byte-identical to the
+//! committed golden file. Any drift in the recorder emission order, the
+//! metric registry, the exporters or the executors shows up here as a
+//! diff against `tests/golden/obs_summary.txt`.
+//!
+//! To re-bless after an *intended* behaviour change:
+//!
+//! ```bash
+//! DD_BLESS=1 cargo test --test obs_golden
+//! ```
+//!
+//! and say why in the commit message.
+
+use dd_bench::experiments::obs;
+use dd_bench::ExperimentContext;
+
+fn smoke_ctx(jobs: usize) -> ExperimentContext {
+    ExperimentContext {
+        runs_per_workflow: 3,
+        scale_down: 15,
+        ..ExperimentContext::default()
+    }
+    .with_jobs(jobs)
+}
+
+#[test]
+fn obs_summary_matches_golden_at_any_thread_count() {
+    let serial = obs::run(&smoke_ctx(1));
+    let parallel = obs::run(&smoke_ctx(8));
+    assert_eq!(serial, parallel, "obs report must not depend on --jobs");
+
+    if std::env::var_os("DD_BLESS").is_some() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/obs_summary.txt"),
+            &serial,
+        )
+        .expect("write golden");
+        return;
+    }
+    let golden = include_str!("golden/obs_summary.txt");
+    assert_eq!(
+        serial, golden,
+        "obs report drifted from tests/golden/obs_summary.txt \
+         (re-bless with DD_BLESS=1 if the change is intended)"
+    );
+}

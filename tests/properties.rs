@@ -7,6 +7,7 @@ use daydream::core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use daydream::platform::{FaasExecutor, StartupModel, Tier};
 use daydream::stats::{fit_weibull_grid, Histogram, SeedStream, Weibull};
 use daydream::wfdag::{ComponentInstance, ComponentTypeId, RunGenerator, Workflow, WorkflowSpec};
+use dd_platform::{Executor, RunRequest};
 use proptest::prelude::*;
 
 proptest! {
@@ -88,10 +89,10 @@ proptest! {
         let runtimes = spec.runtimes.clone();
         let gen = RunGenerator::new(spec, 13);
         let run = gen.generate((seed % 8) as usize);
-        let exec = FaasExecutor::aws();
+        let mut exec = FaasExecutor::aws();
 
         let mut oracle = OracleScheduler::new(run.clone(), 0.20);
-        let o = exec.execute(&run, &runtimes, &mut oracle);
+        let o = exec.run(RunRequest::new(&run, &runtimes, &mut oracle)).into_outcome();
 
         let mut history = DayDreamHistory::new();
         history.learn_from_run(&gen.generate(1_000), 0.20, 24);
@@ -101,7 +102,7 @@ proptest! {
             daydream::platform::CloudVendor::Aws,
             SeedStream::new(seed),
         );
-        let d = exec.execute(&run, &runtimes, &mut dd);
+        let d = exec.run(RunRequest::new(&run, &runtimes, &mut dd)).into_outcome();
         prop_assert!(
             o.service_time_secs <= d.service_time_secs * 1.02,
             "oracle {} vs daydream {}", o.service_time_secs, d.service_time_secs
@@ -121,14 +122,14 @@ proptest! {
 
         let mut costs = Vec::new();
         for vendor in [CloudVendor::Azure, CloudVendor::Aws, CloudVendor::Gcp] {
-            let exec = FaasExecutor::new(FaasConfig { vendor, ..FaasConfig::default() });
+            let mut exec = FaasExecutor::new(FaasConfig { vendor, ..FaasConfig::default() });
             let mut dd = DayDreamScheduler::new(
                 &history,
                 DayDreamConfig::default(),
                 vendor,
                 SeedStream::new(seed),
             );
-            let o = exec.execute(&run, &runtimes, &mut dd);
+            let o = exec.run(RunRequest::new(&run, &runtimes, &mut dd)).into_outcome();
             costs.push((vendor.price_multiplier(), o.service_cost() / o.service_time_secs));
         }
         // Higher price multiplier ⇒ higher cost per second of service.
@@ -152,7 +153,7 @@ proptest! {
                 &history,
                 SeedStream::new(seed).derive_index(idx as u64),
             );
-            FaasExecutor::aws().execute(&gen.generate(idx), &runtimes, &mut dd)
+            FaasExecutor::aws().run(RunRequest::new(&gen.generate(idx), &runtimes, &mut dd)).into_outcome()
         };
 
         let serial = dd_bench::par_map(1, 6, execute);
@@ -197,7 +198,7 @@ proptest! {
         };
         let execute = |idx: usize| {
             let mut oracle = OracleScheduler::new(gen.generate(idx), 0.20);
-            FaasExecutor::new(config).execute(&gen.generate(idx), &runtimes, &mut oracle)
+            FaasExecutor::new(config).run(RunRequest::new(&gen.generate(idx), &runtimes, &mut oracle)).into_outcome()
         };
 
         let serial = dd_bench::par_map(1, 4, execute);
@@ -217,7 +218,7 @@ proptest! {
             // outcome.
             let run = gen.generate(idx);
             let mut oracle = OracleScheduler::new(run.clone(), 0.20);
-            let des = DesFaasExecutor::new(config).execute(&run, &runtimes, &mut oracle);
+            let des = DesFaasExecutor::new(config).run(RunRequest::new(&run, &runtimes, &mut oracle)).into_outcome();
             prop_assert!(
                 (a.service_time_secs - des.service_time_secs).abs() < 1e-9,
                 "DES {} vs analytic {}", des.service_time_secs, a.service_time_secs

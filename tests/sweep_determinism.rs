@@ -15,6 +15,7 @@ use daydream::stats::SeedStream;
 use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec};
 use dd_bench::experiments::fig11;
 use dd_bench::{EvaluationMatrix, ExperimentContext, SchedulerKind};
+use dd_platform::{Executor, RunRequest};
 
 fn small_ctx(jobs: usize) -> ExperimentContext {
     ExperimentContext {
@@ -54,7 +55,9 @@ fn traced_execution_hash_is_pinned() {
     let mut history = DayDreamHistory::new();
     history.learn_from_run(&gen.generate(1_000), 0.20, 24);
     let mut sched = daydream::core::DayDreamScheduler::aws(&history, SeedStream::new(5));
-    let (outcome, trace) = FaasExecutor::aws().execute_traced(&run, &runtimes, &mut sched);
+    let (outcome, trace) = FaasExecutor::aws()
+        .run(RunRequest::new(&run, &runtimes, &mut sched).traced())
+        .into_traced();
     trace.validate().expect("trace invariants");
 
     let hash = fnv1a(format!("{outcome:?}|{trace:?}").as_bytes());
@@ -67,13 +70,13 @@ fn traced_execution_hash_is_pinned() {
     );
 }
 
-// Re-pinned for the fault-injection subsystem: RunOutcome gained the
-// `ledger.retry` / `faults` fields and ComponentTrace the `attempts` /
-// `recovery_secs` fields, which change the hashed Debug rendering. The
-// *numeric* behaviour of this clean run is unchanged — all fault rates are
-// zero, so every new field renders its default (verified by the
-// clean-config strict-no-op test in dd-platform).
-const PINNED_TRACE_HASH: u64 = 15866250335732858167;
+// Re-pinned for the observability layer: PhaseRecord gained per-phase
+// `ledger` / `faults` attributions (snapshot deltas of the run ledger),
+// which change the hashed Debug rendering. The run-level sums and every
+// pre-existing field are unchanged — the obs determinism suite verifies
+// that recording is write-only and that a recorded run's outcome equals
+// an unrecorded one bit for bit.
+const PINNED_TRACE_HASH: u64 = 11075346348196051809;
 
 #[test]
 fn cross_scheduler_smoke_ordering() {
