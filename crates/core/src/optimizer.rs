@@ -181,11 +181,17 @@ impl PlacementOptimizer {
 
     /// Hill-climbs single-component moves against the joint objective.
     ///
-    /// Per-component (time, cost) under every candidate assignment is
-    /// independent of the other components, so it is tabulated once; each
-    /// move then evaluates in O(1) using the phase's top-2 completion
-    /// times (the makespan with component `i` removed is the largest
-    /// other time).
+    /// A hot slot enters [`component_cost`] only through its
+    /// `(tier, ready_at)` — every preload-free slot sharing those is
+    /// interchangeable — so slots are deduplicated into *classes* and the
+    /// per-component (time, cost) table is `n × classes` instead of
+    /// `n × pool`. Candidate moves likewise enumerate one unused slot per
+    /// class (the lowest-indexed, which is the only one the dense scan
+    /// could ever accept: a same-class duplicate has a bit-identical
+    /// objective and the acceptance test is strict). The makespan with
+    /// component `i` removed comes from a cached top-2 of the completion
+    /// times, rebuilt by one O(n) scan per accepted move. All three
+    /// shortcuts reproduce the dense scan's choices bit for bit.
     fn refine(
         &self,
         phase: &Phase,
@@ -198,26 +204,45 @@ impl PlacementOptimizer {
         if n == 0 {
             return;
         }
-        // Tabulate (time, cost) for each component × candidate.
-        let hot_tc: Vec<Vec<(f64, f64)>> = phase
-            .components
-            .iter()
-            .map(|c| {
-                (0..available.len())
-                    .map(|slot| self.component_cost(c, Assign::Hot(slot), available, now, runtimes))
-                    .collect()
-            })
-            .collect();
-        // The paper's service-cost formulation only has a *high-end* cold
-        // branch (γ·(1−δ)·e^HE): cold starts always run high-end, so the
-        // optimizer's move set is {any unused hot instance, Cold(HighEnd)}.
+        // Group the preload-free (hot-startable) slots into equivalence
+        // classes by (tier, ready_at). Preloaded slots are never assigned
+        // by greedy nor candidates here, so they get no class.
+        const NO_CLASS: usize = usize::MAX;
+        let mut class_of = vec![NO_CLASS; available.len()];
+        let mut classes: Vec<(Tier, SimTime)> = Vec::new();
+        for (slot, inst) in available.iter().enumerate() {
+            if inst.preload.is_some() {
+                continue;
+            }
+            let key = (inst.tier, inst.ready_at);
+            class_of[slot] = match classes.iter().position(|&k| k == key) {
+                Some(c) => c,
+                None => {
+                    classes.push(key);
+                    classes.len() - 1
+                }
+            };
+        }
+        let n_classes = classes.len();
+
+        // Tabulate (time, cost) for each component × slot class, flat
+        // row-major, plus the high-end cold branch. The paper's
+        // service-cost formulation only has a *high-end* cold branch
+        // (γ·(1−δ)·e^HE): cold starts always run high-end, so the move
+        // set is {any unused hot instance, Cold(HighEnd)}.
+        let mut hot_tc: Vec<(f64, f64)> = Vec::with_capacity(n * n_classes);
         let cold_tc: Vec<(f64, f64)> = phase
             .components
             .iter()
-            .map(|c| self.component_cost(c, Assign::Cold(Tier::HighEnd), available, now, runtimes))
+            .map(|c| {
+                for &(tier, ready_at) in &classes {
+                    hot_tc.push(self.hot_slot_cost(c, tier, ready_at, now));
+                }
+                self.component_cost(c, Assign::Cold(Tier::HighEnd), available, now, runtimes)
+            })
             .collect();
         let tc_of = |i: usize, a: Assign| match a {
-            Assign::Hot(slot) => hot_tc[i][slot],
+            Assign::Hot(slot) => hot_tc[i * n_classes + class_of[slot]],
             Assign::Cold(_) => cold_tc[i],
         };
 
@@ -242,33 +267,75 @@ impl PlacementOptimizer {
         let objective =
             |t: f64, c: f64| self.weights.time * t / ref_time + self.weights.cost * c / ref_cost;
 
+        // Cached top-2 completion times: the largest value, how many
+        // components attain it, and the largest value strictly below it.
+        // The equality is exact on purpose: `times[i]` is one of the
+        // scanned entries, so bit equality decides "does i attain the
+        // maximum", not an approximate comparison.
+        #[allow(clippy::float_cmp)]
+        let top2 = |times: &[f64]| {
+            let mut max1 = 0.0f64;
+            let mut cnt1 = 0usize;
+            let mut max2 = 0.0f64;
+            for &t in times {
+                if t > max1 {
+                    max2 = max1;
+                    max1 = t;
+                    cnt1 = 1;
+                } else if t == max1 {
+                    cnt1 += 1;
+                } else if t > max2 {
+                    max2 = t;
+                }
+            }
+            (max1, cnt1, max2)
+        };
+        let (mut max1, mut cnt1, mut max2) = top2(&times);
+
+        // One candidate slot per class — the lowest-indexed unused
+        // preload-free one — emitted in ascending slot order, i.e. the
+        // dense 0..available.len() scan with the later same-class
+        // duplicates removed. A duplicate's objective is bit-identical to
+        // its class representative's, so under the strict acceptance test
+        // it could never be chosen, and pruning it cannot perturb the
+        // 1e-12 threshold sequence. The list depends only on `used` and
+        // the class map — not on the component under consideration — so
+        // it is rebuilt only after an accepted move changes `used`.
+        let mut seen_class = vec![false; n_classes];
+        let mut cand_slots: Vec<usize> = Vec::with_capacity(n_classes);
+        let rebuild_cands =
+            |seen_class: &mut [bool], cand_slots: &mut Vec<usize>, used: &[bool]| {
+                for c in seen_class.iter_mut() {
+                    *c = false;
+                }
+                cand_slots.clear();
+                for (slot, &class) in class_of.iter().enumerate() {
+                    if class != NO_CLASS && !used[slot] && !seen_class[class] {
+                        seen_class[class] = true;
+                        cand_slots.push(slot);
+                        if cand_slots.len() == n_classes {
+                            break;
+                        }
+                    }
+                }
+            };
+        rebuild_cands(&mut seen_class, &mut cand_slots, &used);
         for _pass in 0..3 {
             let mut improved = false;
             for i in 0..n {
-                // Makespan with component i removed: top-2 scan.
-                let mut max1 = 0.0f64;
-                let mut max2 = 0.0f64;
-                for (j, &t) in times.iter().enumerate() {
-                    if j == i {
-                        continue;
-                    }
-                    if t > max1 {
-                        max2 = max1;
-                        max1 = t;
-                    } else if t > max2 {
-                        max2 = t;
-                    }
-                }
-                let _ = max2;
-                let makespan_excl_i = max1;
+                // Makespan with component i removed: the cached maximum,
+                // unless i alone attains it.
+                let makespan_excl_i = if times[i] < max1 || cnt1 > 1 {
+                    max1
+                } else {
+                    max2
+                };
 
                 let current_obj = objective(makespan_excl_i.max(times[i]), total_cost);
                 let mut best: Option<(Assign, f64, f64, f64)> = None;
-                let candidates = [Assign::Cold(Tier::HighEnd)].into_iter().chain(
-                    (0..available.len())
-                        .filter(|&s| !used[s] && available[s].preload.is_none())
-                        .map(Assign::Hot),
-                );
+                let candidates = [Assign::Cold(Tier::HighEnd)]
+                    .into_iter()
+                    .chain(cand_slots.iter().map(|&s| Assign::Hot(s)));
                 for cand in candidates {
                     if cand == assigns[i] {
                         continue;
@@ -291,12 +358,31 @@ impl PlacementOptimizer {
                     costs[i] = c;
                     assigns[i] = cand;
                     improved = true;
+                    (max1, cnt1, max2) = top2(&times);
+                    rebuild_cands(&mut seen_class, &mut cand_slots, &used);
                 }
             }
             if !improved {
                 break;
             }
         }
+    }
+
+    /// [`component_cost`](Self::component_cost) of `Assign::Hot` for a
+    /// preload-free slot, expressed on the slot's class key — the only
+    /// slot attributes the hot branch reads.
+    fn hot_slot_cost(
+        &self,
+        component: &ComponentInstance,
+        tier: Tier,
+        ready_at: SimTime,
+        now: SimTime,
+    ) -> (f64, f64) {
+        let wait = ready_at.since(now);
+        let overhead = self.startup.hot_overhead_secs(component, tier);
+        let busy =
+            overhead + tier.exec_secs(component) + self.startup.output_write_secs(component, tier);
+        (wait + busy, self.pricing.cost(tier, wait + busy))
     }
 
     /// Evaluates (S_t, S_e) of a full assignment: the phase makespan and

@@ -15,7 +15,8 @@
 //!    history.
 
 use crate::config::DayDreamConfig;
-use dd_stats::{fit_weibull_grid, fit_weibull_moments, Histogram, SeedStream, Weibull};
+use dd_stats::incremental::moments_centered_grid_fit_memo;
+use dd_stats::{Histogram, SeedStream, Weibull};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 
@@ -27,6 +28,12 @@ pub struct WeibullPredictor {
     /// Parameters fitted in each completed interval of the current run
     /// ((α_i, β_i) of Eq. 3).
     interval_fits: Vec<Weibull>,
+    /// Running sums of the interval-fit parameters, maintained in push
+    /// order so `current()` is O(1) instead of re-summing every phase.
+    /// Each equals `interval_fits.iter().map(…).sum::<f64>()` bit for bit
+    /// (same left-to-right fold from 0.0).
+    fit_alpha_sum: f64,
+    fit_beta_sum: f64,
     /// Histogram of phase concurrency observed in the current run.
     observed: Histogram,
     /// Phases observed since the last re-fit.
@@ -52,6 +59,8 @@ impl WeibullPredictor {
         Self {
             historic,
             interval_fits: Vec::new(),
+            fit_alpha_sum: 0.0,
+            fit_beta_sum: 0.0,
             observed: Histogram::new(),
             since_refit: 0,
             phase_interval: config.phase_interval.max(1),
@@ -72,12 +81,8 @@ impl WeibullPredictor {
             return self.historic;
         }
         let n = self.interval_fits.len() as f64;
-        let alpha = (self.historic.alpha()
-            + self.interval_fits.iter().map(Weibull::alpha).sum::<f64>())
-            / (n + 1.0);
-        let beta = (self.historic.beta()
-            + self.interval_fits.iter().map(Weibull::beta).sum::<f64>())
-            / (n + 1.0);
+        let alpha = (self.historic.alpha() + self.fit_alpha_sum) / (n + 1.0);
+        let beta = (self.historic.beta() + self.fit_beta_sum) / (n + 1.0);
         Weibull::new(alpha, beta).unwrap_or(self.historic)
     }
 
@@ -97,6 +102,8 @@ impl WeibullPredictor {
         if self.since_refit >= self.phase_interval {
             self.since_refit = 0;
             if let Some(fit) = refit(&self.observed, self.grid_steps) {
+                self.fit_alpha_sum += fit.alpha();
+                self.fit_beta_sum += fit.beta();
                 self.interval_fits.push(fit);
             }
         }
@@ -116,15 +123,12 @@ impl WeibullPredictor {
 /// Fits a Weibull to the observed histogram: a method-of-moments estimate
 /// centers a χ² grid search (Eq. 2) at ±60% around it, which keeps the
 /// grid small without assuming the workflow's concurrency scale.
+/// (The kernel lives in `dd_stats::incremental` so the incremental re-fit
+/// API and the predictor share one definition; the memoized entry point
+/// dedupes the identical re-fit streams that experiment sweeps replay
+/// across figures, vendors, and sensitivity configurations.)
 pub fn refit(observed: &Histogram, grid_steps: usize) -> Option<Weibull> {
-    let center = fit_weibull_moments(observed)?;
-    let fit = fit_weibull_grid(
-        observed,
-        (center.alpha() * 0.4, center.alpha() * 1.6),
-        ((center.beta() * 0.4).max(0.2), center.beta() * 1.6),
-        grid_steps,
-    )?;
-    Some(fit.dist)
+    moments_centered_grid_fit_memo(observed, grid_steps).map(|fit| fit.dist)
 }
 
 /// Fits the historic parameters from a whole run's concurrency histogram —

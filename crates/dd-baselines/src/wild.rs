@@ -26,13 +26,88 @@ use dd_platform::{
     InstanceView, PhaseObservation, Placement, PoolRequest, RunInfo, ServerlessScheduler, SimTime,
     Tier,
 };
-use dd_stats::{Arima, ArimaConfig};
+use dd_stats::{Arima, ArimaConfig, ArimaScratch};
 use dd_wfdag::{ComponentTypeId, Phase};
 use std::collections::BTreeMap;
-use std::collections::VecDeque;
+// dd-lint: allow(hash-container): memo table is point-lookup only; iteration order is never observed
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// Sliding-window length (phases) of per-type concurrency history.
 const HISTORY_WINDOW: usize = 48;
+
+/// Reusable buffers for the per-phase forecasting sweep. Wild forecasts
+/// every known type every phase — hundreds of thousands of calls per
+/// simulated run — so the sweep draws all intermediate storage from here
+/// instead of allocating.
+#[derive(Debug, Clone, Default)]
+struct ForecastScratch {
+    /// The current type's window, contiguous (`histogram_forecast` and
+    /// ARIMA both want slices).
+    xs: Vec<f64>,
+    /// Gaps (in phases) between invocations of the current type.
+    gaps: Vec<f64>,
+    /// Dense count vector, reused for the gap and concurrency modes.
+    counts: Vec<u64>,
+    /// Lossless integer encoding of the current window, the ARIMA memo key.
+    key: Vec<u32>,
+    arima: ArimaScratch,
+}
+
+/// Process-wide memo for the ARIMA fallback, keyed by the exact series
+/// contents and model order. The forecast is a pure function of both, so
+/// identical inputs always return the identical — bit for bit — value and
+/// memoization is invisible to callers. It pays off twice: many types
+/// share identical concurrency windows *within* a run (types born in the
+/// same phases at the same counts slide in lockstep), and the same
+/// (workflow, run) pairs recur *across* figures and cloud-vendor columns
+/// (Wild's observations don't depend on the vendor). Bounded like the
+/// dd-stats fit memo: at capacity the table is cleared — the memo is a
+/// pure cache, so eviction only costs recomputation.
+#[allow(clippy::type_complexity)]
+// dd-lint: allow(hash-container): memo table is point-lookup only; iteration order is never observed
+static ARIMA_MEMO: OnceLock<Mutex<HashMap<(usize, usize, usize, Vec<u32>), f64>>> = OnceLock::new();
+const ARIMA_MEMO_CAP: usize = 262_144;
+
+/// [`Arima::forecast_or_mean_with`], memoized process-wide when the series
+/// round-trips losslessly through `u32` (phase concurrency always does —
+/// the windows hold `f64::from(u32)` counts); anything else falls through
+/// to the direct call.
+#[allow(clippy::float_cmp)] // exact round-trip check: any imprecision must disable the memo
+fn arima_forecast_memo(
+    series: &[f64],
+    config: ArimaConfig,
+    scratch: &mut ArimaScratch,
+    key: &mut Vec<u32>,
+) -> f64 {
+    key.clear();
+    for &x in series {
+        let v = x as u32;
+        if f64::from(v) != x {
+            return Arima::forecast_or_mean_with(series, config, scratch);
+        }
+        key.push(v);
+    }
+    let full_key = (config.p, config.d, config.q, key.clone());
+    // dd-lint: allow(hash-container): memo table is point-lookup only; iteration order is never observed
+    let memo = ARIMA_MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(&f) = memo
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .get(&full_key)
+    {
+        return f;
+    }
+    // Not held across the forecast: concurrent sweep workers may race to
+    // compute the same entry, but they insert identical values.
+    let f = Arima::forecast_or_mean_with(series, config, scratch);
+    let mut guard = memo.lock().unwrap_or_else(PoisonError::into_inner);
+    if guard.len() >= ARIMA_MEMO_CAP {
+        guard.clear();
+    }
+    guard.insert(full_key, f);
+    f
+}
 
 /// The Wild scheduler.
 #[derive(Debug, Clone)]
@@ -45,6 +120,7 @@ pub struct WildScheduler {
     arima: ArimaConfig,
     /// Cap on warm instances requested per type per phase.
     per_type_cap: u32,
+    scratch: ForecastScratch,
 }
 
 impl Default for WildScheduler {
@@ -61,23 +137,41 @@ impl WildScheduler {
             recent_concurrency: VecDeque::new(),
             arima: ArimaConfig::wild_default(),
             per_type_cap: 64,
+            scratch: ForecastScratch::default(),
         }
     }
 
     /// Forecast of next-phase concurrency for every known type: the
     /// histogram policy when representative, ARIMA otherwise (the
     /// original system's split).
-    fn forecast_all(&self) -> Vec<(ComponentTypeId, u32)> {
-        self.history
+    fn forecast_all(&mut self) -> Vec<(ComponentTypeId, u32)> {
+        let Self {
+            history,
+            arima,
+            per_type_cap,
+            scratch,
+            ..
+        } = self;
+        history
             .iter()
             .filter_map(|(&ty, series)| {
-                let xs: Vec<f64> = series.iter().copied().collect();
-                let f = match histogram_forecast(&xs) {
+                scratch.xs.clear();
+                scratch.xs.extend(series.iter().copied());
+                let f = match histogram_forecast_with(
+                    &scratch.xs,
+                    &mut scratch.gaps,
+                    &mut scratch.counts,
+                ) {
                     Some(h) => h,
-                    None => Arima::forecast_or_mean(&xs, self.arima),
+                    None => arima_forecast_memo(
+                        &scratch.xs,
+                        *arima,
+                        &mut scratch.arima,
+                        &mut scratch.key,
+                    ),
                 };
                 let count = f.round().max(0.0) as u32;
-                (count > 0).then_some((ty, count.min(self.per_type_cap)))
+                (count > 0).then_some((ty, count.min(*per_type_cap)))
             })
             .collect()
     }
@@ -117,7 +211,7 @@ impl WildScheduler {
     /// instances it keeps alive, so unbounded speculative warming is not
     /// faithful to the original system. Forecasts are trimmed
     /// proportionally when they exceed the budget.
-    fn warm_request(&self) -> PoolRequest {
+    fn warm_request(&mut self) -> PoolRequest {
         let mut forecasts = self.forecast_all();
         let budget = {
             let xs: Vec<f64> = self.recent_concurrency.iter().copied().collect();
@@ -164,54 +258,108 @@ impl WildScheduler {
 /// * when it is unrepresentative, `None` defers to ARIMA.
 ///
 /// `series` is most-recent-last.
+///
+/// This wrapper allocates fresh scratch; the per-phase forecasting sweep
+/// goes through [`histogram_forecast_with`] directly with reused buffers.
+#[cfg(test)]
 fn histogram_forecast(series: &[f64]) -> Option<f64> {
+    histogram_forecast_with(series, &mut Vec::new(), &mut Vec::new())
+}
+
+/// [`histogram_forecast`] with caller-provided scratch (`gaps` and a
+/// dense count buffer), so the per-type sweep allocates nothing. The
+/// count buffer replays [`dd_stats::Histogram`]'s dense value-indexed
+/// counts; mode selection keeps the same tie-breaks (most frequent gap,
+/// ties to the *smallest* gap; most frequent concurrency, ties to the
+/// *largest*), which are unique maxima over distinct values either way.
+fn histogram_forecast_with(
+    series: &[f64],
+    gaps: &mut Vec<f64>,
+    counts: &mut Vec<u64>,
+) -> Option<f64> {
     if series.len() < 4 {
         return None;
     }
-    let invocation_idx: Vec<usize> = series
-        .iter()
-        .enumerate()
-        .filter(|(_, &x)| x > 0.0)
-        .map(|(i, _)| i)
-        .collect();
-    if invocation_idx.is_empty() {
+    let mut last_invocation = None;
+    let mut any = false;
+    gaps.clear();
+    for (i, &x) in series.iter().enumerate() {
+        if x > 0.0 {
+            if let Some(prev) = last_invocation {
+                gaps.push((i - prev) as f64);
+            }
+            last_invocation = Some(i);
+            any = true;
+        }
+    }
+    if !any {
         return Some(0.0);
     }
-    let gaps: Vec<f64> = invocation_idx
-        .windows(2)
-        .map(|w| (w[1] - w[0]) as f64)
-        .collect();
     if gaps.len() < 3 {
         return None;
     }
-    let cv = dd_stats::std_dev(&gaps) / dd_stats::mean(&gaps).max(1e-12);
+    let cv = dd_stats::std_dev(gaps) / dd_stats::mean(gaps).max(1e-12);
     // The original treats a histogram as representative when it is
     // concentrated; CV ≤ 1 is its cutoff for usable idle-time histograms.
     if cv > 1.0 {
         return None;
     }
-    let gap_hist: dd_stats::Histogram = gaps.iter().map(|&g| g.round() as u32).collect();
-    let modal_gap = gap_hist
-        .iter_nonzero()
-        .max_by_key(|&(v, c)| (c, std::cmp::Reverse(v)))
-        .map(|(v, _)| v as usize)?;
+    let modal_gap = dense_mode(counts, gaps.iter().map(|&g| g.round() as u32), true)? as usize;
     // Phases elapsed since the type was last invoked.
-    let since_last = series.len() - 1 - invocation_idx.last().copied().unwrap_or(0);
+    let since_last = series.len() - 1 - last_invocation.unwrap_or(0);
     if since_last + 1 != modal_gap {
         // Next invocation not due next phase: keep nothing warm (this is
         // the original's bounded keep-alive window).
         return Some(0.0);
     }
     // Warm the modal concurrency of past invocations.
-    let counts: dd_stats::Histogram = series
-        .iter()
-        .filter(|&&x| x > 0.0)
-        .map(|&x| x.round() as u32)
-        .collect();
-    counts
-        .iter_nonzero()
-        .max_by_key(|&(v, c)| (c, v))
-        .map(|(v, _)| f64::from(v))
+    dense_mode(
+        counts,
+        series
+            .iter()
+            .filter(|&&x| x > 0.0)
+            .map(|&x| x.round() as u32),
+        false,
+    )
+    .map(f64::from)
+}
+
+/// Modal value of `values` over a reused dense count buffer. With
+/// `ties_to_smallest` the most frequent value wins ties toward the
+/// smallest value (`max_by_key` on `(count, Reverse(value))`), otherwise
+/// toward the largest (`max_by_key` on `(count, value)`). `None` only
+/// when `values` is empty.
+fn dense_mode(
+    counts: &mut Vec<u64>,
+    values: impl Iterator<Item = u32>,
+    ties_to_smallest: bool,
+) -> Option<u32> {
+    counts.clear();
+    for v in values {
+        let idx = v as usize;
+        if idx >= counts.len() {
+            counts.resize(idx + 1, 0);
+        }
+        counts[idx] += 1;
+    }
+    let mut best: Option<(u32, u64)> = None;
+    for (v, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let v = v as u32;
+        let wins = match best {
+            None => true,
+            // Ascending scan: strict `>` keeps the first (smallest) value
+            // among equal counts, `>=` keeps the last (largest).
+            Some((_, bc)) if ties_to_smallest => c > bc,
+            Some((_, bc)) => c >= bc,
+        };
+        if wins {
+            best = Some((v, c));
+        }
+    }
+    best.map(|(v, _)| v)
 }
 
 impl ServerlessScheduler for WildScheduler {

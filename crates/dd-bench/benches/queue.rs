@@ -1,0 +1,120 @@
+//! Event-queue micro-guards: push/pop throughput of the radix queue the
+//! DES executor runs on, against the reference `BinaryHeap` queue it
+//! replaced. These are the regression guards for the DES hot-path
+//! overhaul — the pop loop is the innermost loop of every simulated run.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dd_platform::{BinaryHeapEventQueue, RadixEventQueue, SimTime};
+use std::hint::black_box;
+
+const N: usize = 10_000;
+
+/// Deterministic splitmix64-derived event times with DES-like spread.
+fn times() -> Vec<SimTime> {
+    let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
+    (0..N)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            SimTime::from_secs((z >> 11) as f64 / (1u64 << 43) as f64)
+        })
+        .collect()
+}
+
+fn bench_push_pop(c: &mut Criterion) {
+    let ts = times();
+    let mut group = c.benchmark_group("queue/push_pop_10k");
+
+    group.bench_function("radix", |b| {
+        b.iter_batched(
+            RadixEventQueue::<u32>::new,
+            |mut q| {
+                for (i, &t) in ts.iter().enumerate() {
+                    q.push(t, i as u32);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("binary_heap", |b| {
+        b.iter_batched(
+            BinaryHeapEventQueue::<u32>::new,
+            |mut q| {
+                for (i, &t) in ts.iter().enumerate() {
+                    q.push(t, i as u32);
+                }
+                while let Some(e) = q.pop() {
+                    black_box(e);
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_hold_pattern(c: &mut Criterion) {
+    // The DES steady state: a standing window where each pop schedules
+    // one future event (queue length stays ~constant).
+    let ts = times();
+    let mut group = c.benchmark_group("queue/hold_1k_window");
+
+    group.bench_function("radix", |b| {
+        b.iter_batched(
+            || {
+                let mut q = RadixEventQueue::<u32>::new();
+                for (i, &t) in ts.iter().take(1_024).enumerate() {
+                    q.push(t, i as u32);
+                }
+                q
+            },
+            |mut q| {
+                let mut i = 1_024;
+                while let Some((at, id)) = q.pop() {
+                    if i < ts.len() {
+                        q.push(at.after(ts[i].as_secs()), id);
+                        i += 1;
+                    }
+                    black_box(at);
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("binary_heap", |b| {
+        b.iter_batched(
+            || {
+                let mut q = BinaryHeapEventQueue::<u32>::new();
+                for (i, &t) in ts.iter().take(1_024).enumerate() {
+                    q.push(t, i as u32);
+                }
+                q
+            },
+            |mut q| {
+                let mut i = 1_024;
+                while let Some((at, id)) = q.pop() {
+                    if i < ts.len() {
+                        q.push(at.after(ts[i].as_secs()), id);
+                        i += 1;
+                    }
+                    black_box(at);
+                }
+                q
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_push_pop, bench_hold_pattern);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! The macro-benchmark CLI: measures simulator throughput and writes
+//! `BENCH_<name>.json` trajectory artifacts.
+//!
+//! ```bash
+//! dd-bench bench                       # all workloads, paper scale
+//! dd-bench bench report stress        # a selection
+//! dd-bench bench --quick --events 50000 --out /tmp  # CI smoke sizing
+//! ```
+//!
+//! Workloads:
+//! - `report`      — the full paper report, in-process (headline number;
+//!   embeds the pre-overhaul baseline when run at default paper scale)
+//! - `exafel` / `cosmoscout_vr` / `ccl` — DES replay of one science
+//!   workflow's DAGs under the DayDream scheduler
+//! - `stress`      — synthetic event-queue churn (`--events`, default 1M)
+
+use dd_bench::bench::{self, BenchResult};
+use dd_bench::ExperimentContext;
+use dd_wfdag::Workflow;
+use std::path::PathBuf;
+
+const DEFAULT_WORKLOADS: [&str; 5] = ["report", "exafel", "cosmoscout_vr", "ccl", "stress"];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dd-bench bench [--out DIR] [--quick] [--events N] [--runs N] [--seed N] \
+         [--scale N] [--jobs N] [workloads...]\n\
+         workloads: {} (default: all)",
+        DEFAULT_WORKLOADS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("bench") {
+        usage();
+    }
+
+    let mut ctx = ExperimentContext::default();
+    let mut out_dir = PathBuf::from(".");
+    let mut events: u64 = 1_000_000;
+    let mut selected: Vec<String> = Vec::new();
+    // The report baseline is only comparable at the exact configuration
+    // it was measured under: paper scale, default seed.
+    let mut default_scale = true;
+
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(args.get(i).unwrap_or_else(|| usage()));
+            }
+            "--quick" => {
+                ctx = ExperimentContext {
+                    seed: ctx.seed,
+                    jobs: ctx.jobs,
+                    ..ExperimentContext::quick()
+                };
+                default_scale = false;
+            }
+            "--events" => {
+                i += 1;
+                events = parse(&args, i, "--events");
+                default_scale = default_scale && events == 1_000_000;
+            }
+            "--runs" => {
+                i += 1;
+                ctx.runs_per_workflow = parse(&args, i, "--runs");
+                default_scale = false;
+            }
+            "--seed" => {
+                i += 1;
+                ctx.seed = parse(&args, i, "--seed");
+                default_scale = false;
+            }
+            "--scale" => {
+                i += 1;
+                ctx.scale_down = parse(&args, i, "--scale");
+                default_scale = false;
+            }
+            "--jobs" => {
+                i += 1;
+                ctx.jobs = parse::<usize>(&args, i, "--jobs").max(1);
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => usage(),
+            name => selected.push(name.to_string()),
+        }
+        i += 1;
+    }
+    if selected.is_empty() {
+        selected = DEFAULT_WORKLOADS.iter().map(|s| s.to_string()).collect();
+    }
+
+    eprintln!(
+        "[dd-bench: {} runs/workflow, phase scale 1/{}, seed {}, {} stress events]",
+        ctx.runs_per_workflow, ctx.scale_down, ctx.seed, events
+    );
+
+    let mut results: Vec<BenchResult> = Vec::new();
+    for name in &selected {
+        eprintln!("[bench {name}...]");
+        let result = match name.as_str() {
+            "report" => bench::bench_report(&ctx, default_scale),
+            "exafel" => bench_workflow(&ctx, Workflow::ExaFel),
+            "cosmoscout_vr" => bench_workflow(&ctx, Workflow::CosmoscoutVr),
+            "ccl" => bench_workflow(&ctx, Workflow::Ccl),
+            "stress" => bench::bench_stress(events),
+            other => {
+                eprintln!("unknown workload '{other}' (see --help)");
+                std::process::exit(2);
+            }
+        };
+        results.push(result);
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+    for r in &results {
+        let path = out_dir.join(r.artifact_name());
+        std::fs::write(&path, r.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let speedup = r
+            .speedup()
+            .map(|s| format!(", {s:.2}x vs baseline"))
+            .unwrap_or_default();
+        println!(
+            "{}: {:.3}s wall, {} starts ({:.0}/s), {} events ({:.0}/s), {} KB peak RSS{} -> {}",
+            r.name,
+            r.wall_secs,
+            r.component_starts,
+            r.starts_per_sec(),
+            r.des_events,
+            r.events_per_sec(),
+            r.peak_rss_kb,
+            speedup,
+            path.display(),
+        );
+    }
+}
+
+fn bench_workflow(ctx: &ExperimentContext, workflow: Workflow) -> BenchResult {
+    bench::bench_workflow_des(ctx, workflow, ctx.runs_per_workflow)
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: usize, flag: &str) -> T {
+    args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+        eprintln!("{flag} takes a number");
+        usage()
+    })
+}

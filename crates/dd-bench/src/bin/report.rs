@@ -16,39 +16,8 @@
 //! sweep executor re-orders results by cell index.
 
 use dd_bench::experiments as exp;
+use dd_bench::figures::{self, FIGURES};
 use dd_bench::{EvaluationMatrix, ExperimentContext, SchedulerKind};
-
-const FIGURES: [&str; 29] = [
-    "fig1",
-    "fig2",
-    "fig3",
-    "fig4",
-    "fig5",
-    "fig6",
-    "fig7",
-    "chi2table",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "fig12",
-    "fig13",
-    "fig14",
-    "fig15",
-    "fig16",
-    "fig17",
-    "fig18",
-    "overhead",
-    "startup",
-    "sensitivity",
-    "limitation",
-    "distfit",
-    "concurrency",
-    "fixedpool",
-    "scaling",
-    "robustness",
-    "obs",
-];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -126,13 +95,8 @@ fn main() {
     );
 
     // The evaluation figures share one matrix; compute it lazily.
-    let needs_matrix = csv_dir.is_some()
-        || selected.iter().any(|f| {
-            matches!(
-                f.as_str(),
-                "fig11" | "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17"
-            )
-        });
+    let needs_matrix =
+        csv_dir.is_some() || selected.iter().any(|f| figures::needs_matrix(f.as_str()));
     let matrix = needs_matrix.then(|| {
         eprintln!(
             "[computing evaluation matrix: 3 workflows x {} runs x {} schedulers...]",
@@ -143,42 +107,10 @@ fn main() {
     });
 
     for figure in &selected {
-        let out = match figure.as_str() {
-            "fig1" => exp::fig01::run(&ctx),
-            "fig2" => exp::fig02::run(&ctx),
-            "fig3" => exp::fig03::run(&ctx),
-            "fig4" => exp::fig04::run(&ctx),
-            "fig5" => exp::fig05::run(&ctx),
-            "fig6" => exp::fig06::run(&ctx),
-            "fig7" => exp::fig07::run(&ctx),
-            "chi2table" => exp::chi2table::run(&ctx),
-            "fig8" => exp::fig08::run(&ctx),
-            "fig9" => exp::fig09::run(&ctx),
-            "fig10" => exp::fig10::run(&ctx),
-            "fig11" => exp::fig11::run(matrix.as_ref().expect("matrix")),
-            "fig12" => exp::fig12::run(matrix.as_ref().expect("matrix")),
-            "fig13" => exp::fig13::run(matrix.as_ref().expect("matrix")),
-            "fig14" => exp::fig14::run(matrix.as_ref().expect("matrix")),
-            "fig15" => exp::fig15::run(matrix.as_ref().expect("matrix")),
-            "fig16" => exp::fig16::run(matrix.as_ref().expect("matrix")),
-            "fig17" => exp::fig17::run(matrix.as_ref().expect("matrix")),
-            "fig18" => exp::fig18::run(&ctx),
-            "overhead" => exp::overhead::run(&ctx),
-            "startup" => exp::startup::run(&ctx),
-            "sensitivity" => exp::sensitivity::run(&ctx),
-            "limitation" => exp::limitation::run(&ctx),
-            "distfit" => exp::distfit::run(&ctx),
-            "concurrency" => exp::concurrency::run(&ctx),
-            "fixedpool" => exp::fixedpool::run(&ctx),
-            "scaling" => exp::scaling::run(&ctx),
-            "robustness" => exp::robustness::run(&ctx),
-            "obs" => exp::obs::run(&ctx),
-            other => {
-                eprintln!("unknown figure '{other}' (see --help)");
-                continue;
-            }
-        };
-        println!("{out}");
+        match figures::render(figure.as_str(), &ctx, matrix.as_ref()) {
+            Some(out) => println!("{out}"),
+            None => eprintln!("unknown figure '{}' (see --help)", figure),
+        }
     }
     if include_ablations {
         println!("{}", exp::ablations::run(&ctx));

@@ -14,8 +14,10 @@
 //! harness runs on the `dd-platform` simulator, so EXPERIMENTS.md records
 //! shape (who wins, by what factor) rather than absolute equality.
 
+pub mod bench;
 pub mod csv;
 pub mod experiments;
+pub mod figures;
 pub mod report;
 pub mod sweep;
 pub mod workloads;

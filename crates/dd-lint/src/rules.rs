@@ -7,6 +7,7 @@
 //! | `rng-seed`        | D3 | RNG construction not via seeded constructors (`thread_rng`, `from_entropy`, `rand::random`, `OsRng`) |
 //! | `float-ord`       | N1 | NaN-unsafe float ordering via `partial_cmp` — require `f64::total_cmp` or `SimTime` |
 //! | `hot-path-panic`  | P1 | `panic!` / `.unwrap()` / `.expect(` in the DES event-loop hot path outside documented invariants |
+//! | `hot-path-alloc`  | P2 | `String::from` / `.to_string()` / `.clone()` / `format!` in the DES event-loop hot path — per-event allocation |
 //! | `executor-api`    | A1 | new `pub fn execute*` entry points outside the unified `Executor` trait (the deprecated shims carry inline allows) |
 //! | `suppression`     | —  | malformed `dd-lint: allow(..)` directives (unknown rule, missing justification) |
 //!
@@ -31,6 +32,7 @@ pub const RULE_NAMES: &[&str] = &[
     "rng-seed",
     "float-ord",
     "hot-path-panic",
+    "hot-path-alloc",
     "executor-api",
 ];
 
@@ -80,6 +82,19 @@ const PANIC_TOKENS: &[&str] = &[
     ".expect(",
 ];
 
+/// Allocating constructs checked in hot-path files (rule
+/// `hot-path-alloc`). The DES pop loop runs millions of times per
+/// report; a stray per-event `String` or clone is a silent
+/// order-of-magnitude regression. Once-per-run allocations (e.g. the
+/// scheduler name in the final `RunOutcome`) carry inline allows.
+const ALLOC_TOKENS: &[&str] = &[
+    "String::from",
+    ".to_string()",
+    ".to_owned()",
+    ".clone()",
+    "format!",
+];
+
 /// Lints one classified file, applying suppressions. `rel_path` uses `/`
 /// separators relative to the workspace root; `crate_name` is the crate
 /// directory name (`root` for the workspace facade package).
@@ -98,6 +113,7 @@ pub fn check_file(
     let rng_scope = in_scope("rng-seed");
     let float_scope = in_scope("float-ord");
     let panic_scope = in_scope("hot-path-panic");
+    let alloc_scope = in_scope("hot-path-alloc");
     let api_scope = in_scope("executor-api");
 
     for (idx, line) in classified.lines.iter().enumerate() {
@@ -202,6 +218,23 @@ pub fn check_file(
                             "`{token}` in the DES event-loop hot path; convert to a \
                              dd_invariant!/dd_debug_invariant! check or suppress with \
                              a documented justification"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if alloc_scope {
+            for token in ALLOC_TOKENS {
+                for col in find_tokens(code, token) {
+                    emit(
+                        "hot-path-alloc",
+                        col + 1,
+                        format!(
+                            "`{token}` allocates in the DES event-loop hot path; hoist \
+                             the allocation out of the per-event path (scratch buffer, \
+                             integer id, arena) or suppress with a documented \
+                             justification for once-per-run sites"
                         ),
                     );
                 }
@@ -390,6 +423,7 @@ mod tests {
              [rule.rng-seed]\ncrates = [\"*\"]\n\
              [rule.float-ord]\ncrates = [\"*\"]\n\
              [rule.hot-path-panic]\ncrates = [\"*\"]\n\
+             [rule.hot-path-alloc]\ncrates = [\"*\"]\n\
              [rule.executor-api]\ncrates = [\"*\"]\n",
         )
         .expect("static config")
@@ -491,6 +525,40 @@ mod tests {
         .map(|f| f.rule)
         .collect();
         assert_eq!(rules, vec!["hot-path-panic"; 4]);
+    }
+
+    #[test]
+    fn hot_path_alloc_tokens_flagged() {
+        let rules: Vec<String> = lint(
+            "fn f() {\n    let a = name.to_string();\n    let b = v.clone();\n    \
+             let c = String::from(\"x\");\n    let d = s.to_owned();\n    \
+             let e = format!(\"{a}\");\n}\n",
+        )
+        .into_iter()
+        .map(|f| f.rule)
+        .collect();
+        assert_eq!(rules, vec!["hot-path-alloc"; 5]);
+    }
+
+    #[test]
+    fn hot_path_alloc_ignores_non_allocating_lookalikes() {
+        // `clone_from` reuses the destination allocation; `to_string`
+        // inside a string literal is data, not code.
+        assert!(lint("buf.clone_from(&src);\n").is_empty());
+        assert!(lint("let s = \".to_string()\";\n").is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_suppression_accepted() {
+        let src = "// dd-lint: allow(hot-path-alloc): once per run, not per event\n\
+                   let name = scheduler.name().to_string();\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_alloc_exempt_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let x = v.clone(); }\n}\n";
+        assert!(lint(src).is_empty());
     }
 
     #[test]

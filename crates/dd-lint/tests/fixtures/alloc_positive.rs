@@ -1,0 +1,8 @@
+// Fixture: P2 positive — per-event allocations in a hot-path-scoped file.
+pub fn handle(name: &str, tags: &[String]) -> String {
+    let label = name.to_string();
+    let copy = tags.to_owned();
+    let id = String::from("evt");
+    let all = copy.clone();
+    format!("{label}-{id}-{}", all.len())
+}

@@ -18,6 +18,8 @@ crates = ["*"]
 crates = ["*"]
 [rule.hot-path-panic]
 files = ["hot_path_positive.rs", "hot_path_suppressed.rs"]
+[rule.hot-path-alloc]
+files = ["alloc_positive.rs", "alloc_suppressed.rs"]
 [rule.executor-api]
 files = ["executor_api_positive.rs", "executor_api_suppressed.rs"]
 "#;
@@ -131,6 +133,28 @@ fn hot_path_panic_positive() {
 #[test]
 fn hot_path_panic_suppressed() {
     let findings = lint_fixture("hot_path_suppressed.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+#[test]
+fn hot_path_alloc_positive() {
+    let findings = lint_fixture("alloc_positive.rs");
+    assert_eq!(
+        spans(&findings),
+        owned(&[
+            (3, "hot-path-alloc"),
+            (4, "hot-path-alloc"),
+            (5, "hot-path-alloc"),
+            (6, "hot-path-alloc"),
+            (7, "hot-path-alloc"),
+        ]),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn hot_path_alloc_suppressed() {
+    let findings = lint_fixture("alloc_suppressed.rs");
     assert!(findings.is_empty(), "{findings:#?}");
 }
 

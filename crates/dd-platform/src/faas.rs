@@ -275,12 +275,11 @@ impl FaasExecutor {
             for (slot, (component, placement)) in
                 phase.components.iter().zip(&placements).enumerate()
             {
+                let mut pool_slot = None;
                 let (tier, kind, start, overhead) = match placement.instance {
                     Some(id) => {
-                        let slot = pool
-                            .iter()
-                            .position(|i| i.id == id)
-                            .unwrap_or_else(|| panic!("placement on unknown instance {id}"));
+                        let slot = crate::pool::resolve_slot(&pool, id);
+                        pool_slot = Some(slot);
                         assert!(!used[slot], "instance {id} placed twice");
                         used[slot] = true;
                         let inst = &pool[slot];
@@ -355,8 +354,8 @@ impl FaasExecutor {
                 // Keep-alive: from request until the component actually
                 // begins (slot waits included), at the instance's rate.
                 let mut keep_alive_secs = None;
-                if let Some(id) = placement.instance {
-                    let inst = pool.iter().find(|i| i.id == id).expect("validated above");
+                if let Some(slot) = pool_slot {
+                    let inst = &pool[slot];
                     let idle = start.since(inst.requested_at);
                     ledger.keep_alive_used += self.pricing.cost(inst.tier, idle);
                     utilization.record_idle(inst.tier, idle);
@@ -539,6 +538,14 @@ impl FaasExecutor {
         if recording {
             rec.set(obs::metrics::SERVICE_TIME_SECS, now.as_secs());
         }
+        crate::counters::add_component_starts(
+            records
+                .iter()
+                .map(|r| {
+                    u64::from(r.warm_starts) + u64::from(r.hot_starts) + u64::from(r.cold_starts)
+                })
+                .sum(),
+        );
 
         RunReport {
             outcome: RunOutcome {

@@ -34,9 +34,9 @@ use crate::des::{EventQueue, SimTime};
 use crate::executor::{self as obs, ComponentObs, Executor, RunReport, RunRequest};
 use crate::faas::{FaasConfig, FaasExecutor, PoolTrigger};
 use crate::faults::{FaultPlan, FaultStats};
-use crate::pool::{InstanceId, InstanceView, PoolRequest, PooledInstance};
+use crate::pool::{resolve_slot, InstanceId, InstanceView, PoolRequest, PooledInstance};
 use crate::pricing::PriceSheet;
-use crate::sched::{observe_phase, RunInfo, ServerlessScheduler, StartKind};
+use crate::sched::{observe_phase, PhaseObservation, RunInfo, ServerlessScheduler, StartKind};
 use crate::startup::StartupModel;
 use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
 use crate::tier::Tier;
@@ -53,12 +53,21 @@ enum Event {
     ComponentDone { phase: usize },
 }
 
-/// Per-phase mutable state while its components run.
-#[derive(Debug, Default)]
-struct PhaseProgress {
-    expected: usize,
-    completed: usize,
+/// The per-event-hot slice of a phase's state: the three fields every
+/// `ComponentDone` event touches, packed so the counter bump of the most
+/// frequent event stays within one cache line per phase.
+#[derive(Debug, Default, Clone, Copy)]
+struct PhaseCounters {
+    expected: u32,
+    completed: u32,
     half_fired: bool,
+}
+
+/// The per-phase state read only at dispatch, trigger or phase end —
+/// split from [`PhaseCounters`] (struct-of-arrays) so completion events
+/// do not drag these cold bytes through the cache.
+#[derive(Debug, Default)]
+struct PhaseCold {
     warm: u32,
     hot: u32,
     cold: u32,
@@ -72,6 +81,35 @@ struct PhaseProgress {
     // executor's, so the deltas agree bitwise).
     ledger_mark: CostLedger,
     faults_mark: FaultStats,
+    // The observation built when the pool trigger fired, reused verbatim
+    // at phase end (its contents are already final at trigger time), so
+    // each phase pays for at most one `observe_phase` scan.
+    observation: Option<PhaseObservation>,
+}
+
+/// Struct-of-arrays phase state: `counters[p]` is the hot slice,
+/// `cold[p]` the rest. The two vectors grow in lock-step.
+#[derive(Debug, Default)]
+struct PhaseStateSoA {
+    counters: Vec<PhaseCounters>,
+    cold: Vec<PhaseCold>,
+}
+
+impl PhaseStateSoA {
+    fn clear(&mut self) {
+        self.counters.clear();
+        self.cold.clear();
+    }
+
+    fn len(&self) -> usize {
+        debug_assert_eq!(self.counters.len(), self.cold.len());
+        self.counters.len()
+    }
+
+    fn push(&mut self, counters: PhaseCounters, cold: PhaseCold) {
+        self.counters.push(counters);
+        self.cold.push(cold);
+    }
 }
 
 /// Reusable simulation state for [`DesFaasExecutor`].
@@ -85,11 +123,16 @@ struct PhaseProgress {
 #[derive(Debug, Default)]
 pub struct DesSession {
     queue: EventQueue<Event>,
-    progress: Vec<PhaseProgress>,
+    progress: PhaseStateSoA,
     // Per-phase scratch: invocation slots, pool-usage flags, pool views.
     slots: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>>,
     used: Vec<bool>,
     views: Vec<InstanceView>,
+    // Instance-record arenas: the active pool and the one being prepared
+    // for the next phase. Swapped (never freed) at each phase start, so a
+    // steady-state run allocates no pool storage at all.
+    pool: Vec<PooledInstance>,
+    pending_pool: Vec<PooledInstance>,
 }
 
 impl DesSession {
@@ -105,6 +148,8 @@ impl DesSession {
         self.slots.clear();
         self.used.clear();
         self.views.clear();
+        self.pool.clear();
+        self.pending_pool.clear();
     }
 }
 
@@ -244,8 +289,19 @@ impl DesFaasExecutor {
             phase_count: run.phases.len(),
         };
 
+        let DesSession {
+            queue,
+            progress,
+            slots,
+            used,
+            views,
+            pool,
+            pending_pool,
+        } = session;
+
         // Pool awaiting the next phase start.
-        let mut pending_pool: Vec<PooledInstance> = spawn(
+        spawn_into(
+            pending_pool,
             &startup,
             scheduler.initial_pool(&info),
             SimTime::ZERO,
@@ -255,24 +311,22 @@ impl DesFaasExecutor {
         );
         if recording {
             obs::emit_sched_events(rec, SimTime::ZERO, scheduler);
-            obs::emit_pool(rec, 0, SimTime::ZERO, &pending_pool);
+            obs::emit_pool(rec, 0, SimTime::ZERO, pending_pool);
         }
 
-        let DesSession {
-            queue,
-            progress,
-            slots,
-            used,
-            views,
-        } = session;
-        progress.reserve(run.phases.len());
+        progress.counters.reserve(run.phases.len());
+        progress.cold.reserve(run.phases.len());
         let mut end_time = SimTime::ZERO;
 
         if !run.phases.is_empty() {
             queue.push(SimTime::ZERO, Event::PhaseStart { phase: 0 });
         }
 
+        // Local event tally flushed once to the process-wide throughput
+        // counters after the run — the pop loop stays atomic-free.
+        let mut events_popped: u64 = 0;
         while let Some((at, event)) = queue.pop() {
+            events_popped += 1;
             match event {
                 Event::PhaseStart { phase } => {
                     let now = at.after(scheduler.overhead_secs());
@@ -280,7 +334,8 @@ impl DesFaasExecutor {
                     if let Some(t) = trace.as_mut() {
                         t.phase_starts.push(now);
                     }
-                    let pool = std::mem::take(&mut pending_pool);
+                    std::mem::swap(pool, pending_pool);
+                    pending_pool.clear();
                     views.clear();
                     views.extend(pool.iter().map(InstanceView::from));
                     let placements = scheduler.place(phase_ref, views, now);
@@ -301,13 +356,17 @@ impl DesFaasExecutor {
                         phase_ref.components.len()
                     );
 
-                    let mut prog = PhaseProgress {
-                        expected: phase_ref.components.len(),
+                    let counters = PhaseCounters {
+                        expected: phase_ref.components.len() as u32,
+                        completed: 0,
+                        half_fired: false,
+                    };
+                    let mut prog = PhaseCold {
                         pool_size: pool.len() as u32,
                         started_at: now,
                         ledger_mark: ledger,
                         faults_mark: fault_stats,
-                        ..PhaseProgress::default()
+                        ..PhaseCold::default()
                     };
 
                     used.clear();
@@ -316,13 +375,11 @@ impl DesFaasExecutor {
                     for (comp_slot, (component, placement)) in
                         phase_ref.components.iter().zip(&placements).enumerate()
                     {
+                        let mut pool_slot = None;
                         let (tier, kind, start, overhead) = match placement.instance {
                             Some(id) => {
-                                let slot = pool
-                                    .iter()
-                                    .position(|i| i.id == id)
-                                    // dd-lint: allow(hot-path-panic): a placement naming an id absent from the pool is a scheduler-contract violation, not a recoverable state
-                                    .unwrap_or_else(|| panic!("unknown instance {id}"));
+                                let slot = resolve_slot(pool, id);
+                                pool_slot = Some(slot);
                                 dd_invariant!(
                                     !used[slot],
                                     "instance {id} placed twice in one phase"
@@ -400,9 +457,8 @@ impl DesFaasExecutor {
                             start
                         };
                         let mut keep_alive_secs = None;
-                        if let Some(id) = placement.instance {
-                            // dd-lint: allow(hot-path-panic): the id was resolved against this same pool when computing the start kind above
-                            let inst = pool.iter().find(|i| i.id == id).expect("validated above");
+                        if let Some(slot) = pool_slot {
+                            let inst = &pool[slot];
                             let idle = start.since(inst.requested_at);
                             ledger.keep_alive_used += pricing.cost(inst.tier, idle);
                             utilization.record_idle(inst.tier, idle);
@@ -513,30 +569,36 @@ impl DesFaasExecutor {
                         "phase {phase} started out of order ({} records)",
                         progress.len()
                     );
-                    progress.push(prog);
+                    progress.push(counters, prog);
                 }
                 Event::ComponentDone { phase } => {
-                    let prog = &mut progress[phase];
-                    prog.completed += 1;
+                    let ctr = &mut progress.counters[phase];
+                    ctr.completed += 1;
 
-                    let half_threshold = prog.expected.div_ceil(2);
-                    let phase_done = prog.completed == prog.expected;
-                    let half_reached = prog.completed >= half_threshold && !prog.half_fired;
+                    let half_threshold = ctr.expected.div_ceil(2);
+                    let phase_done = ctr.completed == ctr.expected;
+                    let half_reached = ctr.completed >= half_threshold && !ctr.half_fired;
 
                     // Half-phase trigger (or phase-complete, per config).
                     let trigger_now = match self.config.trigger {
                         PoolTrigger::HalfPhase => half_reached,
-                        PoolTrigger::PhaseComplete => phase_done && !prog.half_fired,
+                        PoolTrigger::PhaseComplete => phase_done && !ctr.half_fired,
                     };
                     if trigger_now && phase + 1 < run.phases.len() {
-                        prog.half_fired = true;
+                        ctr.half_fired = true;
+                        let prog = &mut progress.cold[phase];
                         let mut observation =
                             observe_phase(&run.phases[phase], self.config.friendly_threshold);
                         // Attempt timelines are resolved at dispatch, so
                         // the phase's retry count is already final here.
                         observation.retried_components = prog.retried;
                         let request = scheduler.pool_for_next_phase(phase, &observation);
-                        pending_pool = spawn(
+                        // Keep the observation for phase end: its contents
+                        // are final, so the end-of-phase callback can skip
+                        // a second scan of the phase's components.
+                        prog.observation = Some(observation);
+                        spawn_into(
+                            pending_pool,
                             &startup,
                             request,
                             at,
@@ -546,23 +608,25 @@ impl DesFaasExecutor {
                         );
                         if recording {
                             obs::emit_sched_events(rec, at, scheduler);
-                            obs::emit_pool(rec, phase + 1, at, &pending_pool);
+                            obs::emit_pool(rec, phase + 1, at, pending_pool);
                         }
                     } else if trigger_now {
-                        prog.half_fired = true;
+                        ctr.half_fired = true;
                     }
 
                     if phase_done {
+                        let expected = progress.counters[phase].expected;
+                        let prog = &mut progress.cold[phase];
                         // Pool hot/cold accounting must close exactly:
                         // every component started exactly once, and every
                         // pooled instance was either consumed or wasted.
                         dd_debug_invariant!(
-                            (prog.warm + prog.hot + prog.cold) as usize == prog.expected,
+                            prog.warm + prog.hot + prog.cold == expected,
                             "phase {phase} start-kind accounting: {}+{}+{} != {} components",
                             prog.warm,
                             prog.hot,
                             prog.cold,
-                            prog.expected
+                            expected
                         );
                         dd_debug_invariant!(
                             prog.warm + prog.hot + prog.wasted == prog.pool_size,
@@ -571,13 +635,17 @@ impl DesFaasExecutor {
                             prog.wasted,
                             prog.pool_size
                         );
-                        let mut observation =
-                            observe_phase(&run.phases[phase], self.config.friendly_threshold);
+                        let mut observation = match prog.observation.take() {
+                            Some(observation) => observation,
+                            None => {
+                                observe_phase(&run.phases[phase], self.config.friendly_threshold)
+                            }
+                        };
                         observation.retried_components = prog.retried;
                         scheduler.observe_phase(&observation);
                         records.push(PhaseRecord {
                             index: phase,
-                            concurrency: prog.expected as u32,
+                            concurrency: expected,
                             pool_size: prog.pool_size,
                             warm_starts: prog.warm,
                             hot_starts: prog.hot,
@@ -585,8 +653,7 @@ impl DesFaasExecutor {
                             used_instances: prog.warm + prog.hot,
                             wasted_instances: prog.wasted,
                             exec_secs: at.since(prog.started_at),
-                            mean_start_overhead_secs: prog.overhead_sum
-                                / prog.expected.max(1) as f64,
+                            mean_start_overhead_secs: prog.overhead_sum / expected.max(1) as f64,
                             ledger: ledger.delta_since(&prog.ledger_mark),
                             faults: fault_stats.delta_since(&prog.faults_mark),
                         });
@@ -617,8 +684,18 @@ impl DesFaasExecutor {
         if recording {
             rec.set(obs::metrics::SERVICE_TIME_SECS, end_time.as_secs());
         }
+        crate::counters::add_des_events(events_popped);
+        crate::counters::add_component_starts(
+            records
+                .iter()
+                .map(|r| {
+                    u64::from(r.warm_starts) + u64::from(r.hot_starts) + u64::from(r.cold_starts)
+                })
+                .sum(),
+        );
         RunReport {
             outcome: RunOutcome {
+                // dd-lint: allow(hot-path-alloc): one String per completed run, outside the event loop
                 scheduler: scheduler.name().to_string(),
                 service_time_secs: end_time.as_secs(),
                 ledger,
@@ -637,36 +714,35 @@ impl Executor for DesFaasExecutor {
     }
 }
 
-/// Materializes a pool request (identical arithmetic to the analytic
-/// executor's `spawn_pool`).
-fn spawn(
+/// Materializes a pool request into a reused arena (identical arithmetic
+/// to the analytic executor's `spawn_pool`). The caller clears `out`
+/// before the call; filling in place keeps the per-phase pool allocation
+/// out of the event loop after the first few phases.
+fn spawn_into(
+    out: &mut Vec<PooledInstance>,
     startup: &crate::startup::StartupModel,
     mut request: PoolRequest,
     requested_at: SimTime,
     runtimes: &[LanguageRuntime],
     next_id: &mut u64,
     cap: usize,
-) -> Vec<PooledInstance> {
+) {
     request.entries.truncate(cap);
-    request
-        .entries
-        .iter()
-        .map(|entry| {
-            let prepare = match entry.preload {
-                None => startup.hot_prepare_secs(runtimes),
-                Some(_) => startup.warm_prepare_secs(runtimes),
-            };
-            let id = InstanceId(*next_id);
-            *next_id += 1;
-            PooledInstance {
-                id,
-                tier: entry.tier,
-                preload: entry.preload,
-                requested_at,
-                ready_at: requested_at.after(prepare),
-            }
-        })
-        .collect()
+    out.extend(request.entries.iter().map(|entry| {
+        let prepare = match entry.preload {
+            None => startup.hot_prepare_secs(runtimes),
+            Some(_) => startup.warm_prepare_secs(runtimes),
+        };
+        let id = InstanceId(*next_id);
+        *next_id += 1;
+        PooledInstance {
+            id,
+            tier: entry.tier,
+            preload: entry.preload,
+            requested_at,
+            ready_at: requested_at.after(prepare),
+        }
+    }));
 }
 
 #[cfg(test)]

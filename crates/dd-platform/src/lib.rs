@@ -45,6 +45,7 @@ pub mod invariant;
 
 pub mod cluster;
 pub mod contention;
+pub mod counters;
 pub mod des;
 pub mod executor;
 pub mod faas;
@@ -62,7 +63,7 @@ pub mod trace;
 
 pub use cluster::{ClusterKind, ClusterSim};
 pub use contention::ContentionModel;
-pub use des::{EventQueue, SimTime};
+pub use des::{BinaryHeapEventQueue, EventQueue, RadixEventQueue, SimTime};
 pub use executor::{Executor, RunReport, RunRequest};
 pub use faas::{FaasConfig, FaasExecutor, PoolTrigger};
 pub use faas_des::{DesFaasExecutor, DesSession};

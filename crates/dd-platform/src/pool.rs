@@ -109,6 +109,26 @@ pub struct PooledInstance {
     pub ready_at: SimTime,
 }
 
+/// Resolves a placement's instance id to its pool slot in O(1).
+///
+/// Both executors materialize each phase's pool as exactly one spawn
+/// batch with strictly sequential ids, so the slot is the offset from the
+/// first instance's id. The bounds + id check keeps the "unknown
+/// instance" panic semantics for schedulers that return an id the pool
+/// never held.
+pub(crate) fn resolve_slot(pool: &[PooledInstance], id: InstanceId) -> usize {
+    let slot = pool
+        .first()
+        .map_or(usize::MAX, |first| id.0.wrapping_sub(first.id.0) as usize);
+    match pool.get(slot) {
+        Some(inst) if inst.id == id => slot,
+        // dd-lint: allow(hot-path-panic): a placement naming an id absent
+        // from the pool is a scheduler-contract violation, not a
+        // recoverable simulation state.
+        _ => panic!("placement on unknown instance {id}"),
+    }
+}
+
 /// Read-only view of a pooled instance handed to schedulers for placement.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct InstanceView {

@@ -5,8 +5,8 @@
 #![allow(clippy::float_cmp)]
 
 use dd_platform::{
-    BackendStore, CloudVendor, ClusterKind, ClusterSim, EventQueue, PriceSheet, SimTime,
-    StartupModel, Tier,
+    BackendStore, BinaryHeapEventQueue, CloudVendor, ClusterKind, ClusterSim, EventQueue,
+    PriceSheet, RadixEventQueue, SimTime, StartupModel, Tier,
 };
 use dd_wfdag::{ComponentInstance, ComponentTypeId, LanguageRuntime, Phase};
 use proptest::prelude::*;
@@ -133,5 +133,62 @@ proptest! {
         prop_assert_eq!(t.max(later), later);
         prop_assert_eq!(later.max(t), later);
         prop_assert_eq!(t.since(later), 0.0);
+    }
+
+    /// The radix queue's pop sequence is identical to the reference
+    /// BinaryHeap queue's for any sequence of pushes — including repeated
+    /// timestamps, whose FIFO tie-break must match (time, seq) order.
+    #[test]
+    fn radix_queue_matches_heap_oracle(
+        times in proptest::collection::vec(0u32..50, 1..300),
+    ) {
+        let mut radix = RadixEventQueue::new();
+        let mut heap = BinaryHeapEventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            // Coarse grid (t/4) forces many exact timestamp collisions.
+            let time = SimTime::from_secs(f64::from(t) / 4.0);
+            radix.push(time, i);
+            heap.push(time, i);
+        }
+        loop {
+            let (a, b) = (radix.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
+    }
+
+    /// Same oracle comparison under arbitrary interleavings of pushes and
+    /// pops in the simulators' (monotone) domain: events are always
+    /// scheduled at or after the current virtual clock, with heavy exact
+    /// timestamp collisions.
+    #[test]
+    fn radix_queue_interleaving_matches_oracle(
+        ops in proptest::collection::vec((proptest::bool::ANY, 0u32..40), 1..300),
+    ) {
+        let mut radix = RadixEventQueue::new();
+        let mut heap = BinaryHeapEventQueue::new();
+        let mut clock = SimTime::ZERO;
+        for (i, &(is_pop, t)) in ops.iter().enumerate() {
+            if is_pop {
+                let (a, b) = (radix.pop(), heap.pop());
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(radix.len(), heap.len());
+                if let Some((at, _)) = a {
+                    clock = at;
+                }
+            } else {
+                // Coarse offsets (t/4, often 0) force exact ties at and
+                // after the current clock.
+                let time = clock.after(f64::from(t) / 4.0);
+                radix.push(time, i);
+                heap.push(time, i);
+                prop_assert_eq!(radix.peek_time(), heap.peek_time());
+            }
+        }
+        loop {
+            let (a, b) = (radix.pop(), heap.pop());
+            prop_assert_eq!(a, b);
+            if a.is_none() { break; }
+        }
     }
 }

@@ -11,7 +11,7 @@
 //! is entirely adequate for the short, noisy series this repository feeds
 //! it, and avoids iterative maximum-likelihood machinery.
 
-use crate::linalg::least_squares_ridge;
+use crate::linalg::{least_squares_ridge_into, least_squares_ridge_rows, LsScratch};
 use crate::series::mean;
 use serde::{Deserialize, Serialize};
 
@@ -83,27 +83,29 @@ impl Arima {
 
         // 3. OLS on p value lags and q innovation lags.
         //    Row t predicts diff[t] from diff[t−1..t−p] and resid[t−1..t−q].
+        //    The design matrix is flat row-major: Wild refits an ARIMA per
+        //    scheduling decision, so per-row `Vec`s here dominated the
+        //    whole baseline's allocation profile.
         let start = long + p.max(q);
         if start >= diff.len() {
             return None;
         }
-        let mut design = Vec::with_capacity(diff.len() - start);
+        let cols = 1 + p + q;
+        let mut design = Vec::with_capacity((diff.len() - start) * cols);
         let mut target = Vec::with_capacity(diff.len() - start);
         for t in start..diff.len() {
-            let mut row = Vec::with_capacity(1 + p + q);
-            row.push(1.0);
+            design.push(1.0);
             for lag in 1..=p {
-                row.push(diff[t - lag]);
+                design.push(diff[t - lag]);
             }
             for lag in 1..=q {
                 // residuals[i] estimates the innovation of diff[long + i].
                 let idx = t - lag;
-                row.push(residuals[idx - long]);
+                design.push(residuals[idx - long]);
             }
-            design.push(row);
             target.push(diff[t]);
         }
-        let beta = least_squares_ridge(&design, &target, 1e-6).ok()?;
+        let beta = least_squares_ridge_rows(&design, cols, &target, 1e-6).ok()?;
         if beta.iter().any(|b| !b.is_finite()) {
             return None;
         }
@@ -196,6 +198,148 @@ impl Arima {
             None => mean(series),
         }
     }
+
+    /// [`Arima::forecast_or_mean`] with every intermediate buffer drawn
+    /// from `scratch` — the allocation-free path for callers that refit
+    /// per scheduling decision (the Wild baseline fits tens of thousands
+    /// of these per simulated run). Bit-identical to the allocating
+    /// entry point: same differencing, estimation, and forecast
+    /// arithmetic in the same order (pinned by unit + property tests).
+    pub fn forecast_or_mean_with(
+        series: &[f64],
+        config: ArimaConfig,
+        scratch: &mut ArimaScratch,
+    ) -> f64 {
+        match Self::forecast_one_with(series, config, scratch) {
+            Some(f) => f,
+            None => mean(series),
+        }
+    }
+
+    /// The fused fit + one-step-forecast behind
+    /// [`Arima::forecast_or_mean_with`]. Mirrors [`Arima::fit`] followed
+    /// by [`Arima::forecast_one`], without materializing the model: the
+    /// forecast reads the differenced series, residuals and recorded
+    /// levels directly from the scratch buffers the fit just filled.
+    /// `None` exactly when `fit` would return `None`.
+    fn forecast_one_with(series: &[f64], config: ArimaConfig, s: &mut ArimaScratch) -> Option<f64> {
+        let ArimaConfig { p, d, q } = config;
+        if series.len() < p + q + d + 2 {
+            return None;
+        }
+
+        // 1. Difference d times, in place (position k of each pass holds
+        //    w[k+1] − w[k], the same value the collecting version builds).
+        s.diff.clear();
+        s.diff.extend_from_slice(series);
+        s.levels.clear();
+        for _ in 0..d {
+            s.levels
+                .push(*s.diff.last().expect("non-empty by length check"));
+            for i in 0..s.diff.len() - 1 {
+                s.diff[i] = s.diff[i + 1] - s.diff[i];
+            }
+            s.diff.pop();
+            if s.diff.len() < p + q + 2 {
+                return None;
+            }
+        }
+
+        // 2. Long autoregression for innovation estimates.
+        let long = (p + q + 2).min(s.diff.len().saturating_sub(1)).max(1);
+        if s.diff.len() <= long {
+            return None;
+        }
+        let cols_long = long + 1;
+        s.design.clear();
+        s.target.clear();
+        for t in long..s.diff.len() {
+            s.design.push(1.0);
+            for lag in 1..=long {
+                s.design.push(s.diff[t - lag]);
+            }
+            s.target.push(s.diff[t]);
+        }
+        s.resid.clear();
+        match least_squares_ridge_into(
+            &s.design,
+            cols_long,
+            &s.target,
+            1e-6,
+            &mut s.ls,
+            &mut s.beta,
+        ) {
+            Ok(()) => s.resid.extend(
+                s.design
+                    .chunks_exact(cols_long)
+                    .zip(&s.target)
+                    .map(|(row, &y)| y - row.iter().zip(&s.beta).map(|(x, b)| x * b).sum::<f64>()),
+            ),
+            // Constant or collinear series: innovations are deviations
+            // from the mean (all zero for a constant series).
+            Err(_) => {
+                let m = mean(&s.target);
+                s.resid.extend(s.target.iter().map(|&y| y - m));
+            }
+        }
+
+        // 3. OLS on p value lags and q innovation lags.
+        let start = long + p.max(q);
+        if start >= s.diff.len() {
+            return None;
+        }
+        let cols = 1 + p + q;
+        s.design.clear();
+        s.target.clear();
+        for t in start..s.diff.len() {
+            s.design.push(1.0);
+            for lag in 1..=p {
+                s.design.push(s.diff[t - lag]);
+            }
+            for lag in 1..=q {
+                // s.resid[i] estimates the innovation of diff[long + i].
+                s.design.push(s.resid[t - lag - long]);
+            }
+            s.target.push(s.diff[t]);
+        }
+        least_squares_ridge_into(&s.design, cols, &s.target, 1e-6, &mut s.ls, &mut s.beta).ok()?;
+        if s.beta.iter().any(|b| !b.is_finite()) {
+            return None;
+        }
+
+        // 4. One-step forecast. `fit` keeps the last max(p, 1) diffs and
+        //    max(q, 1) residuals as tails; `start < diff.len()` above
+        //    guarantees both tails are fully populated, so tail slot
+        //    `len − 1 − lag` is diff/resid slot `len − 1 − lag` here.
+        let intercept = s.beta[0];
+        let mut next = intercept;
+        for (lag, phi) in s.beta[1..=p].iter().enumerate() {
+            next += phi * s.diff[s.diff.len() - 1 - lag];
+        }
+        for (lag, theta) in s.beta[p + 1..].iter().enumerate() {
+            next += theta * s.resid[s.resid.len() - 1 - lag];
+        }
+        // Integrate d times: one-step integration adds the innermost
+        // recorded level first (IEEE addition commutes bit-for-bit, so
+        // the accumulation order matches the allocating path exactly).
+        for level in s.levels.iter().rev() {
+            next += *level;
+        }
+        Some(next)
+    }
+}
+
+/// Reusable buffers for [`Arima::forecast_or_mean_with`]. One instance
+/// per forecasting call site; contents are overwritten on every call.
+#[derive(Debug, Clone, Default)]
+pub struct ArimaScratch {
+    diff: Vec<f64>,
+    levels: Vec<f64>,
+    resid: Vec<f64>,
+    design: Vec<f64>,
+    target: Vec<f64>,
+    beta: Vec<f64>,
+    ls: LsScratch,
 }
 
 /// Fits a long AR(`order`) by OLS and returns the in-sample residuals
@@ -204,18 +348,17 @@ fn long_ar_residuals(series: &[f64], order: usize) -> Option<Vec<f64>> {
     if series.len() <= order {
         return None;
     }
-    let mut design = Vec::with_capacity(series.len() - order);
+    let cols = order + 1;
+    let mut design = Vec::with_capacity((series.len() - order) * cols);
     let mut target = Vec::with_capacity(series.len() - order);
     for t in order..series.len() {
-        let mut row = Vec::with_capacity(order + 1);
-        row.push(1.0);
+        design.push(1.0);
         for lag in 1..=order {
-            row.push(series[t - lag]);
+            design.push(series[t - lag]);
         }
-        design.push(row);
         target.push(series[t]);
     }
-    let beta = match least_squares_ridge(&design, &target, 1e-6) {
+    let beta = match least_squares_ridge_rows(&design, cols, &target, 1e-6) {
         Ok(b) => b,
         // Constant or collinear series: innovations are deviations from
         // the mean, which for a constant series are all zero.
@@ -226,7 +369,7 @@ fn long_ar_residuals(series: &[f64], order: usize) -> Option<Vec<f64>> {
     };
     Some(
         design
-            .iter()
+            .chunks_exact(cols)
             .zip(&target)
             .map(|(row, &y)| y - row.iter().zip(&beta).map(|(x, b)| x * b).sum::<f64>())
             .collect(),
@@ -309,6 +452,37 @@ mod tests {
             .collect();
         let f = Arima::forecast_or_mean(&series, ArimaConfig::wild_default());
         assert!((f - 10.0).abs() < 3.0, "forecast = {f}");
+    }
+
+    #[test]
+    fn scratch_forecast_matches_allocating_forecast_bitwise() {
+        // The fused scratch path must agree bit for bit with
+        // fit + forecast_one across every fallback branch: series too
+        // short, constant (singular long AR), integer-ish noise, and
+        // ordinary series — with the scratch reused across all of them.
+        let mut rng = SeedStream::new(77).rng();
+        let mut scratch = ArimaScratch::default();
+        let configs = [
+            ArimaConfig::wild_default(),
+            ArimaConfig { p: 1, d: 0, q: 0 },
+            ArimaConfig { p: 2, d: 1, q: 2 },
+            ArimaConfig { p: 0, d: 1, q: 1 },
+        ];
+        for case in 0..400 {
+            let len = case % 60;
+            let series: Vec<f64> = match case % 4 {
+                0 => (0..len).map(|_| (rng.gen::<f64>() * 8.0).round()).collect(),
+                1 => vec![5.0; len],
+                2 => (0..len).map(|t| 2.0 * t as f64).collect(),
+                _ => (0..len).map(|_| rng.gen::<f64>() * 100.0 - 50.0).collect(),
+            };
+            let config = configs[case % configs.len()];
+            assert_eq!(
+                Arima::forecast_or_mean(&series, config),
+                Arima::forecast_or_mean_with(&series, config, &mut scratch),
+                "case {case} (len {len}, {config:?})"
+            );
+        }
     }
 
     #[test]

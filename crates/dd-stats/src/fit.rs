@@ -12,7 +12,7 @@
 
 use crate::chi2::{chi2_statistic_regularized, normalized_chi2_error};
 use crate::histogram::Histogram;
-use crate::linalg::least_squares;
+use crate::linalg::{least_squares_ridge_into, least_squares_ridge_rows, LsScratch};
 use crate::weibull::{gamma, Weibull};
 use serde::{Deserialize, Serialize};
 
@@ -36,6 +36,16 @@ pub struct WeibullFit {
 /// expected histogram is `total · bin_mass(k)` and the regularized χ²
 /// statistic is minimized.
 ///
+/// The scan is branch-and-bound: the χ² statistic accumulates bin by bin
+/// (sharing each CDF evaluation between adjacent bins, since
+/// `bin_mass(k) = cdf(k+0.5) − cdf(k−0.5)`), and a candidate is abandoned
+/// as soon as its partial sum exceeds the incumbent minimum. Because every
+/// term of the regularized statistic is non-negative and bins accumulate
+/// in the same left-to-right order, the abandoned candidates are exactly
+/// those that could never win, and the surviving winner — value and
+/// identity — is bit-identical to the dense scan
+/// ([`fit_weibull_grid_reference`], kept as the test oracle).
+///
 /// Returns `None` for an empty histogram or degenerate ranges.
 pub fn fit_weibull_grid(
     hist: &Histogram,
@@ -57,6 +67,195 @@ pub fn fit_weibull_grid(
     // beyond the histogram support. Without it, mass above the largest
     // observation escapes the statistic entirely and the argmin drifts to
     // the high-α corner of the grid on sparse histograms.
+    let mut observed: Vec<f64> = hist.counts()[..len].iter().map(|&c| c as f64).collect();
+    observed.push(0.0);
+    let total = hist.total() as f64;
+
+    // Seed the abort threshold with the grid's central candidate — the
+    // ranges are centered on a moments estimate by the predictor, so the
+    // center is usually near-optimal and prunes most of the grid. Any
+    // threshold ≥ the global minimum is sound: the eventual winner's
+    // partial sums never exceed its own (minimal) statistic, so it is
+    // never aborted, and aborted candidates have a statistic strictly
+    // above the minimum.
+    let mid = steps / 2;
+    let mid_alpha = lerp(a_lo, a_hi, mid as f64 / (steps - 1) as f64);
+    let mid_beta = lerp(b_lo, b_hi, mid as f64 / (steps - 1) as f64);
+    let seed = Weibull::new(mid_alpha, mid_beta)
+        .ok()
+        .and_then(|w| chi2_grid_candidate(&w, &observed, total, len, f64::INFINITY))
+        .unwrap_or(f64::INFINITY);
+
+    // Shared-power table for the approximate rejection filter: the exact
+    // CDF at a bin edge is `1 − exp(−(x/α)^β)`; factorizing the power as
+    // `x^β · α^{−β}` lets each shape row β pay its `x^β` evaluations once
+    // (steps·len powf calls total) instead of once per (α, β) candidate
+    // (steps²·len). The factorized product differs from `(x/α)^β` only in
+    // rounding, so the filter is approximate — candidates it rejects are
+    // those whose approximate statistic exceeds the incumbent by more
+    // than a conservative rounding-error bound, and every survivor still
+    // runs the exact canonical scan. The winner (value and identity) is
+    // therefore unchanged.
+    let mut edge_pows = vec![0.0; steps * len];
+    for bi in 0..steps {
+        let beta = lerp(b_lo, b_hi, bi as f64 / (steps - 1) as f64);
+        for (k, cell) in edge_pows[bi * len..(bi + 1) * len].iter_mut().enumerate() {
+            *cell = (k as f64 + 0.5).powf(beta);
+        }
+    }
+
+    let mut best: Option<(f64, Weibull)> = None;
+    for ai in 0..steps {
+        let alpha = lerp(a_lo, a_hi, ai as f64 / (steps - 1) as f64);
+        for bi in 0..steps {
+            let beta = lerp(b_lo, b_hi, bi as f64 / (steps - 1) as f64);
+            let Ok(w) = Weibull::new(alpha, beta) else {
+                continue;
+            };
+            let abort_above = match best {
+                Some((s, _)) => s.min(seed),
+                None => seed,
+            };
+            if approx_chi2_exceeds(
+                &edge_pows[bi * len..(bi + 1) * len],
+                alpha,
+                beta,
+                &observed,
+                total,
+                abort_above,
+            ) {
+                continue;
+            }
+            let Some(stat) = chi2_grid_candidate(&w, &observed, total, len, abort_above) else {
+                continue;
+            };
+            if best.is_none_or(|(s, _)| stat < s) {
+                best = Some((stat, w));
+            }
+        }
+    }
+
+    best.map(|(chi2, dist)| {
+        let mut fitted: Vec<f64> = (0..len).map(|k| total * dist.bin_mass(k as u32)).collect();
+        fitted.push(total * (1.0 - dist.cdf(len as f64 - 0.5)));
+        WeibullFit {
+            dist,
+            chi2,
+            fit_fraction: 1.0 - normalized_chi2_error(&observed, &fitted),
+        }
+    })
+}
+
+/// Regularized χ² of one grid candidate against `observed`, accumulated
+/// bin by bin with early abort.
+///
+/// Bit-for-bit equal to building the expected histogram
+/// (`expected[k] = total·bin_mass(k)`, tail `total·(1 − cdf(len−0.5))`)
+/// and calling [`chi2_statistic_regularized`] with ε = 0.5: each bin's CDF
+/// upper edge is reused as the next bin's lower edge (the same float the
+/// dense path computes twice), terms accumulate in the same left-to-right
+/// order, and the `(…).max(0.0)` clamp of `bin_mass` is preserved.
+///
+/// Returns `None` as soon as the partial sum strictly exceeds
+/// `abort_above`; since every term is non-negative the full statistic of
+/// an aborted candidate is also strictly above that bound.
+fn chi2_grid_candidate(
+    w: &Weibull,
+    observed: &[f64],
+    total: f64,
+    len: usize,
+    abort_above: f64,
+) -> Option<f64> {
+    let mut acc = 0.0;
+    let mut prev_cdf = 0.0; // cdf(0.0), the lower edge of bin 0
+    for (k, &o) in observed[..len].iter().enumerate() {
+        let hi_cdf = w.cdf(k as f64 + 0.5);
+        let e = total * (hi_cdf - prev_cdf).max(0.0);
+        let d = o - e;
+        acc += d * d / (e + 0.5);
+        if acc > abort_above {
+            return None;
+        }
+        prev_cdf = hi_cdf;
+    }
+    // Overflow bin: observed 0, expected = total·(1 − cdf(len − 0.5));
+    // prev_cdf already holds cdf((len−1) + 0.5) = cdf(len − 0.5).
+    let e = total * (1.0 - prev_cdf);
+    let d = 0.0 - e;
+    acc += d * d / (e + 0.5);
+    (acc <= abort_above).then_some(acc)
+}
+
+/// Approximate rejection filter for [`chi2_grid_candidate`]: replays the
+/// canonical scan with the candidate's CDF factorized as
+/// `1 − exp(−x^β·α^{−β})` — `x^β` comes precomputed per shape row in
+/// `edge_pows`, so each term costs one multiply and one `exp` instead of
+/// a `powf` and an `exp`. Reports whether the approximate statistic
+/// proves the exact statistic must exceed `abort_above`.
+///
+/// Soundness: `x^β·α^{−β}` differs from the exact `(x/α)^β` only by a
+/// handful of ULPs, and the CDF damps that to an absolute error
+/// ≤ ~2e-15 per edge (`|d cdf| = e^{−t}·t·δ ≤ δ/e`). Propagated through
+/// `e = total·Δcdf` and the regularized terms (denominator ≥ 0.5,
+/// `Σ|observed − expected| ≤ 2·total`), the approximate statistic S̃
+/// satisfies `|S̃ − S| ≤ ~3e-14·total² + 1e-14·total·S`. The guard
+/// subtracted before comparing — `1e-12·total·(total + S̃)` — exceeds
+/// that bound by two orders of magnitude, so `true` implies the exact
+/// scan would have aborted, and a candidate whose exact statistic is
+/// ≤ `abort_above` is never pruned: `best` is left exactly as the dense
+/// reference scan would leave it. A NaN CDF (only reachable through
+/// overflow of `x^β` against underflow of `α^{−β}`, or vice versa)
+/// disables the filter for the candidate, which falls through to the
+/// exact scan.
+fn approx_chi2_exceeds(
+    edge_pows: &[f64],
+    alpha: f64,
+    beta: f64,
+    observed: &[f64],
+    total: f64,
+    abort_above: f64,
+) -> bool {
+    let a_pow = alpha.powf(-beta);
+    let mut acc = 0.0;
+    let mut prev_cdf = 0.0;
+    for (&u, &o) in edge_pows.iter().zip(observed) {
+        let cdf = 1.0 - (-u * a_pow).exp();
+        if cdf.is_nan() {
+            return false;
+        }
+        let e = total * (cdf - prev_cdf).max(0.0);
+        let d = o - e;
+        acc += d * d / (e + 0.5);
+        if acc - 1e-12 * total * (total + acc) > abort_above {
+            return true;
+        }
+        prev_cdf = cdf;
+    }
+    let e = total * (1.0 - prev_cdf);
+    acc += e * e / (e + 0.5);
+    acc - 1e-12 * total * (total + acc) > abort_above
+}
+
+/// The original dense-scan grid fit, kept as the equivalence oracle for
+/// the branch-and-bound rewrite ([`fit_weibull_grid`] must agree with it
+/// bit for bit). Used by property tests and the criterion fit-kernel
+/// guard; not called on any production path.
+pub fn fit_weibull_grid_reference(
+    hist: &Histogram,
+    alpha_range: (f64, f64),
+    beta_range: (f64, f64),
+    steps: usize,
+) -> Option<WeibullFit> {
+    if hist.is_empty() || steps < 2 {
+        return None;
+    }
+    let (a_lo, a_hi) = alpha_range;
+    let (b_lo, b_hi) = beta_range;
+    if !(a_lo > 0.0 && a_hi >= a_lo && b_lo > 0.0 && b_hi >= b_lo) {
+        return None;
+    }
+
+    let len = hist.trimmed_len().max(1);
     let mut observed: Vec<f64> = hist.counts()[..len].iter().map(|&c| c as f64).collect();
     observed.push(0.0);
     let total = hist.total() as f64;
@@ -157,16 +356,22 @@ pub fn fit_polynomial(ys: &[f64], degree: usize) -> FitReport {
         };
     }
     // Scale abscissas to [0, 1] to keep the Vandermonde system conditioned.
+    // The design is built flat (one row per observation, concatenated):
+    // `least_squares_ridge_rows` with λ = 0 is the same normal-equation
+    // path the nested `least_squares` delegates to, so the fit is
+    // bit-identical while the per-row `Vec` allocations disappear.
     let scale = (n.max(2) - 1) as f64;
-    let design: Vec<Vec<f64>> = (0..n)
-        .map(|i| {
-            let t = i as f64 / scale;
-            (0..=degree).map(|d| t.powi(d as i32)).collect()
-        })
-        .collect();
-    let fitted = match least_squares(&design, ys) {
+    let cols = degree + 1;
+    let mut design = vec![0.0; n * cols];
+    for (i, row) in design.chunks_exact_mut(cols).enumerate() {
+        let t = i as f64 / scale;
+        for (d, cell) in row.iter_mut().enumerate() {
+            *cell = t.powi(d as i32);
+        }
+    }
+    let fitted = match least_squares_ridge_rows(&design, cols, ys, 0.0) {
         Ok(beta) => design
-            .iter()
+            .chunks_exact(cols)
             .map(|row| row.iter().zip(&beta).map(|(x, b)| x * b).sum())
             .collect(),
         Err(_) => vec![crate::series::mean(ys); n],
@@ -196,31 +401,57 @@ pub fn fit_sinusoid(ys: &[f64], freq_steps: usize) -> FitReport {
     let span = (n - 1) as f64;
     let steps = freq_steps.max(2);
 
-    // For a candidate cycle count, solve the linear subproblem and score.
-    let eval = |cycles: f64| -> Option<(f64, Vec<f64>)> {
+    // One flat 3-column design, normal-equation scratch and fitted buffer
+    // are shared across every frequency candidate (~steps + 65 evals per
+    // call): the flat path is the one the nested `least_squares` delegates
+    // to, so each candidate's fit is bit-identical to the allocating
+    // version while the per-row `Vec` churn disappears.
+    let mut design = vec![0.0; n * 3];
+    let mut scratch = LsScratch::default();
+    let mut beta: Vec<f64> = Vec::new();
+    let mut fitted_buf: Vec<f64> = Vec::new();
+
+    // For a candidate cycle count, solve the linear subproblem and score;
+    // the fitted values are left in `fitted_buf`.
+    let eval = |cycles: f64,
+                design: &mut [f64],
+                scratch: &mut LsScratch,
+                beta: &mut Vec<f64>,
+                fitted: &mut Vec<f64>|
+     -> Option<f64> {
         let omega = 2.0 * std::f64::consts::PI * cycles / span;
-        let design: Vec<Vec<f64>> = (0..n)
-            .map(|i| {
-                let t = i as f64;
-                vec![(omega * t).sin(), (omega * t).cos(), 1.0]
-            })
-            .collect();
-        let beta = least_squares(&design, ys).ok()?;
-        let fitted: Vec<f64> = design
-            .iter()
-            .map(|row| row.iter().zip(&beta).map(|(x, b)| x * b).sum())
-            .collect();
-        let err = normalized_chi2_error(ys, &fitted);
-        Some((err, fitted))
+        for (i, row) in design.chunks_exact_mut(3).enumerate() {
+            let t = i as f64;
+            row[0] = (omega * t).sin();
+            row[1] = (omega * t).cos();
+            row[2] = 1.0;
+        }
+        least_squares_ridge_into(design, 3, ys, 0.0, scratch, beta).ok()?;
+        fitted.clear();
+        fitted.extend(
+            design
+                .chunks_exact(3)
+                .map(|row| row.iter().zip(&*beta).map(|(x, b)| x * b).sum::<f64>()),
+        );
+        Some(normalized_chi2_error(ys, fitted))
     };
 
     // Coarse pass: log-spaced cycle counts.
     let mut best: Option<(f64, f64, Vec<f64>)> = None;
     for s in 0..steps {
         let cycles = 0.5 * 64f64.powf(s as f64 / (steps - 1) as f64);
-        if let Some((err, fitted)) = eval(cycles) {
+        if let Some(err) = eval(
+            cycles,
+            &mut design,
+            &mut scratch,
+            &mut beta,
+            &mut fitted_buf,
+        ) {
             if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
-                best = Some((err, cycles, fitted));
+                let slot = best.get_or_insert_with(|| (err, cycles, Vec::new()));
+                slot.0 = err;
+                slot.1 = cycles;
+                slot.2.clone_from(&fitted_buf);
             }
         }
     }
@@ -234,9 +465,18 @@ pub fn fit_sinusoid(ys: &[f64], freq_steps: usize) -> FitReport {
         let hi = coarse_cycles * ratio;
         for s in 0..=64 {
             let cycles = lo + (hi - lo) * s as f64 / 64.0;
-            if let Some((err, fitted)) = eval(cycles) {
+            if let Some(err) = eval(
+                cycles,
+                &mut design,
+                &mut scratch,
+                &mut beta,
+                &mut fitted_buf,
+            ) {
                 if best.as_ref().is_none_or(|(e, _, _)| err < *e) {
-                    best = Some((err, cycles, fitted));
+                    let slot = best.get_or_insert_with(|| (err, cycles, Vec::new()));
+                    slot.0 = err;
+                    slot.1 = cycles;
+                    slot.2.clone_from(&fitted_buf);
                 }
             }
         }
@@ -268,10 +508,14 @@ pub fn fit_logarithmic(ys: &[f64]) -> FitReport {
             error: 0.0,
         };
     }
-    let design: Vec<Vec<f64>> = (0..n).map(|i| vec![(i as f64 + 1.0).ln(), 1.0]).collect();
-    let fitted = match least_squares(&design, ys) {
+    let mut design = vec![0.0; n * 2];
+    for (i, row) in design.chunks_exact_mut(2).enumerate() {
+        row[0] = (i as f64 + 1.0).ln();
+        row[1] = 1.0;
+    }
+    let fitted = match least_squares_ridge_rows(&design, 2, ys, 0.0) {
         Ok(beta) => design
-            .iter()
+            .chunks_exact(2)
             .map(|row| row.iter().zip(&beta).map(|(x, b)| x * b).sum())
             .collect(),
         Err(_) => vec![crate::series::mean(ys); n],

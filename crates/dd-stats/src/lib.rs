@@ -40,20 +40,22 @@ pub mod chi2;
 pub mod distributions;
 pub mod fit;
 pub mod histogram;
+pub mod incremental;
 pub mod ks;
 pub mod linalg;
 pub mod rng;
 pub mod series;
 pub mod weibull;
 
-pub use arima::{Arima, ArimaConfig};
+pub use arima::{Arima, ArimaConfig, ArimaScratch};
 pub use chi2::{chi2_p_value, chi2_statistic, chi2_statistic_regularized, normalized_chi2_error};
 pub use distributions::{binned_chi2, Normal, Poisson};
 pub use fit::{
-    fit_logarithmic, fit_polynomial, fit_sinusoid, fit_weibull_grid, fit_weibull_moments,
-    FitReport, WeibullFit,
+    fit_logarithmic, fit_polynomial, fit_sinusoid, fit_weibull_grid, fit_weibull_grid_reference,
+    fit_weibull_moments, FitReport, WeibullFit,
 };
 pub use histogram::Histogram;
+pub use incremental::IncrementalWeibullFit;
 pub use ks::{ks_p_value, ks_statistic};
 pub use rng::SeedStream;
 pub use series::{autocorrelation, mean, mean_window_correlation, pearson, std_dev, variance};

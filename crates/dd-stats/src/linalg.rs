@@ -111,29 +111,132 @@ pub fn least_squares_ridge(
         return Err(SingularMatrix);
     }
     let p = x[0].len();
-    let mut xtx = vec![vec![0.0; p]; p];
-    let mut xty = vec![0.0; p];
-    for (row, &yi) in x.iter().zip(y) {
+    for row in x {
         assert_eq!(row.len(), p, "ragged design matrix");
+    }
+    let flat: Vec<f64> = x.iter().flatten().copied().collect();
+    least_squares_ridge_rows(&flat, p, y, lambda)
+}
+
+/// [`least_squares_ridge`] over a flat row-major design matrix.
+///
+/// `x` holds `y.len()` rows of `cols` entries each, concatenated. This is
+/// the allocation-lean entry point for hot callers (ARIMA refits build
+/// millions of tiny design matrices per report run); the nested-`Vec`
+/// wrapper above flattens into it, so both produce bit-identical results
+/// (same row-by-row normal-equation accumulation order).
+pub fn least_squares_ridge_rows(
+    x: &[f64],
+    cols: usize,
+    y: &[f64],
+    lambda: f64,
+) -> Result<Vec<f64>, SingularMatrix> {
+    let mut scratch = LsScratch::default();
+    let mut out = Vec::new();
+    least_squares_ridge_into(x, cols, y, lambda, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// Reusable buffer for [`least_squares_ridge_into`]: holds the flat
+/// normal-equation matrix between calls so repeated small solves (ARIMA
+/// refits millions of them per report run) allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct LsScratch {
+    xtx: Vec<f64>,
+}
+
+/// [`least_squares_ridge_rows`] writing the solution into `out`, with all
+/// intermediate storage drawn from `scratch` — the allocation-free entry
+/// point (the `_rows` wrapper above delegates here, so the two are
+/// bit-identical by construction: same accumulation, pivoting and
+/// elimination arithmetic in the same order).
+pub fn least_squares_ridge_into(
+    x: &[f64],
+    cols: usize,
+    y: &[f64],
+    lambda: f64,
+    scratch: &mut LsScratch,
+    out: &mut Vec<f64>,
+) -> Result<(), SingularMatrix> {
+    assert_eq!(x.len(), cols * y.len(), "row count mismatch");
+    if y.is_empty() || cols == 0 {
+        return Err(SingularMatrix);
+    }
+    let p = cols;
+    let xtx = &mut scratch.xtx;
+    xtx.clear();
+    xtx.resize(p * p, 0.0);
+    out.clear();
+    out.resize(p, 0.0);
+    for (row, &yi) in x.chunks_exact(p).zip(y) {
         for i in 0..p {
-            xty[i] += row[i] * yi;
+            out[i] += row[i] * yi;
             for j in i..p {
-                xtx[i][j] += row[i] * row[j];
+                xtx[i * p + j] += row[i] * row[j];
             }
         }
     }
-    // Mirror the upper triangle and apply the ridge penalty. (Index
-    // loops are intentional: rows i and j alias, so iterator adapters
-    // would need the same split-borrow dance for no clarity gain.)
-    #[allow(clippy::needless_range_loop)]
+    // Mirror the upper triangle and apply the ridge penalty.
     for i in 0..p {
         for j in 0..i {
-            let upper = xtx[j][i];
-            xtx[i][j] = upper;
+            xtx[i * p + j] = xtx[j * p + i];
         }
-        xtx[i][i] += lambda;
+        xtx[i * p + i] += lambda;
     }
-    solve(xtx, xty)
+    solve_flat(xtx, p, out)
+}
+
+/// [`solve`] over a flat row-major matrix, writing the solution over `b`.
+/// Identical arithmetic (pivot selection via `total_cmp` on the same
+/// NaN-mapped magnitudes, same elimination and back-substitution order);
+/// only the storage layout differs.
+fn solve_flat(a: &mut [f64], n: usize, b: &mut [f64]) -> Result<(), SingularMatrix> {
+    debug_assert_eq!(a.len(), n * n);
+    debug_assert_eq!(b.len(), n);
+    for col in 0..n {
+        let magnitude = |row: usize| {
+            let m = a[row * n + col].abs();
+            if m.is_nan() {
+                -1.0
+            } else {
+                m
+            }
+        };
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| magnitude(i).total_cmp(&magnitude(j)))
+            .unwrap_or(col);
+        let pivot_mag = a[pivot_row * n + col].abs();
+        if pivot_mag.is_nan() || pivot_mag < 1e-12 {
+            return Err(SingularMatrix);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+        let pivot = a[col * n + col];
+        for row in col + 1..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution, in place: entries of `b` past `row` already hold
+    // final solution components when `row` is computed.
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row * n + k] * b[k];
+        }
+        b[row] = acc / a[row * n + row];
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -211,6 +314,55 @@ mod tests {
         let neg = solve(vec![vec![-0.0, 1.0], vec![1.0, -0.0]], vec![5.0, 7.0]).unwrap();
         let pos = solve(vec![vec![0.0, 1.0], vec![1.0, 0.0]], vec![5.0, 7.0]).unwrap();
         assert_eq!(neg, pos);
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility
+    fn flat_solver_matches_nested_solver_bitwise() {
+        // `solve_flat` is the hot-path layout of `solve`; the two must
+        // agree bit for bit on every system, including ones that force
+        // row swaps and near-singular rejections.
+        let mut rng = crate::rng::SeedStream::new(31).rng();
+        use rand::Rng;
+        for case in 0..500 {
+            let n = 1 + (rng.gen::<u32>() as usize) % 7;
+            let mut a_flat: Vec<f64> = (0..n * n).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+            // A third of the cases get a zeroed leading diagonal entry to
+            // exercise the pivoting path.
+            if case % 3 == 0 && n > 1 {
+                a_flat[0] = 0.0;
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+            let nested: Vec<Vec<f64>> = a_flat.chunks_exact(n).map(|r| r.to_vec()).collect();
+            let reference = solve(nested, b.clone());
+            let mut a_scratch = a_flat.clone();
+            let mut x = b.clone();
+            let flat = solve_flat(&mut a_scratch, n, &mut x).map(|()| x);
+            assert_eq!(reference, flat, "case {case}, n = {n}");
+        }
+    }
+
+    #[test]
+    #[allow(clippy::float_cmp)] // exact equality asserts bit-reproducibility
+    fn scratch_least_squares_reuses_buffers_bitwise() {
+        // Repeated solves through one scratch (varying shapes, so stale
+        // buffer contents would surface) must match fresh allocations.
+        let mut rng = crate::rng::SeedStream::new(32).rng();
+        use rand::Rng;
+        let mut scratch = LsScratch::default();
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            let cols = 1 + (rng.gen::<u32>() as usize) % 6;
+            let rows = cols + (rng.gen::<u32>() as usize) % 20;
+            let x: Vec<f64> = (0..rows * cols)
+                .map(|_| rng.gen::<f64>() * 4.0 - 2.0)
+                .collect();
+            let y: Vec<f64> = (0..rows).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect();
+            let fresh = least_squares_ridge_rows(&x, cols, &y, 1e-6);
+            let reused = least_squares_ridge_into(&x, cols, &y, 1e-6, &mut scratch, &mut out)
+                .map(|()| out.clone());
+            assert_eq!(fresh, reused);
+        }
     }
 
     #[test]

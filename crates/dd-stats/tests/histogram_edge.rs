@@ -1,0 +1,141 @@
+//! Histogram and χ² edge cases: the overflow bin of the Weibull grid
+//! search, empty-bucket χ² conventions, single-observation updates, and
+//! merge associativity.
+
+// Exact float equality below asserts bit-reproducibility (determinism contract).
+#![allow(clippy::float_cmp)]
+
+use dd_stats::incremental::{moments_centered_grid_fit, IncrementalWeibullFit};
+use dd_stats::{chi2_statistic, chi2_statistic_regularized, Histogram, SeedStream, Weibull};
+
+/// The grid-search χ² appends one overflow bin (observed 0) that absorbs
+/// the candidate's expected mass beyond the histogram range. Rebuilding
+/// the binned expectation from the returned fit must reproduce the
+/// reported χ² — with the overflow bin; without it, a tail-heavy fit
+/// would score spuriously well.
+#[test]
+fn overflow_bin_absorbs_tail_mass() {
+    let truth = Weibull::new(12.0, 1.4).unwrap();
+    let mut rng = SeedStream::new(7).rng();
+    let hist: Histogram = (0..400).map(|_| truth.sample_count(&mut rng)).collect();
+    let fit = moments_centered_grid_fit(&hist, 16).expect("fit succeeds");
+
+    let len = hist.trimmed_len();
+    let total = hist.total() as f64;
+    let mut observed: Vec<f64> = hist.counts()[..len].iter().map(|&c| c as f64).collect();
+    observed.push(0.0); // overflow bin
+    let mut expected = Vec::with_capacity(len + 1);
+    let mut prev_cdf = 0.0;
+    for k in 0..len {
+        let cdf = fit.dist.cdf(k as f64 + 0.5);
+        expected.push(total * (cdf - prev_cdf).max(0.0));
+        prev_cdf = cdf;
+    }
+    expected.push(total * (1.0 - prev_cdf)); // tail mass past the range
+    let rebuilt = chi2_statistic_regularized(&observed, &expected, 0.5);
+    assert!(
+        (rebuilt - fit.chi2).abs() <= 1e-9 * fit.chi2.max(1.0),
+        "rebuilt χ² {rebuilt} vs reported {}",
+        fit.chi2
+    );
+    assert!(
+        expected[len] > 0.0,
+        "test must actually exercise tail mass in the overflow bin"
+    );
+}
+
+/// Empty expected buckets: the bare statistic skips them (no
+/// information), the regularized variant keeps them finite but
+/// penalized. Both conventions are load-bearing for the grid search.
+#[test]
+fn empty_bucket_chi2_conventions() {
+    // Perfect agreement, including an all-empty bucket: zero either way.
+    assert_eq!(chi2_statistic(&[5.0, 0.0], &[5.0, 0.0]), 0.0);
+    assert_eq!(
+        chi2_statistic_regularized(&[5.0, 0.0], &[5.0, 0.0], 0.5),
+        0.0
+    );
+
+    // Observations in a bucket the model calls impossible: the bare
+    // statistic silently drops the second bucket, the regularized one
+    // charges (O-E)^2 / eps for it.
+    let bare = chi2_statistic(&[0.0, 5.0], &[5.0, 0.0]);
+    assert_eq!(bare, 5.0, "only the first bucket contributes");
+    let reg = chi2_statistic_regularized(&[0.0, 5.0], &[5.0, 0.0], 0.5);
+    assert!(reg.is_finite());
+    assert_eq!(reg, 25.0 / 5.5 + 25.0 / 0.5);
+    assert!(
+        reg > bare,
+        "impossible-bucket mass must be penalized, not hidden"
+    );
+
+    // Degenerate all-empty inputs stay zero, not NaN.
+    assert_eq!(chi2_statistic(&[], &[]), 0.0);
+    assert_eq!(chi2_statistic_regularized(&[0.0], &[0.0], 0.5), 0.0);
+}
+
+/// A single observation: well-defined moments, degenerate (None) fit,
+/// and the incremental wrapper agrees.
+#[test]
+fn single_observation_update() {
+    let mut h = Histogram::new();
+    h.record(9);
+    assert_eq!(h.total(), 1);
+    assert_eq!(h.count(9), 1);
+    assert_eq!(h.max_value(), Some(9));
+    assert_eq!(h.mean(), 9.0);
+    assert_eq!(h.variance(), 0.0);
+    assert_eq!(h.quantile(0.5), Some(9));
+    assert!(
+        moments_centered_grid_fit(&h, 16).is_none(),
+        "one observation has no spread to fit"
+    );
+
+    let mut inc = IncrementalWeibullFit::new(16);
+    inc.record(9);
+    assert_eq!(inc.count(), 1);
+    assert!(inc.fit().is_none());
+    assert_eq!(inc.observations().counts(), h.counts());
+}
+
+/// Merge is associative and commutative, and any merge order equals the
+/// histogram built from the concatenated samples — the property the
+/// parallel sweep relies on when per-worker histograms combine.
+#[test]
+fn merge_associativity() {
+    let xs: Vec<u32> = vec![0, 3, 3, 7, 1];
+    let ys: Vec<u32> = vec![2, 3, 40];
+    let zs: Vec<u32> = vec![0, 0, 5];
+
+    let h = |s: &[u32]| Histogram::from_samples(s.iter().copied());
+
+    // (x ∪ y) ∪ z
+    let mut left = h(&xs);
+    left.merge(&h(&ys));
+    left.merge(&h(&zs));
+    // x ∪ (y ∪ z)
+    let mut right_inner = h(&ys);
+    right_inner.merge(&h(&zs));
+    let mut right = h(&xs);
+    right.merge(&right_inner);
+    // z ∪ (y ∪ x): a commuted order
+    let mut commuted = h(&zs);
+    let mut yx = h(&ys);
+    yx.merge(&h(&xs));
+    commuted.merge(&yx);
+
+    let all: Vec<u32> = xs.iter().chain(&ys).chain(&zs).copied().collect();
+    let flat = h(&all);
+    for other in [&left, &right, &commuted] {
+        assert_eq!(other.counts(), flat.counts());
+        assert_eq!(other.total(), flat.total());
+    }
+
+    // Merging an empty histogram is the identity in both directions.
+    let mut id = h(&xs);
+    id.merge(&Histogram::new());
+    assert_eq!(id.counts(), h(&xs).counts());
+    let mut empty = Histogram::new();
+    empty.merge(&h(&xs));
+    assert_eq!(empty.counts(), h(&xs).counts());
+}
