@@ -3,7 +3,7 @@
 //!
 //! The paper evaluates 50 runs of each of the three workflows under four
 //! techniques (DayDream, Wild, Pegasus, Oracle; we add the all-cold naive
-//! floor). [`EvaluationMatrix::compute`] executes that whole grid — runs
+//! floor). [`EvaluationMatrix::compute_for`] executes that grid — runs
 //! are generated, executed under every scheduler, and dropped, keeping
 //! only the [`RunOutcome`]s, so even full-scale Cosmoscout-VR (≈ 120 000
 //! component instances per run) fits comfortably in memory.
@@ -238,11 +238,6 @@ pub struct EvaluationMatrix {
 }
 
 impl EvaluationMatrix {
-    /// Executes every (workflow × run × scheduler) cell.
-    pub fn compute(ctx: &ExperimentContext) -> Self {
-        Self::compute_for(ctx, &SchedulerKind::ALL)
-    }
-
     /// Executes the grid for a subset of schedulers, fanning the
     /// (workflow × run) cells over `ctx.jobs` worker threads. Each cell
     /// generates its run from (workflow, run index, seed) alone, so the

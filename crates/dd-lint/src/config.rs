@@ -1,9 +1,11 @@
 //! `dd-lint.toml` — per-rule scoping configuration.
 //!
 //! A deliberately tiny TOML subset (hand-rolled, offline-policy): section
-//! headers `[rule.<name>]` and two array-of-string keys per section,
-//! `crates` (crate directory names, `"*"` for all) and `files`
-//! (workspace-relative paths). Anything else is a configuration error.
+//! headers `[rule.<name>]` and three array-of-string keys per section:
+//! `crates` (crate directory names, `"*"` for all), `files`
+//! (workspace-relative paths), and `entry_points` (`::`-separated symbol
+//! patterns rooting the graph rules — see [`RuleScope::entry_points`]).
+//! Anything else is a configuration error.
 
 use crate::rules::RULE_NAMES;
 use std::collections::BTreeMap;
@@ -12,10 +14,20 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, Default)]
 pub struct RuleScope {
     /// Crate directory names the rule applies to; `*` means every crate.
+    /// For graph rules this is the *reporting* scope: the traversal
+    /// crosses every crate, but findings are only emitted in these.
     pub crates: Vec<String>,
-    /// Workspace-relative file paths the rule applies to (used by
-    /// file-scoped rules like `hot-path-panic`).
+    /// Workspace-relative file paths the rule applies to. For the
+    /// hot-path graph rules these double as root *files*: every function
+    /// defined in a listed file is a traversal root, and the whole file
+    /// is still token-checked line by line (v1 back-compat).
     pub files: Vec<String>,
+    /// Graph-rule roots as `::`-separated symbol patterns. The last
+    /// segment must equal the function name; every earlier segment must
+    /// match the symbol's crate, an inline-module segment, its impl type
+    /// or its trait (e.g. `Executor::run`, `dd-bench::experiments::run`,
+    /// `dd-platform::DesFaasExecutor::serve_with`).
+    pub entry_points: Vec<String>,
 }
 
 impl RuleScope {
@@ -23,6 +35,13 @@ impl RuleScope {
     pub fn covers(&self, crate_name: &str, rel_path: &str) -> bool {
         self.crates.iter().any(|c| c == "*" || c == crate_name)
             || self.files.iter().any(|f| f == rel_path)
+    }
+
+    /// Whether the rule's `crates` list covers `crate_name` (the
+    /// reporting scope of graph rules, which deliberately ignores
+    /// `files` — those are fully covered by the per-file pass).
+    pub fn covers_crate(&self, crate_name: &str) -> bool {
+        self.crates.iter().any(|c| c == "*" || c == crate_name)
     }
 }
 
@@ -98,10 +117,13 @@ impl Config {
             match key.trim() {
                 "crates" => scope.crates = items,
                 "files" => scope.files = items,
+                "entry_points" => scope.entry_points = items,
                 other => {
                     return Err(ConfigError {
                         line: lineno,
-                        message: format!("unknown key {other:?} (expected crates/files)"),
+                        message: format!(
+                            "unknown key {other:?} (expected crates/files/entry_points)"
+                        ),
                     })
                 }
             }
@@ -110,14 +132,25 @@ impl Config {
     }
 }
 
-/// Removes a trailing `# …` comment, respecting double-quoted strings.
+/// Removes a trailing `# …` comment, respecting quoted strings: a `#`
+/// inside a basic (`"…"`, with `\"`/`\\` escapes) or literal (`'…'`)
+/// TOML string is data, not a comment start.
 fn strip_toml_comment(line: &str) -> &str {
-    let mut in_str = false;
+    let mut quote: Option<char> = None;
+    let mut escaped = false;
     for (i, c) in line.char_indices() {
-        match c {
-            '"' => in_str = !in_str,
-            '#' if !in_str => return &line[..i],
-            _ => {}
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match (quote, c) {
+            // Backslash escapes exist only in basic strings.
+            (Some('"'), '\\') => escaped = true,
+            (Some(q), c) if c == q => quote = None,
+            (Some(_), _) => {}
+            (None, '"') | (None, '\'') => quote = Some(c),
+            (None, '#') => return &line[..i],
+            (None, _) => {}
         }
     }
     line
@@ -161,6 +194,37 @@ mod tests {
         let hp = cfg.scope("hot-path-panic");
         assert!(hp.covers("dd-platform", "crates/dd-platform/src/des.rs"));
         assert!(!hp.covers("dd-platform", "crates/dd-platform/src/pool.rs"));
+    }
+
+    #[test]
+    fn hash_inside_quoted_string_is_not_a_comment() {
+        // Regression: a `#` inside a quoted TOML string value used to be
+        // treated as a comment start, truncating the array mid-item.
+        let cfg =
+            Config::parse("[rule.wall-clock]\nfiles = [\"crates/x/src/a#b.rs\"] # real comment\n")
+                .unwrap();
+        assert_eq!(cfg.scope("wall-clock").files, vec!["crates/x/src/a#b.rs"]);
+        // Escaped quotes inside basic strings don't terminate them.
+        assert_eq!(
+            strip_toml_comment(r##"k = "a\"#b" # c"##),
+            r##"k = "a\"#b" "##
+        );
+        // Literal (single-quoted) strings may hold both `#` and `"`.
+        assert_eq!(strip_toml_comment("k = 'a#\"b' # c"), "k = 'a#\"b' ");
+        // An unterminated string swallows the rest of the line (no panic).
+        assert_eq!(strip_toml_comment("k = \"open # not"), "k = \"open # not");
+    }
+
+    #[test]
+    fn entry_points_key_parses() {
+        let cfg = Config::parse(
+            "[rule.hot-path-panic]\nentry_points = [\"Executor::run\", \"dd-bench::run\"]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.scope("hot-path-panic").entry_points,
+            vec!["Executor::run", "dd-bench::run"]
+        );
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //! unsuppressed finding.
 //!
 //! ```text
-//! dd-lint [--format human|json] [--root DIR]
+//! dd-lint [--format human|json|sarif] [--emit PATH] [--root DIR]
 //! ```
 //!
 //! Without `--root`, the workspace root is found by walking up from the
-//! current directory to the nearest `dd-lint.toml`. Exit codes: 0 clean,
+//! current directory to the nearest `dd-lint.toml`. `--emit PATH` writes
+//! the resolved workspace call graph as Graphviz DOT (conventionally
+//! `callgraph.dot`) for debugging the graph rules. Exit codes: 0 clean,
 //! 1 findings, 2 usage or I/O error.
 
 use std::path::PathBuf;
@@ -15,25 +17,34 @@ use std::process::ExitCode;
 enum Format {
     Human,
     Json,
+    Sarif,
 }
 
 fn main() -> ExitCode {
     let mut format = Format::Human;
     let mut root: Option<PathBuf> = None;
+    let mut emit: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => match args.next().as_deref() {
                 Some("human") => format = Format::Human,
                 Some("json") => format = Format::Json,
-                other => return usage(&format!("--format expects human|json, got {other:?}")),
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    return usage(&format!("--format expects human|json|sarif, got {other:?}"))
+                }
             },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root expects a directory"),
             },
+            "--emit" => match args.next() {
+                Some(path) => emit = Some(PathBuf::from(path)),
+                None => return usage("--emit expects an output path (e.g. callgraph.dot)"),
+            },
             "--help" | "-h" => {
-                println!("usage: dd-lint [--format human|json] [--root DIR]");
+                println!("usage: dd-lint [--format human|json|sarif] [--emit PATH] [--root DIR]");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unexpected argument {other:?}")),
@@ -51,14 +62,22 @@ fn main() -> ExitCode {
         }
     };
 
-    match dd_lint::lint_tree(&root) {
-        Ok(findings) => {
+    match dd_lint::analyze_tree(&root) {
+        Ok(analysis) => {
+            if let Some(path) = emit {
+                if let Err(e) = std::fs::write(&path, analysis.callgraph_dot()) {
+                    eprintln!("dd-lint: write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            let findings = &analysis.findings;
             let rendered = match format {
-                Format::Human => dd_lint::render_human(&findings),
-                Format::Json => dd_lint::render_json(&findings),
+                Format::Human => dd_lint::render_human(findings),
+                Format::Json => dd_lint::render_json(findings),
+                Format::Sarif => dd_lint::render_sarif(findings),
             };
             print!("{rendered}");
-            if matches!(format, Format::Json) {
+            if matches!(format, Format::Json | Format::Sarif) {
                 println!();
             }
             if findings.is_empty() {
@@ -75,7 +94,9 @@ fn main() -> ExitCode {
 }
 
 fn usage(message: &str) -> ExitCode {
-    eprintln!("dd-lint: {message}\nusage: dd-lint [--format human|json] [--root DIR]");
+    eprintln!(
+        "dd-lint: {message}\nusage: dd-lint [--format human|json|sarif] [--emit PATH] [--root DIR]"
+    );
     ExitCode::from(2)
 }
 

@@ -9,7 +9,17 @@
 //! | `hot-path-panic`  | P1 | `panic!` / `.unwrap()` / `.expect(` in the DES event-loop hot path outside documented invariants |
 //! | `hot-path-alloc`  | P2 | `String::from` / `.to_string()` / `.clone()` / `format!` in the DES event-loop hot path — per-event allocation |
 //! | `executor-api`    | A1 | new `pub fn execute*` entry points outside the unified `Executor` trait (the deprecated shims carry inline allows) |
+//! | `determinism-taint` | D4 | a call path from an `Executor::run` impl or experiment `run()` to a wall-clock/entropy/hash-iteration sink (graph rule — see [`crate::graph`]) |
+//! | `dead-pub-api`    | A2 | `pub` items unreachable from any bin, test, bench, or the facade (graph rule) |
 //! | `suppression`     | —  | malformed `dd-lint: allow(..)` directives (unknown rule, missing justification) |
+//!
+//! `hot-path-panic` and `hot-path-alloc` run in two complementary modes:
+//! every file listed under `files` in `dd-lint.toml` is still token-checked
+//! line by line (the v1 behaviour), *and* the call-graph pass extends the
+//! same token checks to every function transitively reachable from the
+//! configured `entry_points` — wherever it is defined (reported only
+//! inside the rule's `crates` scope, and never double-reported for
+//! `files`-listed paths).
 //!
 //! Suppression syntax, always with a mandatory justification after the
 //! closing paren:
@@ -34,6 +44,8 @@ pub const RULE_NAMES: &[&str] = &[
     "hot-path-panic",
     "hot-path-alloc",
     "executor-api",
+    "determinism-taint",
+    "dead-pub-api",
 ];
 
 /// Rule violated by malformed suppression directives themselves. Not
@@ -66,14 +78,29 @@ impl std::fmt::Display for Finding {
 }
 
 /// Tokens that read wall clocks or entropy (rule `wall-clock`).
-const WALL_CLOCK_TOKENS: &[&str] = &["Instant::now", "SystemTime", "thread_rng", "from_entropy"];
+pub(crate) const WALL_CLOCK_TOKENS: &[&str] =
+    &["Instant::now", "SystemTime", "thread_rng", "from_entropy"];
 
 /// Tokens that construct RNGs without a caller-supplied seed (rule
 /// `rng-seed`).
 const RNG_TOKENS: &[&str] = &["thread_rng", "from_entropy", "rand::random", "OsRng"];
 
+/// Nondeterminism *sinks* for the graph-based `determinism-taint` rule:
+/// wall clocks, entropy sources, and randomized-hash-state constructors
+/// whose iteration order varies per process.
+pub(crate) const TAINT_SINK_TOKENS: &[&str] = &[
+    "Instant::now",
+    "SystemTime",
+    "thread_rng",
+    "from_entropy",
+    "rand::random",
+    "OsRng",
+    "RandomState",
+    "DefaultHasher",
+];
+
 /// Panicking constructs checked in hot-path files (rule `hot-path-panic`).
-const PANIC_TOKENS: &[&str] = &[
+pub(crate) const PANIC_TOKENS: &[&str] = &[
     "panic!",
     "unreachable!",
     "todo!",
@@ -87,7 +114,7 @@ const PANIC_TOKENS: &[&str] = &[
 /// report; a stray per-event `String` or clone is a silent
 /// order-of-magnitude regression. Once-per-run allocations (e.g. the
 /// scheduler name in the final `RunOutcome`) carry inline allows.
-const ALLOC_TOKENS: &[&str] = &[
+pub(crate) const ALLOC_TOKENS: &[&str] = &[
     "String::from",
     ".to_string()",
     ".to_owned()",
@@ -108,12 +135,16 @@ pub fn check_file(
     let suppressions = collect_suppressions(rel_path, classified, &mut findings);
 
     let in_scope = |rule: &str| -> bool { config.scope(rule).covers(crate_name, rel_path) };
+    // Hot-path rules are per-file only for `files`-listed paths; their
+    // `crates` key is the *reporting* scope of the call-graph pass (see
+    // module docs), so it must not trigger whole-crate token checks here.
+    let in_files = |rule: &str| -> bool { config.scope(rule).files.iter().any(|f| f == rel_path) };
     let hash_scope = in_scope("hash-container");
     let clock_scope = in_scope("wall-clock");
     let rng_scope = in_scope("rng-seed");
     let float_scope = in_scope("float-ord");
-    let panic_scope = in_scope("hot-path-panic");
-    let alloc_scope = in_scope("hot-path-alloc");
+    let panic_scope = in_files("hot-path-panic");
+    let alloc_scope = in_files("hot-path-alloc");
     let api_scope = in_scope("executor-api");
 
     for (idx, line) in classified.lines.iter().enumerate() {
@@ -267,11 +298,11 @@ pub fn check_file(
 }
 
 /// line → rules allowed on that line.
-type Suppressions = BTreeMap<usize, Vec<String>>;
+pub(crate) type Suppressions = BTreeMap<usize, Vec<String>>;
 
 /// Extracts `dd-lint: allow(..): why` directives; malformed ones become
 /// `suppression` findings.
-fn collect_suppressions(
+pub(crate) fn collect_suppressions(
     rel_path: &str,
     classified: &Classified,
     findings: &mut Vec<Finding>,
@@ -343,7 +374,7 @@ fn collect_suppressions(
     map
 }
 
-fn suppressed(map: &Suppressions, line: usize, rule: &str) -> bool {
+pub(crate) fn suppressed(map: &Suppressions, line: usize, rule: &str) -> bool {
     map.get(&line)
         .is_some_and(|rules| rules.iter().any(|r| r == rule))
 }
@@ -351,7 +382,7 @@ fn suppressed(map: &Suppressions, line: usize, rule: &str) -> bool {
 /// All starting byte offsets of `token` in `code` with identifier
 /// boundaries on both sides (where the token edge is itself an identifier
 /// character).
-fn find_tokens(code: &str, token: &str) -> Vec<usize> {
+pub(crate) fn find_tokens(code: &str, token: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut from = 0;
     while let Some(rel) = code[from..].find(token) {
@@ -422,8 +453,8 @@ mod tests {
              [rule.wall-clock]\ncrates = [\"*\"]\n\
              [rule.rng-seed]\ncrates = [\"*\"]\n\
              [rule.float-ord]\ncrates = [\"*\"]\n\
-             [rule.hot-path-panic]\ncrates = [\"*\"]\n\
-             [rule.hot-path-alloc]\ncrates = [\"*\"]\n\
+             [rule.hot-path-panic]\nfiles = [\"x.rs\"]\n\
+             [rule.hot-path-alloc]\nfiles = [\"x.rs\"]\n\
              [rule.executor-api]\ncrates = [\"*\"]\n",
         )
         .expect("static config")
@@ -559,6 +590,16 @@ mod tests {
     fn hot_path_alloc_exempt_in_tests() {
         let src = "#[cfg(test)]\nmod tests {\n    fn f() { let x = v.clone(); }\n}\n";
         assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn hot_path_crates_key_is_reporting_scope_not_per_file_trigger() {
+        // `crates` on the hot-path rules scopes the *graph* pass; the
+        // per-file token check must only fire for `files`-listed paths.
+        let cfg =
+            Config::parse("[rule.hot-path-panic]\ncrates = [\"*\"]\n").expect("static config");
+        let f = check_file("x.rs", "demo", &classify("fn f() { x.unwrap(); }\n"), &cfg);
+        assert!(f.is_empty(), "{f:?}");
     }
 
     #[test]

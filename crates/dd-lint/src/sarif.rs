@@ -1,0 +1,108 @@
+//! Minimal SARIF 2.1.0 emitter (hand-rolled, offline-policy — no serde).
+//!
+//! Produces the subset GitHub code scanning and most SARIF viewers
+//! consume: one run, a `tool.driver` with the rule index, and one
+//! `result` per finding with a single physical location. Output is
+//! byte-stable for a given finding list: keys are emitted in a fixed
+//! order and the rule table is sorted.
+
+use crate::json_str;
+use crate::rules::Finding;
+
+/// Tool version advertised in the SARIF `driver` block (the dd-lint v2
+/// two-pass analyzer).
+pub const SARIF_TOOL_VERSION: &str = "2.0.0";
+
+/// Renders `findings` as a SARIF 2.1.0 document.
+pub fn render_sarif(findings: &[Finding]) -> String {
+    let mut rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
+    rules.sort_unstable();
+    rules.dedup();
+
+    let mut out = String::from(
+        "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
+         \"name\":\"dd-lint\",",
+    );
+    out.push_str(&format!(
+        "\"version\":{},\"rules\":[",
+        json_str(SARIF_TOOL_VERSION)
+    ));
+    for (i, rule) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            json_str(rule),
+            json_str(rule)
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rule_index = rules
+            .iter()
+            .position(|r| *r == f.rule)
+            .expect("rule table built from findings");
+        out.push_str(&format!(
+            "{{\"ruleId\":{},\"ruleIndex\":{},\"level\":\"error\",\
+             \"message\":{{\"text\":{}}},\"locations\":[{{\
+             \"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{},\
+             \"uriBaseId\":\"SRCROOT\"}},\"region\":{{\"startLine\":{},\
+             \"startColumn\":{}}}}}}}]}}",
+            json_str(&f.rule),
+            rule_index,
+            json_str(&f.message),
+            json_str(&f.file),
+            f.line,
+            f.column,
+        ));
+    }
+    out.push_str("]}]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: usize, rule: &str) -> Finding {
+        Finding {
+            file: file.into(),
+            line,
+            column: 3,
+            rule: rule.into(),
+            message: format!("m for {rule}"),
+        }
+    }
+
+    #[test]
+    fn empty_report_is_valid_and_stable() {
+        let s = render_sarif(&[]);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"results\":[]"), "{s}");
+        assert_eq!(s, render_sarif(&[]));
+    }
+
+    #[test]
+    fn rule_table_sorted_and_indexed() {
+        let fs = [
+            finding("b.rs", 2, "wall-clock"),
+            finding("a.rs", 1, "determinism-taint"),
+        ];
+        let s = render_sarif(&fs);
+        let taint = s.find("{\"id\":\"determinism-taint\"").expect("taint rule");
+        let clock = s.find("{\"id\":\"wall-clock\"").expect("clock rule");
+        assert!(taint < clock, "rule table must be sorted: {s}");
+        // wall-clock finding points at rule index 1 (after the sort).
+        assert!(
+            s.contains("{\"ruleId\":\"wall-clock\",\"ruleIndex\":1,"),
+            "{s}"
+        );
+        assert!(s.contains("\"startLine\":2,\"startColumn\":3"), "{s}");
+        assert!(s.contains("\"uri\":\"b.rs\""), "{s}");
+    }
+}

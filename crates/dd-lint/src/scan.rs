@@ -35,7 +35,7 @@ enum State {
     LineComment,
     BlockComment(u32),
     Str,
-    RawStr(u8),
+    RawStr(u32),
     Char,
 }
 
@@ -56,8 +56,11 @@ fn split_literals(source: &str) -> Vec<Line> {
         let mut comment = String::new();
         let chars: Vec<char> = raw.chars().collect();
         let mut i = 0;
-        // A line comment never continues across lines; strings do.
-        if state == State::LineComment {
+        // A line comment never continues across lines; strings do. A char
+        // literal can't either — if the state machine is still in `Char`
+        // at a line boundary the open quote was misclassified, so reset
+        // rather than let the desync blank every following line.
+        if state == State::LineComment || state == State::Char {
             state = State::Code;
         }
         while i < chars.len() {
@@ -83,6 +86,23 @@ fn split_literals(source: &str) -> Vec<Line> {
                     '"' => {
                         state = State::Str;
                         code.push('"');
+                    }
+                    'b' if next == Some('\'')
+                        && !code
+                            .chars()
+                            .last()
+                            .is_some_and(|p| p.is_alphanumeric() || p == '_') =>
+                    {
+                        // Byte-char literal (`b'x'`, `b'"'`, `b'\''`):
+                        // enter the char-literal state directly so the
+                        // quote is never run through the lifetime
+                        // heuristic (a `"` payload would otherwise risk
+                        // desyncing the string state machine).
+                        state = State::Char;
+                        code.push(c);
+                        code.push('\'');
+                        i += 2;
+                        continue;
                     }
                     'r' | 'b' => {
                         // Possible raw / byte string start: r", r#", br", b".
@@ -201,19 +221,23 @@ fn split_literals(source: &str) -> Vec<Line> {
 
 /// Detects a raw-string opener at the start of `chars` (`r"`, `r#"`,
 /// `br"`, `b"` …). Returns `(hash_count, chars_consumed_through_quote)`.
-fn raw_string_open(chars: &[char]) -> Option<(u8, usize)> {
+fn raw_string_open(chars: &[char]) -> Option<(u32, usize)> {
     let mut i = 0;
     if chars.first() == Some(&'b') {
         i += 1;
     }
     if chars.get(i) == Some(&'r') {
         i += 1;
-        let mut hashes = 0u8;
-        while chars.get(i + hashes as usize) == Some(&'#') {
+        // The hash count is unbounded by the input, not by the grammar
+        // (rustc caps raw strings at 255 `#`s): a narrower counter here
+        // overflowed — panicking in debug, looping forever in release —
+        // on 256+ `#`s, so count in usize.
+        let mut hashes = 0usize;
+        while chars.get(i + hashes) == Some(&'#') {
             hashes += 1;
         }
-        if chars.get(i + hashes as usize) == Some(&'"') {
-            return Some((hashes, i + hashes as usize + 1));
+        if chars.get(i + hashes) == Some(&'"') {
+            return Some((hashes as u32, i + hashes + 1));
         }
         None
     } else if i == 1 && chars.get(1) == Some(&'"') {
@@ -226,7 +250,7 @@ fn raw_string_open(chars: &[char]) -> Option<(u8, usize)> {
 
 /// Whether `chars` (starting at a `"`) closes a raw string with `hashes`
 /// trailing `#`s.
-fn closes_raw(chars: &[char], hashes: u8) -> bool {
+fn closes_raw(chars: &[char], hashes: u32) -> bool {
     (1..=hashes as usize).all(|k| chars.get(k) == Some(&'#'))
 }
 
@@ -328,6 +352,67 @@ mod tests {
         let c = classify("let c = 'x'; let d = '\\n'; let e = 1;\n");
         assert!(c.lines[0].code.contains("let e = 1;"));
         assert!(!c.lines[0].code.contains('x'));
+    }
+
+    #[test]
+    fn byte_char_literals_do_not_desync() {
+        // `b'"'` historically risked desyncing the string state machine:
+        // if the `"` payload opened a phantom string, every later line
+        // would be blanked (masking findings) or kept (fabricating them).
+        for src in [
+            "let q = b'\"'; let m = thread_rng();\nlet n = 1;\n",
+            "let q = b'\\''; let m = thread_rng();\nlet n = 1;\n",
+            "if (b'0'..=b'9').contains(&c) { let m = thread_rng(); }\nlet n = 1;\n",
+        ] {
+            let c = classify(src);
+            assert!(c.lines[0].code.contains("thread_rng"), "{src:?}: {c:?}");
+            assert!(c.lines[1].code.contains("let n = 1;"), "{src:?}: {c:?}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_in_generics_vs_char_literals() {
+        let src =
+            "fn f<'a, 'b: 'a>(x: &'a str) -> &'b str { x }\nlet c = 'x';\nlet m = thread_rng();\n";
+        let c = classify(src);
+        assert!(c.lines[0].code.contains("fn f<'a, 'b: 'a>"));
+        assert!(!c.lines[1].code.contains('x'));
+        assert!(c.lines[2].code.contains("thread_rng"));
+    }
+
+    #[test]
+    fn absurd_raw_string_hash_runs_do_not_panic() {
+        // 256+ hashes used to overflow the u8 hash counter (debug panic,
+        // release infinite loop).
+        let src = format!(
+            "let s = r{0}\"thread_rng\"{0}; let t = 1;\n",
+            "#".repeat(300)
+        );
+        let c = classify(&src);
+        assert!(!c.lines[0].code.contains("thread_rng"));
+        assert!(c.lines[0].code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn misclassified_char_state_resets_at_line_end() {
+        // A stray quote (invalid code / macro token soup) must not blank
+        // the rest of the file: `Char` never spans lines.
+        let src = "let bad = '@+;\nlet m = thread_rng();\n";
+        let c = classify(src);
+        assert!(c.lines[1].code.contains("thread_rng"));
+    }
+
+    #[test]
+    fn line_count_is_stable() {
+        for src in [
+            "",
+            "\n",
+            "a\nb\nc",
+            "let s = \"multi\nline\nstring\";\n",
+            "/* block\ncomment\n*/ code\n",
+        ] {
+            assert_eq!(classify(src).lines.len(), src.lines().count(), "{src:?}");
+        }
     }
 
     #[test]

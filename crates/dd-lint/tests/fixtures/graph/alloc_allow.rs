@@ -1,0 +1,16 @@
+//! Graph fixture: the same reachable allocation as `alloc_deny.rs`,
+//! with a documented once-per-run justification — dd-lint must stay
+//! silent.
+
+pub struct Des;
+
+impl Des {
+    pub fn pop_loop(&mut self) {
+        label(7);
+    }
+}
+
+fn label(n: u32) -> String {
+    // dd-lint: allow(hot-path-alloc): runs once per run when the outcome is sealed, not per event
+    format!("event {n}")
+}

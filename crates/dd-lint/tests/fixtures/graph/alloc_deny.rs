@@ -1,0 +1,14 @@
+//! Graph fixture: a per-event allocation transitively reachable from
+//! the DES pop loop entry point.
+
+pub struct Des;
+
+impl Des {
+    pub fn pop_loop(&mut self) {
+        label(7);
+    }
+}
+
+fn label(n: u32) -> String {
+    format!("event {n}")
+}

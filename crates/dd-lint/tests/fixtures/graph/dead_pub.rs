@@ -1,0 +1,14 @@
+//! Graph fixture: one pub fn is referenced from the bin, one only from
+//! a reference (tests/) source, one carries a justified allow, and one
+//! fn plus one struct are dead.
+
+pub fn reached_from_bin() {}
+
+pub fn reached_from_tests() {}
+
+// dd-lint: allow(dead-pub-api): kept as a stable extension point for forks
+pub fn kept_extension_point() {}
+
+pub fn orphan_helper() {}
+
+pub struct OrphanConfig;

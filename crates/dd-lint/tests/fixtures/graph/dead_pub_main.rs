@@ -1,0 +1,6 @@
+//! Graph fixture: the bin whose body confers liveness in
+//! `dead_pub.rs`.
+
+fn main() {
+    reached_from_bin();
+}

@@ -1,0 +1,23 @@
+//! Graph fixture: the same reachable panics as `panic_deny.rs`, each
+//! with a documented justification — dd-lint must stay silent.
+
+pub struct Des;
+
+impl Des {
+    pub fn pop_loop(&mut self) {
+        advance(3);
+    }
+}
+
+fn advance(n: u32) {
+    if n == 0 {
+        // dd-lint: allow(hot-path-panic): horizon overrun is a programming error, deliberately fatal
+        panic!("advanced past the horizon");
+    }
+    drain(n);
+}
+
+fn drain(n: u32) {
+    // dd-lint: allow(hot-path-panic): n >= 1 is guaranteed by the caller's zero check
+    let _ = n.checked_sub(1).unwrap();
+}

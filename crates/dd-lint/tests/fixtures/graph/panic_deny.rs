@@ -1,0 +1,21 @@
+//! Graph fixture: a `panic!` and an `.unwrap()` transitively reachable
+//! from the DES pop loop entry point.
+
+pub struct Des;
+
+impl Des {
+    pub fn pop_loop(&mut self) {
+        advance(3);
+    }
+}
+
+fn advance(n: u32) {
+    if n == 0 {
+        panic!("advanced past the horizon");
+    }
+    drain(n);
+}
+
+fn drain(n: u32) {
+    let _ = n.checked_sub(1).unwrap();
+}

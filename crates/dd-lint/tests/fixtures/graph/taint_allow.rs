@@ -1,0 +1,16 @@
+//! Graph fixture: the same reachable sink as `taint_deny.rs`, but with
+//! a documented justification — dd-lint must stay silent.
+
+pub struct Executor;
+
+impl Executor {
+    pub fn run(&self) -> u64 {
+        stamp_phase()
+    }
+}
+
+fn stamp_phase() -> u64 {
+    // dd-lint: allow(determinism-taint): this fixture measures real latency by design; nothing feeds back into simulated state
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos() as u64
+}

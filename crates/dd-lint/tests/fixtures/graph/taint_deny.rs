@@ -1,0 +1,15 @@
+//! Graph fixture: `Executor::run` reaches a wall-clock sink one call
+//! down; dd-lint must deny it and print the full chain.
+
+pub struct Executor;
+
+impl Executor {
+    pub fn run(&self) -> u64 {
+        stamp_phase()
+    }
+}
+
+fn stamp_phase() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos() as u64
+}

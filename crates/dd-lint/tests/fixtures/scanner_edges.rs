@@ -1,0 +1,16 @@
+//! Scanner regression fixture: lifetimes, byte-char literals, escaped
+//! chars, and raw strings must not confuse literal blanking — the only
+//! real finding is the genuine wall-clock call in `real`.
+
+pub fn edges<'a>(s: &'a str) -> &'a str {
+    let _quote = b'"';
+    let _tick: char = '\'';
+    let _raw = r#"Instant::now() inside a raw string"#;
+    let _plain = "SystemTime inside a plain string";
+    let _ = s.split('"').count();
+    s
+}
+
+pub fn real<'buf>(_b: &'buf [u8]) -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

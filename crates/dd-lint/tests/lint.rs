@@ -11,7 +11,7 @@ const FIXTURE_CONFIG: &str = r#"
 [rule.hash-container]
 crates = ["*"]
 [rule.wall-clock]
-files = ["wall_clock_positive.rs", "wall_clock_suppressed.rs", "bad_suppression.rs", "test_mod_exempt.rs"]
+files = ["wall_clock_positive.rs", "wall_clock_suppressed.rs", "bad_suppression.rs", "test_mod_exempt.rs", "scanner_edges.rs"]
 [rule.rng-seed]
 crates = ["*"]
 [rule.float-ord]
@@ -180,6 +180,19 @@ fn malformed_suppressions_are_findings() {
     assert_eq!(
         spans(&findings),
         owned(&[(3, "suppression"), (4, "wall-clock"), (5, "suppression")]),
+        "{findings:#?}"
+    );
+}
+
+#[test]
+fn scanner_edge_cases_blank_literals_but_not_code() {
+    // Lifetimes, `b'"'`, escaped char quotes, and raw strings must not
+    // desynchronize the scanner: the tokens inside literals stay
+    // invisible and the one genuine wall-clock call is still found.
+    let findings = lint_fixture("scanner_edges.rs");
+    assert_eq!(
+        spans(&findings),
+        owned(&[(15, "wall-clock")]),
         "{findings:#?}"
     );
 }

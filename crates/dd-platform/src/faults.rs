@@ -521,12 +521,6 @@ impl FaultPlan {
         self.config.is_clean()
     }
 
-    /// The per-run mixed seed (what the straggler draw receives — the
-    /// threaded seed of the bugfix).
-    pub fn run_seed(&self) -> u64 {
-        self.seed
-    }
-
     /// The recovery policy in force.
     pub fn policy(&self) -> RecoveryPolicy {
         self.policy

@@ -122,9 +122,11 @@ pub(crate) fn resolve_slot(pool: &[PooledInstance], id: InstanceId) -> usize {
         .map_or(usize::MAX, |first| id.0.wrapping_sub(first.id.0) as usize);
     match pool.get(slot) {
         Some(inst) if inst.id == id => slot,
-        // dd-lint: allow(hot-path-panic): a placement naming an id absent
-        // from the pool is a scheduler-contract violation, not a
-        // recoverable simulation state.
+        // A placement naming an id absent from the pool is a
+        // scheduler-contract violation, not a recoverable simulation
+        // state. (The directive must sit directly above the panic line:
+        // a standalone allow covers exactly the next line.)
+        // dd-lint: allow(hot-path-panic): scheduler-contract violation, deliberately fatal
         _ => panic!("placement on unknown instance {id}"),
     }
 }

@@ -442,6 +442,15 @@ mod tests {
     }
 
     #[test]
+    fn coefficient_accessors_match_fitted_orders() {
+        let series: Vec<f64> = (0..80).map(|t| (t as f64 * 0.2).cos() + 3.0).collect();
+        let model = Arima::fit(&series, ArimaConfig { p: 2, d: 0, q: 1 }).unwrap();
+        assert_eq!(model.ar_coefficients().len(), 2);
+        assert_eq!(model.ma_coefficients().len(), 1);
+        assert!(model.ma_coefficients()[0].is_finite());
+    }
+
+    #[test]
     fn iid_noise_forecast_near_mean() {
         // For i.i.d. noise the best ARIMA can do is ~the mean; verify the
         // forecast does not explode (the failure mode the paper exposes is

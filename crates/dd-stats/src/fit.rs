@@ -561,6 +561,26 @@ mod tests {
     }
 
     #[test]
+    fn grid_fit_matches_reference_oracle_bitwise() {
+        // The branch-and-bound grid fit must agree bit for bit with the
+        // dense-scan oracle it replaced, on both a generated histogram and
+        // a tiny hand-built one.
+        let truth = Weibull::new(8.0, 2.5).unwrap();
+        for (hist, steps) in [
+            (sample_hist(&truth, 2000, 11), 25),
+            (Histogram::from_samples([1, 2, 2, 3, 5, 8]), 12),
+        ] {
+            let fast = fit_weibull_grid(&hist, (1.0, 20.0), (0.5, 10.0), steps).unwrap();
+            let oracle =
+                fit_weibull_grid_reference(&hist, (1.0, 20.0), (0.5, 10.0), steps).unwrap();
+            assert_eq!(fast.dist.alpha().to_bits(), oracle.dist.alpha().to_bits());
+            assert_eq!(fast.dist.beta().to_bits(), oracle.dist.beta().to_bits());
+            assert_eq!(fast.chi2.to_bits(), oracle.chi2.to_bits());
+            assert_eq!(fast.fit_fraction.to_bits(), oracle.fit_fraction.to_bits());
+        }
+    }
+
+    #[test]
     fn grid_fit_empty_none() {
         assert!(fit_weibull_grid(&Histogram::new(), (1.0, 10.0), (1.0, 5.0), 10).is_none());
     }
