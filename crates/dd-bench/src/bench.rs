@@ -59,6 +59,10 @@ pub struct BenchResult {
     pub peak_rss_kb: u64,
     /// Baseline to compare against, if one is on record.
     pub baseline: Option<Baseline>,
+    /// Workload-specific extra fields appended to the JSON object:
+    /// `(key, pre-rendered JSON value)`. Empty for the classic workloads,
+    /// so their artifacts keep the original fixed key set.
+    pub extras: Vec<(String, String)>,
 }
 
 impl BenchResult {
@@ -91,12 +95,17 @@ impl BenchResult {
             ),
             None => ("null".into(), "null".into(), "null".into()),
         };
+        let extras: String = self
+            .extras
+            .iter()
+            .map(|(k, v)| format!(",\n  \"{k}\": {v}"))
+            .collect();
         format!(
             "{{\n  \"schema\": \"{}\",\n  \"name\": \"{}\",\n  \"wall_secs\": {},\n  \
              \"component_starts\": {},\n  \"des_events\": {},\n  \
              \"component_starts_per_sec\": {},\n  \"des_events_per_sec\": {},\n  \
              \"peak_rss_kb\": {},\n  \"baseline_wall_secs\": {},\n  \
-             \"baseline_max_rss_kb\": {},\n  \"speedup_vs_baseline\": {}\n}}\n",
+             \"baseline_max_rss_kb\": {},\n  \"speedup_vs_baseline\": {}{extras}\n}}\n",
             SCHEMA,
             self.name,
             json_f64(self.wall_secs),
@@ -165,6 +174,7 @@ fn measure(name: &str, baseline: Option<Baseline>, work: impl FnOnce()) -> Bench
         des_events: delta.des_events,
         peak_rss_kb: peak_rss_kb(),
         baseline,
+        extras: Vec::new(),
     }
 }
 
@@ -212,6 +222,52 @@ pub fn bench_workflow_des(ctx: &ExperimentContext, workflow: Workflow, runs: usi
         }
         assert!(total > 0.0, "DES replay produced zero service time");
     })
+}
+
+/// Benchmarks the multi-tenant serving stack end to end: a 4-tenant
+/// bursty stream through the front door on the DES inner executor. The
+/// artifact's extras record the simulated stream shape — arrivals served,
+/// wall-clock arrivals/sec (harness throughput), and virtual-time
+/// runs/sec (the platform's serving throughput).
+pub fn bench_traffic(ctx: &ExperimentContext) -> BenchResult {
+    let params = crate::traffic_sim::TrafficParams {
+        seed: ctx.seed,
+        tenants: 4,
+        model: dd_platform::traffic::ArrivalModel::Bursty,
+        rate_per_sec: 0.05,
+        requests_per_tenant: ctx.runs_per_workflow.clamp(2, 12),
+        capacity: 4,
+        scale_down: ctx.scale_down.max(1),
+        vendor: ctx.vendor,
+        jobs: ctx.jobs,
+        ..crate::traffic_sim::TrafficParams::default()
+    };
+    let mut arrivals = 0usize;
+    let mut sim_throughput = 0.0f64;
+    let mut result = measure("traffic", None, || {
+        let out = crate::traffic_sim::simulate_stream(&params);
+        arrivals = out.arrivals.len();
+        sim_throughput = out.report.throughput_per_sec;
+        assert!(
+            out.report
+                .tenants
+                .iter()
+                .map(|t| t.completed)
+                .sum::<usize>()
+                == arrivals,
+            "traffic bench dropped runs"
+        );
+    });
+    let wall_rate = per_sec(arrivals as u64, result.wall_secs);
+    result.extras = vec![
+        ("arrivals".to_string(), arrivals.to_string()),
+        ("arrivals_per_sec".to_string(), json_f64(wall_rate)),
+        (
+            "sim_throughput_per_sec".to_string(),
+            json_f64(sim_throughput),
+        ),
+    ];
+    result
 }
 
 /// Lower-cased artifact slug for a workflow name ("Cosmoscout-VR" →
@@ -368,6 +424,29 @@ mod tests {
         ] {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
         }
+    }
+
+    #[test]
+    fn traffic_bench_records_stream_extras() {
+        let ctx = ExperimentContext {
+            runs_per_workflow: 2,
+            scale_down: 25,
+            jobs: 1,
+            ..ExperimentContext::default()
+        };
+        let r = bench_traffic(&ctx);
+        assert_eq!(r.name, "traffic");
+        assert!(r.component_starts > 0, "no component starts recorded");
+        let json = r.to_json();
+        // 4 tenants x 2 requests.
+        assert!(json.contains("\"arrivals\": 8"), "{json}");
+        assert!(json.contains("\"arrivals_per_sec\":"), "{json}");
+        assert!(json.contains("\"sim_throughput_per_sec\":"), "{json}");
+        // Extras append without breaking the JSON shape.
+        assert!(json.ends_with("}\n"));
+        assert!(!json.contains(",\n}"));
+        // Classic workloads keep the original fixed key set.
+        assert!(bench_stress(500).extras.is_empty());
     }
 
     #[test]

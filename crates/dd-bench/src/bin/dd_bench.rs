@@ -13,13 +13,22 @@
 //! - `exafel` / `cosmoscout_vr` / `ccl` — DES replay of one science
 //!   workflow's DAGs under the DayDream scheduler
 //! - `stress`      — synthetic event-queue churn (`--events`, default 1M)
+//! - `traffic`     — 4-tenant bursty stream through the multi-tenant
+//!   front door on the DES executor (extras record arrivals/sec)
 
 use dd_bench::bench::{self, BenchResult};
 use dd_bench::ExperimentContext;
 use dd_wfdag::Workflow;
 use std::path::PathBuf;
 
-const DEFAULT_WORKLOADS: [&str; 5] = ["report", "exafel", "cosmoscout_vr", "ccl", "stress"];
+const DEFAULT_WORKLOADS: [&str; 6] = [
+    "report",
+    "exafel",
+    "cosmoscout_vr",
+    "ccl",
+    "stress",
+    "traffic",
+];
 
 fn usage() -> ! {
     eprintln!(
@@ -108,6 +117,7 @@ fn main() {
             "cosmoscout_vr" => bench_workflow(&ctx, Workflow::CosmoscoutVr),
             "ccl" => bench_workflow(&ctx, Workflow::Ccl),
             "stress" => bench::bench_stress(events),
+            "traffic" => bench::bench_traffic(&ctx),
             other => {
                 eprintln!("unknown workload '{other}' (see --help)");
                 std::process::exit(2);

@@ -9,6 +9,39 @@ use crate::workloads::{EvaluationMatrix, SchedulerKind};
 use std::io::Write;
 use std::path::Path;
 
+/// RFC-4180-escapes one CSV field: fields containing a comma, quote, or
+/// line break are wrapped in double quotes with embedded quotes doubled;
+/// anything else passes through verbatim.
+pub fn csv_field(raw: &str) -> String {
+    if raw.contains(['"', ',', '\n', '\r']) {
+        let mut out = String::with_capacity(raw.len() + 2);
+        out.push('"');
+        for ch in raw.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+        out
+    } else {
+        raw.to_string()
+    }
+}
+
+/// Formats `num / den` as a 4-decimal ratio cell, or an *empty* cell when
+/// the ratio is undefined (zero or non-finite denominator — a zero-cost
+/// oracle run used to print `inf` here). Downstream plotting tools read
+/// the empty cell as missing data instead of a fake infinity.
+pub fn ratio_cell(num: f64, den: f64) -> String {
+    let ratio = num / den;
+    if ratio.is_finite() {
+        format!("{ratio:.4}")
+    } else {
+        String::new()
+    }
+}
+
 /// Writes the matrix's CSV files into `dir` (created if missing).
 /// Returns the file names written.
 pub fn write_matrix_csv(matrix: &EvaluationMatrix, dir: &Path) -> std::io::Result<Vec<String>> {
@@ -27,20 +60,20 @@ pub fn write_matrix_csv(matrix: &EvaluationMatrix, dir: &Path) -> std::io::Resul
             let oracle = eval.of(SchedulerKind::Oracle);
             for (kind, outcomes) in &eval.outcomes {
                 for (run, o) in outcomes.iter().enumerate() {
-                    let (tn, cn) = oracle
-                        .get(run)
-                        .map(|or| {
+                    let (tn, cn) = oracle.get(run).map_or_else(
+                        || (String::new(), String::new()),
+                        |or| {
                             (
-                                o.service_time_secs / or.service_time_secs,
-                                o.service_cost() / or.service_cost(),
+                                ratio_cell(o.service_time_secs, or.service_time_secs),
+                                ratio_cell(o.service_cost(), or.service_cost()),
                             )
-                        })
-                        .unwrap_or((f64::NAN, f64::NAN));
+                        },
+                    );
                     writeln!(
                         w,
-                        "{},{run},{},{:.3},{:.6},{tn:.4},{cn:.4}",
-                        eval.workflow.name(),
-                        kind.name(),
+                        "{},{run},{},{:.3},{:.6},{tn},{cn}",
+                        csv_field(eval.workflow.name()),
+                        csv_field(kind.name()),
                         o.service_time_secs,
                         o.service_cost(),
                     )?;
@@ -66,8 +99,8 @@ pub fn write_matrix_csv(matrix: &EvaluationMatrix, dir: &Path) -> std::io::Resul
                     writeln!(
                         w,
                         "{},{run},{},{:.3},{:.4},{:.6},{warm},{hot},{cold}",
-                        eval.workflow.name(),
-                        kind.name(),
+                        csv_field(eval.workflow.name()),
+                        csv_field(kind.name()),
                         o.mean_prediction_error(),
                         o.mean_preload_success(),
                         o.ledger.keep_alive_wasted,
@@ -90,8 +123,8 @@ pub fn write_matrix_csv(matrix: &EvaluationMatrix, dir: &Path) -> std::io::Resul
                     writeln!(
                         w,
                         "{},{run},{},{:.4},{:.4},{:.4}",
-                        eval.workflow.name(),
-                        kind.name(),
+                        csv_field(eval.workflow.name()),
+                        csv_field(kind.name()),
                         o.utilization.cpu(),
                         o.utilization.memory(),
                         o.utilization.io(),
@@ -120,8 +153,8 @@ pub fn write_matrix_csv(matrix: &EvaluationMatrix, dir: &Path) -> std::io::Resul
                         writeln!(
                             w,
                             "{},{},{run},{},{},{:.3},{:.6},{}",
-                            eval.workflow.name(),
-                            kind.name(),
+                            csv_field(eval.workflow.name()),
+                            csv_field(kind.name()),
                             p.index,
                             p.concurrency,
                             p.exec_secs,
@@ -177,6 +210,79 @@ mod tests {
             .lines()
             .filter(|l| l.contains("Oracle"))
             .all(|l| l.ends_with(",1.0000,1.0000")));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn field_escaping_is_rfc_4180() {
+        assert_eq!(csv_field("Oracle"), "Oracle");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("line\nbreak"), "\"line\nbreak\"");
+        assert_eq!(csv_field(""), "");
+    }
+
+    #[test]
+    fn ratio_cell_guards_undefined_ratios() {
+        assert_eq!(ratio_cell(2.0, 4.0), "0.5000");
+        assert_eq!(ratio_cell(1.0, 1.0), "1.0000");
+        // Zero-cost oracle: the old code printed `inf` here.
+        assert_eq!(ratio_cell(3.0, 0.0), "");
+        assert_eq!(ratio_cell(0.0, 0.0), "");
+        assert_eq!(ratio_cell(1.0, f64::NAN), "");
+        assert_eq!(ratio_cell(f64::INFINITY, 2.0), "");
+    }
+
+    /// Golden byte-compare on a hand-built matrix with a zero-cost,
+    /// zero-time oracle run: the undefined ratio columns must come out
+    /// as empty cells (no `inf`/`NaN`), and every name passes through
+    /// the escaper.
+    #[test]
+    fn golden_csv_with_degenerate_oracle() {
+        use dd_platform::telemetry::{CostLedger, RunOutcome, Utilization};
+        use dd_platform::FaultStats;
+
+        let outcome = |scheduler: &str, secs: f64, exec_usd: f64| RunOutcome {
+            scheduler: scheduler.to_string(),
+            service_time_secs: secs,
+            ledger: CostLedger {
+                execution: exec_usd,
+                ..CostLedger::default()
+            },
+            phases: Vec::new(),
+            utilization: Utilization::default(),
+            faults: FaultStats::default(),
+        };
+        let matrix = EvaluationMatrix {
+            workflows: vec![crate::workloads::WorkflowEval {
+                workflow: dd_wfdag::Workflow::Ccl,
+                labels: Vec::new(),
+                outcomes: vec![
+                    // Run 0's oracle is degenerate (free and instant);
+                    // run 1's is normal.
+                    (
+                        SchedulerKind::Oracle,
+                        vec![outcome("Oracle", 0.0, 0.0), outcome("Oracle", 2.0, 4.0)],
+                    ),
+                    (
+                        SchedulerKind::DayDream,
+                        vec![outcome("DayDream", 1.0, 3.0), outcome("DayDream", 3.0, 6.0)],
+                    ),
+                ],
+            }],
+        };
+        let dir = std::env::temp_dir().join(format!("dd-csv-golden-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_matrix_csv(&matrix, &dir).unwrap();
+        let service = std::fs::read_to_string(dir.join("service.csv")).unwrap();
+        let golden = "\
+workflow,run,scheduler,service_time_secs,service_cost_usd,time_vs_oracle,cost_vs_oracle
+CCL,0,Oracle,0.000,0.000000,,
+CCL,1,Oracle,2.000,4.000000,1.0000,1.0000
+CCL,0,DayDream,1.000,3.000000,,
+CCL,1,DayDream,3.000,6.000000,1.5000,1.5000
+";
+        assert_eq!(service, golden, "service.csv drifted from golden bytes");
         let _ = std::fs::remove_dir_all(dir);
     }
 }

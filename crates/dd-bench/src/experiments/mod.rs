@@ -38,3 +38,4 @@ pub mod robustness;
 pub mod scaling;
 pub mod sensitivity;
 pub mod startup;
+pub mod traffic;

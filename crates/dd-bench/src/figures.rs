@@ -89,6 +89,10 @@ pub fn render(
         "scaling" => exp::scaling::run(ctx),
         "robustness" => exp::robustness::run(ctx),
         "obs" => exp::obs::run(ctx),
+        // Standalone (not in FIGURES: the full-report byte stream is
+        // pinned by the perf-equivalence hashes, so the multi-tenant
+        // frontier renders on request only: `report traffic`).
+        "traffic" => exp::traffic::run(ctx),
         _ => return None,
     };
     Some(out)

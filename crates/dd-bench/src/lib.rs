@@ -20,8 +20,10 @@ pub mod experiments;
 pub mod figures;
 pub mod report;
 pub mod sweep;
+pub mod traffic_sim;
 pub mod workloads;
 
 pub use csv::write_matrix_csv;
 pub use sweep::{default_jobs, par_map, par_map_with};
+pub use traffic_sim::{simulate_stream, InnerExecutor, TrafficOutcome, TrafficParams};
 pub use workloads::{EvaluationMatrix, ExperimentContext, SchedulerKind, WorkflowEval};

@@ -1,6 +1,8 @@
 //! Argument parsing for `daydream-cli` (hand-rolled; the workspace's
 //! dependency policy has no CLI crate).
 
+use dd_bench::InnerExecutor;
+use dd_platform::traffic::ArrivalModel;
 use dd_platform::RecoveryPolicy;
 use dd_wfdag::Workflow;
 use std::path::PathBuf;
@@ -127,6 +129,41 @@ pub struct RunArgs {
     pub obs_out: Option<PathBuf>,
 }
 
+/// Parameters of `serve` (the multi-tenant front door).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Concurrent tenant streams (`--tenants`).
+    pub tenants: usize,
+    /// Interarrival model (`--arrival`).
+    pub model: ArrivalModel,
+    /// Mean per-tenant arrival rate, runs per virtual second (`--rate`).
+    pub rate: f64,
+    /// Runs each tenant submits (`--requests`).
+    pub requests: usize,
+    /// Shared capacity: runs in flight at once across all tenants.
+    pub capacity: usize,
+    /// Per-run executor backing the stream (`--executor analytic|des`).
+    pub executor: InnerExecutor,
+    /// Root seed (arrivals, run generation, schedulers).
+    pub seed: u64,
+    /// Phase-count divisor (1 = paper scale).
+    pub scale: usize,
+    /// Worker threads for the per-run fan-out; output is byte-identical
+    /// at any setting.
+    pub jobs: usize,
+    /// Output directory for `serve_report.txt` + `admissions.csv`
+    /// (omitted = stdout only).
+    pub out: Option<PathBuf>,
+    /// Uniform fault-injection rate for every run (0 = clean).
+    pub fault_rate: f64,
+    /// Fault-injection seed (salted per tenant).
+    pub fault_seed: u64,
+    /// Observability export of the front-door stream (None = off).
+    pub obs: Option<ObsFormat>,
+    /// Directory for the observability export (defaults to `--out`).
+    pub obs_out: Option<PathBuf>,
+}
+
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -134,6 +171,8 @@ pub enum Command {
     Run(RunArgs),
     /// Re-execute and compare against existing output files.
     Verify(RunArgs),
+    /// Serve a multi-tenant arrival stream through the front door.
+    Serve(ServeArgs),
     /// Print workload facts.
     Info,
     /// Print usage.
@@ -157,6 +196,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     match verb.as_str() {
         "help" | "--help" | "-h" => return Ok(Command::Help),
         "info" => return Ok(Command::Info),
+        "serve" => return parse_serve(&args[1..]),
         "run" | "verify" => {}
         other => return Err(format!("unknown command '{other}'")),
     }
@@ -258,6 +298,109 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     } else {
         Command::Verify(run_args)
     })
+}
+
+/// Parses `serve` flags (`args` excludes the verb).
+fn parse_serve(args: &[String]) -> Result<Command, String> {
+    let mut serve = ServeArgs {
+        tenants: 4,
+        model: ArrivalModel::Poisson,
+        rate: 0.05,
+        requests: 8,
+        capacity: 4,
+        executor: InnerExecutor::Des,
+        seed: 0xDA1D,
+        scale: 1,
+        jobs: dd_bench::default_jobs(),
+        out: None,
+        fault_rate: 0.0,
+        fault_seed: 7,
+        obs: None,
+        obs_out: None,
+    };
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let value = || -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match flag {
+            "--tenants" => {
+                serve.tenants = value()?
+                    .parse()
+                    .map_err(|_| "--tenants takes a number".to_string())?;
+                if serve.tenants == 0 {
+                    return Err("--tenants must be at least 1".to_string());
+                }
+            }
+            "--arrival" => serve.model = ArrivalModel::parse(value()?)?,
+            "--rate" => {
+                serve.rate = value()?
+                    .parse()
+                    .map_err(|_| "--rate takes a number".to_string())?;
+                if !(serve.rate > 0.0 && serve.rate.is_finite()) {
+                    return Err("--rate must be a positive rate".to_string());
+                }
+            }
+            "--requests" => {
+                serve.requests = value()?
+                    .parse()
+                    .map_err(|_| "--requests takes a number".to_string())?
+            }
+            "--capacity" => {
+                serve.capacity = value()?
+                    .parse::<usize>()
+                    .map_err(|_| "--capacity takes a number".to_string())?
+                    .max(1)
+            }
+            "--executor" => serve.executor = InnerExecutor::parse(value()?)?,
+            "--seed" => {
+                serve.seed = value()?
+                    .parse()
+                    .map_err(|_| "--seed takes a number".to_string())?
+            }
+            "--scale" => {
+                serve.scale = value()?
+                    .parse::<usize>()
+                    .map_err(|_| "--scale takes a number".to_string())?
+                    .max(1)
+            }
+            "--jobs" => {
+                serve.jobs = value()?
+                    .parse::<usize>()
+                    .map_err(|_| "--jobs takes a number".to_string())?
+                    .max(1)
+            }
+            "--out" => serve.out = Some(PathBuf::from(value()?)),
+            "--fault-rate" => {
+                serve.fault_rate = value()?
+                    .parse()
+                    .map_err(|_| "--fault-rate takes a probability".to_string())?;
+                if !(0.0..=1.0).contains(&serve.fault_rate) {
+                    return Err("--fault-rate must be within [0, 1]".to_string());
+                }
+            }
+            "--fault-seed" => {
+                serve.fault_seed = value()?
+                    .parse()
+                    .map_err(|_| "--fault-seed takes a number".to_string())?
+            }
+            "--obs" => serve.obs = Some(ObsFormat::parse(value()?)?),
+            "--obs-out" => serve.obs_out = Some(PathBuf::from(value()?)),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 2;
+    }
+
+    if serve.obs_out.is_some() && serve.obs.is_none() {
+        return Err("--obs-out requires --obs".to_string());
+    }
+    if serve.obs.is_some() && serve.obs_out.is_none() && serve.out.is_none() {
+        return Err("--obs requires --out or --obs-out".to_string());
+    }
+    Ok(Command::Serve(serve))
 }
 
 #[cfg(test)]
@@ -500,6 +643,79 @@ mod tests {
         assert!(parse_args(&strs(&["run", "--workflow", "ccl"])).is_err());
         assert!(parse_args(&strs(&["run", "--workflow"])).is_err());
         assert!(parse_args(&strs(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        // Defaults: a 4-tenant Poisson stream on the DES executor.
+        match parse_args(&strs(&["serve"])).unwrap() {
+            Command::Serve(a) => {
+                assert_eq!(a.tenants, 4);
+                assert_eq!(a.model, ArrivalModel::Poisson);
+                assert!((a.rate - 0.05).abs() < 1e-12);
+                assert_eq!(a.requests, 8);
+                assert_eq!(a.capacity, 4);
+                assert_eq!(a.executor, InnerExecutor::Des);
+                assert_eq!(a.scale, 1);
+                assert_eq!(a.out, None);
+                assert_eq!(a.obs, None);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let cmd = parse_args(&strs(&[
+            "serve",
+            "--tenants",
+            "6",
+            "--arrival",
+            "bursty",
+            "--rate",
+            "0.2",
+            "--requests",
+            "3",
+            "--capacity",
+            "2",
+            "--executor",
+            "analytic",
+            "--scale",
+            "25",
+            "--jobs",
+            "2",
+            "--out",
+            "served",
+            "--obs",
+            "jsonl",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Serve(a) => {
+                assert_eq!(a.tenants, 6);
+                assert_eq!(a.model, ArrivalModel::Bursty);
+                assert!((a.rate - 0.2).abs() < 1e-12);
+                assert_eq!(a.requests, 3);
+                assert_eq!(a.capacity, 2);
+                assert_eq!(a.executor, InnerExecutor::Analytic);
+                assert_eq!(a.scale, 25);
+                assert_eq!(a.jobs, 2);
+                assert_eq!(a.out, Some(PathBuf::from("served")));
+                assert_eq!(a.obs, Some(ObsFormat::Jsonl));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        assert!(parse_args(&strs(&["serve", "--tenants", "0"])).is_err());
+        assert!(parse_args(&strs(&["serve", "--rate", "-1"])).is_err());
+        assert!(parse_args(&strs(&["serve", "--rate", "inf"])).is_err());
+        assert!(parse_args(&strs(&["serve", "--arrival", "solar"])).is_err());
+        assert!(parse_args(&strs(&["serve", "--executor", "quantum"])).is_err());
+        assert!(parse_args(&strs(&["serve", "--fault-rate", "1.5"])).is_err());
+        assert!(parse_args(&strs(&["serve", "--frobnicate", "1"])).is_err());
+        // An obs export needs somewhere to land.
+        assert!(parse_args(&strs(&["serve", "--obs", "jsonl"])).is_err());
+        assert!(parse_args(&strs(&["serve", "--obs-out", "d"])).is_err());
+        assert!(parse_args(&strs(&["serve", "--obs", "jsonl", "--obs-out", "d"])).is_ok());
     }
 
     #[test]

@@ -8,9 +8,9 @@ pub mod args;
 pub mod output;
 pub mod runner;
 
-pub use args::{parse_args, Command, ObsFormat, RunArgs, SchedulerChoice};
+pub use args::{parse_args, Command, ObsFormat, RunArgs, SchedulerChoice, ServeArgs};
 pub use output::{read_series, write_obs, write_run_outputs, RunFiles};
-pub use runner::{execute_all, run_command, verify_against};
+pub use runner::{execute_all, run_command, run_serve, verify_against};
 
 /// CLI usage text.
 pub const USAGE: &str = "\
@@ -24,6 +24,10 @@ USAGE:
     daydream-cli verify --workflow <exafel|cosmoscout|ccl> [--runs N] [--scheduler S]
                         [--seed N] [--scale N] [--jobs N] --out <dir> [--tolerance PCT]
                         [--fault-rate P] [--fault-seed N] [--retry-policy R]
+    daydream-cli serve  [--tenants N] [--arrival <poisson|bursty|diurnal>] [--rate R]
+                        [--requests N] [--capacity N] [--executor <analytic|des>]
+                        [--seed N] [--scale N] [--jobs N] [--out <dir>]
+                        [--fault-rate P] [--fault-seed N] [--obs FMT] [--obs-out <dir>]
     daydream-cli info
     daydream-cli help
 
@@ -45,6 +49,16 @@ component attempt, recovered per --retry-policy; placement is fully
 determined by --fault-seed, so faulty runs reproduce exactly. The
 default P = 0 executes cleanly and matches fault-free output byte for
 byte.
+
+`serve` runs the multi-tenant front door: N tenant streams (round-robin
+over the three workflows, tenant t0 at fair-share weight 2) submit runs
+at mean rate R per virtual second under the chosen arrival model, admitted
+by deficit-round-robin onto a shared hot pool sized from the merged
+per-tenant concurrency histograms. The per-tenant report (admission
+delay, sojourn, SLA attainment, attributed cost) prints to stdout; with
+--out it also writes serve_report.txt and admissions.csv, and --obs adds
+the front-door event stream. Every byte is identical at any --jobs
+setting and across the analytic and DES executors.
 
 --obs enables the deterministic observability recorder and writes one
 export per run next to the artifact files (obs.jsonl, trace.json for

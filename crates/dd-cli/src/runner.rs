@@ -1,9 +1,10 @@
 //! Command execution: run the workload, write/verify artifact files.
 
-use crate::args::{Command, RunArgs, SchedulerChoice};
+use crate::args::{Command, RunArgs, SchedulerChoice, ServeArgs};
 use crate::output::{read_series, write_obs, write_run_outputs, RunFiles};
 use daydream_core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use dd_baselines::{HybridScheduler, NaiveScheduler, OracleScheduler, Pegasus, WildScheduler};
+use dd_bench::{simulate_stream, TrafficOutcome, TrafficParams};
 use dd_obs::MemoryRecorder;
 use dd_platform::{
     CloudVendor, ExecutionTrace, Executor, FaasConfig, FaasExecutor, FaultConfig, RunOutcome,
@@ -35,6 +36,16 @@ pub fn run_command(cmd: &Command) -> Result<(), String> {
         Command::Verify(args) => {
             let report = verify_against(args)?;
             println!("{report}");
+            Ok(())
+        }
+        Command::Serve(args) => {
+            eprintln!(
+                "[serve: {} executor, {} jobs]",
+                args.executor.name(),
+                args.jobs
+            );
+            let report = run_serve(args)?;
+            print!("{report}");
             Ok(())
         }
         Command::Info => {
@@ -279,6 +290,125 @@ pub fn verify_against(args: &RunArgs) -> Result<String, String> {
     Ok(report)
 }
 
+/// Serves one multi-tenant arrival stream through the front door and
+/// returns the rendered report. With `--out` set the report and an
+/// `admissions.csv` land in the directory; with `--obs` the front-door
+/// recorder is exported too. Every byte — stdout and files — is
+/// identical at any `--jobs` setting and across the analytic and DES
+/// executors.
+pub fn run_serve(args: &ServeArgs) -> Result<String, String> {
+    let params = TrafficParams {
+        seed: args.seed,
+        tenants: args.tenants,
+        model: args.model,
+        rate_per_sec: args.rate,
+        requests_per_tenant: args.requests,
+        capacity: args.capacity,
+        scale_down: args.scale,
+        jobs: args.jobs,
+        executor: args.executor,
+        fault_rate: args.fault_rate,
+        fault_seed: args.fault_seed,
+        ..TrafficParams::default()
+    };
+    let outcome = simulate_stream(&params);
+    let report = render_serve_report(&params, &outcome);
+
+    if let Some(out) = &args.out {
+        std::fs::create_dir_all(out)
+            .map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+        let report_path = out.join("serve_report.txt");
+        std::fs::write(&report_path, &report)
+            .map_err(|e| format!("writing {}: {e}", report_path.display()))?;
+        let csv_path = out.join("admissions.csv");
+        std::fs::write(&csv_path, admissions_csv(&outcome))
+            .map_err(|e| format!("writing {}: {e}", csv_path.display()))?;
+    }
+    if let Some(format) = args.obs {
+        // The parser guarantees an export directory exists.
+        let dir = args
+            .obs_out
+            .as_deref()
+            .or(args.out.as_deref())
+            .ok_or("--obs requires --out or --obs-out")?;
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        let rendered = match format {
+            crate::args::ObsFormat::Jsonl => dd_obs::export::to_jsonl(&outcome.recorder),
+            crate::args::ObsFormat::Chrome => dd_obs::export::to_chrome_trace(&outcome.recorder),
+            crate::args::ObsFormat::Summary => dd_obs::export::summary(&outcome.recorder),
+        };
+        let path = dir.join(format.file_name());
+        std::fs::write(&path, rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(report)
+}
+
+/// Renders a serve session: header, one line per tenant, session totals.
+/// All values print at fixed precision so the bytes are diffable.
+fn render_serve_report(params: &TrafficParams, outcome: &TrafficOutcome) -> String {
+    let r = &outcome.report;
+    // The executor is deliberately absent: serve bytes are pinned to be
+    // identical across analytic and DES, so naming one would be the only
+    // differing byte.
+    let mut out = format!(
+        "served {} runs from {} tenants ({} arrivals @ {:.4} req/s/tenant, \
+         capacity {}, shared pool {}, seed {})\n",
+        r.admissions.len(),
+        params.tenants,
+        params.model.name(),
+        params.rate_per_sec,
+        params.capacity,
+        outcome.provisioned_concurrency,
+        params.seed,
+    );
+    out.push_str(
+        "tenant  workflow       completed  mean_adm_s  max_adm_s  mean_sojourn_s  \
+         sla_attain  cost_usd  peak_conc\n",
+    );
+    for (i, t) in r.tenants.iter().enumerate() {
+        out.push_str(&format!(
+            "{:<7} {:<14} {:<10} {:<11.3} {:<10.3} {:<15.3} {:<11.4} {:<9.4} {}\n",
+            t.tenant.to_string(),
+            params.workflow_of(i).name(),
+            t.completed,
+            t.mean_admission_delay_secs,
+            t.max_admission_delay_secs,
+            t.mean_sojourn_secs,
+            t.sla_attainment,
+            t.ledger.total(),
+            t.peak_concurrency,
+        ));
+    }
+    out.push_str(&format!(
+        "makespan {:.3}s, throughput {:.6} runs/s, jain {:.6}\n",
+        r.makespan_secs, r.throughput_per_sec, r.jain_index,
+    ));
+    out
+}
+
+/// One row per admission, in admission order — the stream's determinism
+/// witness (CI byte-compares this file across `--jobs` and executors).
+fn admissions_csv(outcome: &TrafficOutcome) -> String {
+    let mut out = String::from(
+        "arrival_idx,tenant,arrived_at_secs,admitted_at_secs,completed_at_secs,\
+         admission_delay_secs,sojourn_secs\n",
+    );
+    for a in &outcome.report.admissions {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6}\n",
+            a.arrival_idx,
+            a.tenant,
+            a.arrived_at.as_secs(),
+            a.admitted_at.as_secs(),
+            a.completed_at.as_secs(),
+            a.admission_delay_secs(),
+            a.sojourn_secs(),
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,6 +542,59 @@ mod tests {
         let report = verify_against(&a).unwrap();
         assert!(report.contains("REPRODUCED"), "{report}");
         let _ = std::fs::remove_dir_all(out);
+    }
+
+    fn serve_args(out: PathBuf, jobs: usize, executor: dd_bench::InnerExecutor) -> ServeArgs {
+        ServeArgs {
+            tenants: 4,
+            model: dd_platform::traffic::ArrivalModel::Bursty,
+            rate: 0.1,
+            requests: 2,
+            capacity: 2,
+            executor,
+            seed: 0xDA1D,
+            scale: 25,
+            jobs,
+            out: Some(out),
+            fault_rate: 0.0,
+            fault_seed: 7,
+            obs: Some(crate::args::ObsFormat::Jsonl),
+            obs_out: None,
+        }
+    }
+
+    #[test]
+    fn serve_outputs_identical_across_jobs_and_executors() {
+        use dd_bench::InnerExecutor;
+        let base = tmpdir("serve-base");
+        let jobs8 = tmpdir("serve-jobs8");
+        let analytic = tmpdir("serve-analytic");
+        let r1 = run_serve(&serve_args(base.clone(), 1, InnerExecutor::Des)).unwrap();
+        let r2 = run_serve(&serve_args(jobs8.clone(), 8, InnerExecutor::Des)).unwrap();
+        let r3 = run_serve(&serve_args(analytic.clone(), 8, InnerExecutor::Analytic)).unwrap();
+        assert_eq!(r1, r2, "report differs across --jobs");
+        assert_eq!(r1, r3, "report differs across executors");
+        assert!(r1.contains("served 8 runs from 4 tenants"), "{r1}");
+        for name in ["serve_report.txt", "admissions.csv", "obs.jsonl"] {
+            let b1 = std::fs::read(base.join(name)).unwrap();
+            assert!(!b1.is_empty(), "empty {name}");
+            assert_eq!(
+                b1,
+                std::fs::read(jobs8.join(name)).unwrap(),
+                "{name} differs across --jobs"
+            );
+            assert_eq!(
+                b1,
+                std::fs::read(analytic.join(name)).unwrap(),
+                "{name} differs across executors"
+            );
+        }
+        // The admission witness has a header plus one row per run.
+        let csv = std::fs::read_to_string(base.join("admissions.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 9, "{csv}");
+        for dir in [base, jobs8, analytic] {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
 
     #[test]

@@ -285,12 +285,30 @@ impl RecoveryPolicy {
     }
 
     /// The backoff gap after failed attempt `k`: `base · 2^k`, capped.
+    ///
+    /// Clamped *before* the multiply: the gap doubles only while it is
+    /// still below the cap, so a high-retry policy (or a pathological
+    /// `base`/`cap` pair, e.g. `base = 1e300` with an infinite cap) can
+    /// never overflow to `inf` seconds and stall the virtual clock. The
+    /// result is always finite; doubling is exact in binary floating
+    /// point, so wherever the naive `base · 2^k` was finite this returns
+    /// bit-identical values.
     pub fn backoff_secs(&self, attempt: u32) -> f64 {
-        if self.backoff_base_secs <= 0.0 {
+        if !self.backoff_base_secs.is_finite() || self.backoff_base_secs <= 0.0 {
             return 0.0;
         }
-        let doubled = self.backoff_base_secs * f64::from(2u32.saturating_pow(attempt.min(30)));
-        doubled.min(self.backoff_cap_secs)
+        let cap = if self.backoff_cap_secs.is_finite() {
+            self.backoff_cap_secs
+        } else {
+            f64::MAX
+        };
+        let mut gap = self.backoff_base_secs;
+        let mut remaining = attempt;
+        while remaining > 0 && gap < cap {
+            gap *= 2.0;
+            remaining -= 1;
+        }
+        gap.min(cap)
     }
 }
 
@@ -862,6 +880,54 @@ mod tests {
         assert_eq!(p.backoff_secs(4), 8.0, "cap binds from attempt 4");
         assert_eq!(p.backoff_secs(60), 8.0, "huge attempt indices stay capped");
         assert_eq!(RecoveryPolicy::none().backoff_secs(3), 0.0);
+    }
+
+    #[test]
+    fn backoff_never_overflows_at_huge_attempt_counts() {
+        // k = 1024 would put the naive `base · 2^k` at 2^1024 ≈ inf even
+        // for base = 1: the gap must stay finite (and capped) so a
+        // NoneRecovery-style high-retry config can't stall the clock.
+        for p in [
+            RecoveryPolicy::none(),
+            RecoveryPolicy::backoff(),
+            RecoveryPolicy::timeout(),
+            RecoveryPolicy::speculative(),
+        ] {
+            let gap = p.backoff_secs(1024);
+            assert!(
+                gap.is_finite(),
+                "{}: gap {gap} not finite at k=1024",
+                p.name()
+            );
+            assert!(gap <= p.backoff_cap_secs.max(0.0));
+        }
+        // Pathological custom policies: huge base with an uncapped (inf)
+        // gap limit used to overflow to inf before the clamp.
+        let hostile = RecoveryPolicy {
+            max_retries: 2048,
+            backoff_base_secs: 1e300,
+            backoff_cap_secs: f64::INFINITY,
+            ..RecoveryPolicy::backoff()
+        };
+        let gap = hostile.backoff_secs(1024);
+        assert!(
+            gap.is_finite(),
+            "uncapped hostile gap {gap} must stay finite"
+        );
+        // NaN inputs degrade to no backoff rather than poisoning the clock.
+        let nan_base = RecoveryPolicy {
+            backoff_base_secs: f64::NAN,
+            ..RecoveryPolicy::backoff()
+        };
+        assert_eq!(nan_base.backoff_secs(1024), 0.0);
+        // And the clamp is bit-identical to the naive product wherever
+        // that product was finite: base · 2^20 below an enormous cap.
+        let wide = RecoveryPolicy {
+            backoff_base_secs: 0.375,
+            backoff_cap_secs: 1e9,
+            ..RecoveryPolicy::backoff()
+        };
+        assert_eq!(wide.backoff_secs(20), 0.375 * f64::from(1u32 << 20));
     }
 
     #[test]

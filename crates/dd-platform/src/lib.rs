@@ -60,6 +60,7 @@ pub mod storage;
 pub mod telemetry;
 pub mod tier;
 pub mod trace;
+pub mod traffic;
 
 pub use cluster::{ClusterKind, ClusterSim};
 pub use contention::ContentionModel;
@@ -82,6 +83,10 @@ pub use storage::BackendStore;
 pub use telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
 pub use tier::Tier;
 pub use trace::{AttemptTrace, ComponentTrace, ExecutionTrace, PoolTrace};
+pub use traffic::{
+    arrivals, jain_index, plan_shared_pool, AdmissionRecord, Arrival, ArrivalModel, FrontDoor,
+    ServeReport, ServiceSample, SharedPoolPlan, TenantId, TenantReport, TenantSpec, TrafficConfig,
+};
 
 /// Everything a caller needs to build and execute runs through the
 /// unified [`Executor`] API, importable in one line:
@@ -103,5 +108,8 @@ pub mod prelude {
     };
     pub use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
     pub use crate::trace::ExecutionTrace;
+    pub use crate::traffic::{
+        ArrivalModel, FrontDoor, ServeReport, ServiceSample, TenantId, TenantSpec, TrafficConfig,
+    };
     pub use dd_obs::{MemoryRecorder, MetricsRegistry, NoopRecorder, Recorder};
 }

@@ -117,11 +117,16 @@ pub struct PooledInstance {
 /// instance" panic semantics for schedulers that return an id the pool
 /// never held.
 pub(crate) fn resolve_slot(pool: &[PooledInstance], id: InstanceId) -> usize {
+    // `checked_sub` + `try_into` instead of `wrapping_sub as usize`: an
+    // id below the batch start (or an offset past usize::MAX on 32-bit)
+    // must fall through to the unknown-instance panic, never alias a
+    // valid-but-wrong slot through wraparound or truncation.
     let slot = pool
         .first()
-        .map_or(usize::MAX, |first| id.0.wrapping_sub(first.id.0) as usize);
-    match pool.get(slot) {
-        Some(inst) if inst.id == id => slot,
+        .and_then(|first| id.0.checked_sub(first.id.0))
+        .and_then(|offset| usize::try_from(offset).ok());
+    match slot {
+        Some(s) if pool.get(s).is_some_and(|inst| inst.id == id) => s,
         // A placement naming an id absent from the pool is a
         // scheduler-contract violation, not a recoverable simulation
         // state. (The directive must sit directly above the panic line:
@@ -184,6 +189,60 @@ mod tests {
         let r = PoolRequest::none();
         assert!(r.is_empty());
         assert_eq!(r.count(Tier::HighEnd), 0);
+    }
+
+    fn instance(id: u64) -> PooledInstance {
+        PooledInstance {
+            id: InstanceId(id),
+            tier: Tier::HighEnd,
+            preload: None,
+            requested_at: SimTime::ZERO,
+            ready_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn resolve_slot_sequential_batch() {
+        let pool: Vec<PooledInstance> = (7..12).map(instance).collect();
+        for (slot, id) in (7..12).enumerate() {
+            assert_eq!(resolve_slot(&pool, InstanceId(id)), slot);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown instance")]
+    fn resolve_slot_rejects_id_below_batch_start() {
+        // id < first.id used to wrap to a huge offset (or, truncated on
+        // 32-bit, alias a valid slot); it must hit the fatal panic.
+        let pool: Vec<PooledInstance> = (100..104).map(instance).collect();
+        resolve_slot(&pool, InstanceId(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown instance")]
+    fn resolve_slot_rejects_non_contiguous_id() {
+        // Non-contiguous ids (a tenant-interleaved spawn batch would
+        // produce these) break the one-sequential-batch assumption: the
+        // offset lands on a slot holding a different id, which must
+        // panic, not resolve.
+        let pool = vec![instance(10), instance(20)];
+        resolve_slot(&pool, InstanceId(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown instance")]
+    fn resolve_slot_rejects_wrapping_offset() {
+        // first.id near u64::MAX with a small id: wrapping_sub would
+        // produce a small bogus offset (1 - (MAX-1) wraps to 3) instead
+        // of the out-of-pool fact; checked_sub must refuse outright.
+        let pool = vec![instance(u64::MAX - 1), instance(u64::MAX)];
+        resolve_slot(&pool, InstanceId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown instance")]
+    fn resolve_slot_rejects_empty_pool() {
+        resolve_slot(&[], InstanceId(0));
     }
 
     #[test]
