@@ -89,7 +89,7 @@ fn arima_forecast_memo(
         key.push(v);
     }
     let full_key = (config.p, config.d, config.q, key.clone());
-    // dd-lint: allow(hash-container): memo table is point-lookup only; iteration order is never observed
+    // dd-lint: allow(hash-container, par-purity): memo table is point-lookup only and a hit returns exactly what recomputation would; neither iteration order nor thread interleaving is observable in results
     let memo = ARIMA_MEMO.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(&f) = memo
         .lock()

@@ -162,7 +162,7 @@ pub fn peak_rss_kb() -> u64 {
 /// produced.
 fn measure(name: &str, baseline: Option<Baseline>, work: impl FnOnce()) -> BenchResult {
     let before = counters::snapshot();
-    // dd-lint: allow(wall-clock, determinism-taint): the bench harness measures real wall time by design; nothing feeds back into simulation state
+    // dd-lint: allow(wall-clock, determinism-taint, par-purity): the bench harness measures real wall time by design; nothing feeds back into simulation state
     let start = Instant::now();
     work();
     let wall_secs = start.elapsed().as_secs_f64();

@@ -40,7 +40,7 @@ pub fn run(ctx: &ExperimentContext) -> String {
         SeedStream::new(ctx.seed),
     );
     let _ = daydream.initial_pool(&info);
-    // dd-lint: allow(wall-clock, determinism-taint): this experiment *measures* real decision latency of the Rust implementation; the wall clock is the subject, not an input to simulated results
+    // dd-lint: allow(wall-clock, determinism-taint, par-purity): this experiment *measures* real decision latency of the Rust implementation; the wall clock is the subject, not an input to simulated results
     let started = Instant::now();
     let mut decisions = 0u64;
     for phase in &run.phases {
@@ -50,7 +50,7 @@ pub fn run(ctx: &ExperimentContext) -> String {
     let dd_secs = started.elapsed().as_secs_f64() / decisions.max(1) as f64;
 
     let mut wild = WildScheduler::new();
-    // dd-lint: allow(wall-clock, determinism-taint): same self-measurement — Wild's measured decision wall time is the reported quantity
+    // dd-lint: allow(wall-clock, determinism-taint, par-purity): same self-measurement — Wild's measured decision wall time is the reported quantity
     let started = Instant::now();
     for phase in &run.phases {
         let _ = wild.place(phase, &[], SimTime::ZERO);

@@ -1,0 +1,803 @@
+//! Incremental analysis cache (`--cache`).
+//!
+//! Pass 1 (scan + per-file rules + symbol extraction) dominates cold
+//! runtime and depends only on one file's bytes and the configuration.
+//! With `--cache`, its per-file products — the findings and the
+//! [`FileMap`] — are persisted to `.dd-lint-cache.json` at the workspace
+//! root, keyed by an FNV-1a content hash. A warm run re-reads every file
+//! (hashing is cheap) but re-scans only the ones whose hash moved; the
+//! graph pass (pass 2 + effects) is always recomputed, since one changed
+//! file can re-route any edge. Reference-only files (tests/benches/
+//! examples) cache their identifier sets the same way.
+//!
+//! Staleness guards, each invalidating the whole cache: a cache-format
+//! `version` mismatch (bumped on any change to the serialized shape or
+//! to pass-1 semantics) and a `config` hash mismatch (per-file findings
+//! depend on rule scoping). A per-entry guard handles token drift: hit
+//! tokens are re-interned against the current token tables on load, and
+//! an unknown token turns that entry into a miss.
+//!
+//! The format is hand-rolled JSON over a mini value parser — same
+//! offline zero-dependency policy as the rest of the crate. Warm-run
+//! findings are byte-identical to cold-run findings by construction
+//! (the cache stores exactly what the cold path computes), and a test
+//! pins that equivalence.
+
+use crate::rules::{
+    Finding, ALLOC_TOKENS, IO_TOKENS, PANIC_TOKENS, SHAREDMUT_TOKENS, TAINT_SINK_TOKENS,
+};
+use crate::symbols::{Call, FileMap, FnDef, ItemDef, ItemKind, TokenHit};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Cache file name, resolved against the workspace root.
+pub const CACHE_FILE: &str = ".dd-lint-cache.json";
+
+/// Format version; any change to the serialized shape or to pass-1
+/// semantics must bump this.
+const CACHE_VERSION: &str = "dd-lint-cache/3";
+
+/// FNV-1a 64-bit — the repo's standard cheap content hash.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One lintable file's cached pass-1 products.
+pub(crate) struct FileEntry {
+    pub hash: u64,
+    pub findings: Vec<Finding>,
+    pub map: FileMap,
+}
+
+/// One reference-only file's cached identifier set.
+pub(crate) struct RefEntry {
+    pub hash: u64,
+    pub idents: BTreeSet<String>,
+}
+
+/// The whole cache: rel-path keyed entries plus the config hash they
+/// were computed under.
+#[derive(Default)]
+pub(crate) struct Cache {
+    pub config_hash: u64,
+    pub files: BTreeMap<String, FileEntry>,
+    pub references: BTreeMap<String, RefEntry>,
+}
+
+impl Cache {
+    /// Loads the cache from `path`. Any problem — missing file, parse
+    /// error, version or config mismatch, unknown token — degrades to an
+    /// empty cache (full cold run), never an error.
+    pub fn load(path: &Path, config_hash: u64) -> Cache {
+        let empty = Cache {
+            config_hash,
+            ..Cache::default()
+        };
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return empty;
+        };
+        let Some(value) = parse_json(&text) else {
+            return empty;
+        };
+        let Some(obj) = value.as_obj() else {
+            return empty;
+        };
+        if get_str(obj, "version") != Some(CACHE_VERSION) {
+            return empty;
+        }
+        if get_str(obj, "config").and_then(parse_hex) != Some(config_hash) {
+            return empty;
+        }
+        let mut cache = Cache {
+            config_hash,
+            ..Cache::default()
+        };
+        if let Some(files) = get(obj, "files").and_then(Json::as_obj) {
+            for (rel, entry) in files {
+                let Some(entry) = decode_file_entry(entry) else {
+                    continue; // Stale or malformed entry: a cache miss.
+                };
+                cache.files.insert(rel.clone(), entry);
+            }
+        }
+        if let Some(refs) = get(obj, "references").and_then(Json::as_obj) {
+            for (rel, entry) in refs {
+                let Some(entry) = decode_ref_entry(entry) else {
+                    continue;
+                };
+                cache.references.insert(rel.clone(), entry);
+            }
+        }
+        cache
+    }
+
+    /// Serializes and writes the cache to `path`.
+    pub fn store(&self, path: &Path) -> std::io::Result<()> {
+        let mut out = String::from("{\"version\":");
+        out.push_str(&crate::json_str(CACHE_VERSION));
+        out.push_str(&format!(",\"config\":\"{:016x}\"", self.config_hash));
+        out.push_str(",\"files\":{");
+        for (i, (rel, entry)) in self.files.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&crate::json_str(rel));
+            out.push(':');
+            encode_file_entry(entry, &mut out);
+        }
+        out.push_str("},\"references\":{");
+        for (i, (rel, entry)) in self.references.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&crate::json_str(rel));
+            out.push_str(&format!(":{{\"hash\":\"{:016x}\",\"idents\":[", entry.hash));
+            for (j, ident) in entry.idents.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&crate::json_str(ident));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}\n");
+        std::fs::write(path, out)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn encode_file_entry(entry: &FileEntry, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"hash\":\"{:016x}\",\"findings\":[",
+        entry.hash
+    ));
+    for (i, f) in entry.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":{},\"line\":{},\"column\":{},\"rule\":{},\"message\":{}}}",
+            crate::json_str(&f.file),
+            f.line,
+            f.column,
+            crate::json_str(&f.rule),
+            crate::json_str(&f.message),
+        ));
+    }
+    out.push_str("],\"map\":");
+    encode_file_map(&entry.map, out);
+    out.push('}');
+}
+
+fn encode_str_list(items: impl IntoIterator<Item = impl AsRef<str>>, out: &mut String) {
+    out.push('[');
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&crate::json_str(item.as_ref()));
+    }
+    out.push(']');
+}
+
+fn encode_hits(hits: &[TokenHit], out: &mut String) {
+    out.push('[');
+    for (i, h) in hits.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "[{},{},{}]",
+            crate::json_str(h.token),
+            h.line,
+            h.column
+        ));
+    }
+    out.push(']');
+}
+
+fn encode_opt_str(v: &Option<String>, out: &mut String) {
+    match v {
+        Some(s) => out.push_str(&crate::json_str(s)),
+        None => out.push_str("null"),
+    }
+}
+
+fn encode_file_map(fm: &FileMap, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"rel_path\":{},\"crate_name\":{},\"file_modules\":",
+        crate::json_str(&fm.rel_path),
+        crate::json_str(&fm.crate_name),
+    ));
+    encode_str_list(&fm.file_modules, out);
+    out.push_str(&format!(
+        ",\"is_facade\":{},\"is_bin\":{},\"top_refs\":",
+        fm.is_facade, fm.is_bin
+    ));
+    encode_str_list(&fm.top_refs, out);
+    out.push_str(",\"test_refs\":");
+    encode_str_list(&fm.test_refs, out);
+    out.push_str(",\"suppressions\":[");
+    for (i, (line, rules)) in fm.suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("[{line},"));
+        encode_str_list(rules, out);
+        out.push(']');
+    }
+    out.push_str("],\"fns\":[");
+    for (i, f) in fm.fns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"line\":{},\"end_line\":{},\"is_pub\":{},\"exempt\":{},\
+             \"in_test\":{},\"module\":",
+            crate::json_str(&f.name),
+            f.line,
+            f.end_line,
+            f.is_pub,
+            f.exempt,
+            f.in_test,
+        ));
+        encode_str_list(&f.module, out);
+        out.push_str(",\"impl_type\":");
+        encode_opt_str(&f.impl_type, out);
+        out.push_str(",\"trait_name\":");
+        encode_opt_str(&f.trait_name, out);
+        out.push_str(",\"calls\":[");
+        for (j, c) in f.calls.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{},", crate::json_str(&c.name)));
+            encode_str_list(&c.quals, out);
+            out.push_str(&format!(",{}]", c.foreign_method));
+        }
+        out.push_str("],\"refs\":");
+        encode_str_list(&f.refs, out);
+        for (key, hits) in [
+            ("panic_hits", &f.panic_hits),
+            ("alloc_hits", &f.alloc_hits),
+            ("sink_hits", &f.sink_hits),
+            ("sharedmut_hits", &f.sharedmut_hits),
+            ("io_hits", &f.io_hits),
+        ] {
+            out.push_str(&format!(",\"{key}\":"));
+            encode_hits(hits, out);
+        }
+        out.push('}');
+    }
+    out.push_str("],\"items\":[");
+    for (i, it) in fm.items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"kind\":{},\"line\":{},\"is_pub\":{},\"exempt\":{},\
+             \"in_test\":{}}}",
+            crate::json_str(&it.name),
+            crate::json_str(kind_name(it.kind)),
+            it.line,
+            it.is_pub,
+            it.exempt,
+            it.in_test,
+        ));
+    }
+    out.push_str("]}");
+}
+
+fn kind_name(kind: ItemKind) -> &'static str {
+    match kind {
+        ItemKind::Struct => "struct",
+        ItemKind::Enum => "enum",
+        ItemKind::Union => "union",
+        ItemKind::Trait => "trait",
+        ItemKind::Const => "const",
+        ItemKind::Static => "static",
+        ItemKind::Type => "type",
+        ItemKind::Mod => "mod",
+        ItemKind::Macro => "macro",
+    }
+}
+
+fn kind_of(name: &str) -> Option<ItemKind> {
+    Some(match name {
+        "struct" => ItemKind::Struct,
+        "enum" => ItemKind::Enum,
+        "union" => ItemKind::Union,
+        "trait" => ItemKind::Trait,
+        "const" => ItemKind::Const,
+        "static" => ItemKind::Static,
+        "type" => ItemKind::Type,
+        "mod" => ItemKind::Mod,
+        "macro" => ItemKind::Macro,
+        _ => return None,
+    })
+}
+
+/// Re-interns a cached token against the current token tables: the
+/// [`TokenHit`] type holds `&'static str` pointers into them. An unknown
+/// token means the tables changed since the cache was written.
+fn intern(token: &str) -> Option<&'static str> {
+    for table in [
+        PANIC_TOKENS,
+        ALLOC_TOKENS,
+        TAINT_SINK_TOKENS,
+        SHAREDMUT_TOKENS,
+        IO_TOKENS,
+    ] {
+        if let Some(t) = table.iter().find(|t| **t == token) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+fn decode_file_entry(value: &Json) -> Option<FileEntry> {
+    let obj = value.as_obj()?;
+    let hash = parse_hex(get_str(obj, "hash")?)?;
+    let mut findings = Vec::new();
+    for f in get(obj, "findings")?.as_arr()? {
+        let fo = f.as_obj()?;
+        findings.push(Finding {
+            file: get_str(fo, "file")?.to_string(),
+            line: get_usize(fo, "line")?,
+            column: get_usize(fo, "column")?,
+            rule: get_str(fo, "rule")?.to_string(),
+            message: get_str(fo, "message")?.to_string(),
+        });
+    }
+    let map = decode_file_map(get(obj, "map")?)?;
+    Some(FileEntry {
+        hash,
+        findings,
+        map,
+    })
+}
+
+fn decode_ref_entry(value: &Json) -> Option<RefEntry> {
+    let obj = value.as_obj()?;
+    let hash = parse_hex(get_str(obj, "hash")?)?;
+    let mut idents = BTreeSet::new();
+    for v in get(obj, "idents")?.as_arr()? {
+        idents.insert(v.as_str()?.to_string());
+    }
+    Some(RefEntry { hash, idents })
+}
+
+fn decode_str_list(value: &Json) -> Option<Vec<String>> {
+    value
+        .as_arr()?
+        .iter()
+        .map(|v| v.as_str().map(str::to_string))
+        .collect()
+}
+
+fn decode_hits(value: &Json) -> Option<Vec<TokenHit>> {
+    let mut out = Vec::new();
+    for v in value.as_arr()? {
+        let triple = v.as_arr()?;
+        if triple.len() != 3 {
+            return None;
+        }
+        out.push(TokenHit {
+            token: intern(triple[0].as_str()?)?,
+            line: triple[1].as_usize()?,
+            column: triple[2].as_usize()?,
+        });
+    }
+    Some(out)
+}
+
+fn decode_opt_str(value: &Json) -> Option<Option<String>> {
+    match value {
+        Json::Null => Some(None),
+        Json::Str(s) => Some(Some(s.clone())),
+        _ => None,
+    }
+}
+
+fn decode_file_map(value: &Json) -> Option<FileMap> {
+    let obj = value.as_obj()?;
+    let mut fm = FileMap {
+        rel_path: get_str(obj, "rel_path")?.to_string(),
+        crate_name: get_str(obj, "crate_name")?.to_string(),
+        file_modules: decode_str_list(get(obj, "file_modules")?)?,
+        is_facade: get(obj, "is_facade")?.as_bool()?,
+        is_bin: get(obj, "is_bin")?.as_bool()?,
+        ..FileMap::default()
+    };
+    fm.top_refs = decode_str_list(get(obj, "top_refs")?)?
+        .into_iter()
+        .collect();
+    fm.test_refs = decode_str_list(get(obj, "test_refs")?)?
+        .into_iter()
+        .collect();
+    for pair in get(obj, "suppressions")?.as_arr()? {
+        let pair = pair.as_arr()?;
+        if pair.len() != 2 {
+            return None;
+        }
+        fm.suppressions
+            .insert(pair[0].as_usize()?, decode_str_list(&pair[1])?);
+    }
+    for f in get(obj, "fns")?.as_arr()? {
+        let fo = f.as_obj()?;
+        let mut calls = Vec::new();
+        for c in get(fo, "calls")?.as_arr()? {
+            let triple = c.as_arr()?;
+            if triple.len() != 3 {
+                return None;
+            }
+            calls.push(Call {
+                name: triple[0].as_str()?.to_string(),
+                quals: decode_str_list(&triple[1])?,
+                foreign_method: triple[2].as_bool()?,
+            });
+        }
+        fm.fns.push(FnDef {
+            name: get_str(fo, "name")?.to_string(),
+            line: get_usize(fo, "line")?,
+            end_line: get_usize(fo, "end_line")?,
+            is_pub: get(fo, "is_pub")?.as_bool()?,
+            exempt: get(fo, "exempt")?.as_bool()?,
+            module: decode_str_list(get(fo, "module")?)?,
+            impl_type: decode_opt_str(get(fo, "impl_type")?)?,
+            trait_name: decode_opt_str(get(fo, "trait_name")?)?,
+            in_test: get(fo, "in_test")?.as_bool()?,
+            calls,
+            refs: decode_str_list(get(fo, "refs")?)?.into_iter().collect(),
+            panic_hits: decode_hits(get(fo, "panic_hits")?)?,
+            alloc_hits: decode_hits(get(fo, "alloc_hits")?)?,
+            sink_hits: decode_hits(get(fo, "sink_hits")?)?,
+            sharedmut_hits: decode_hits(get(fo, "sharedmut_hits")?)?,
+            io_hits: decode_hits(get(fo, "io_hits")?)?,
+        });
+    }
+    for it in get(obj, "items")?.as_arr()? {
+        let io = it.as_obj()?;
+        fm.items.push(ItemDef {
+            name: get_str(io, "name")?.to_string(),
+            kind: kind_of(get_str(io, "kind")?)?,
+            line: get_usize(io, "line")?,
+            is_pub: get(io, "is_pub")?.as_bool()?,
+            exempt: get(io, "exempt")?.as_bool()?,
+            in_test: get(io, "in_test")?.as_bool()?,
+        });
+    }
+    Some(fm)
+}
+
+fn parse_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+// ---------------------------------------------------------------------
+// Mini JSON value parser (subset: no scientific notation, no unicode
+// escapes beyond \uXXXX in the BMP — exactly what the encoder emits).
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+pub(crate) enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as usize)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a str> {
+    get(obj, key)?.as_str()
+}
+
+fn get_usize(obj: &[(String, Json)], key: &str) -> Option<usize> {
+    get(obj, key)?.as_usize()
+}
+
+pub(crate) fn parse_json(text: &str) -> Option<Json> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(text, bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(text: &str, bytes: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos)? {
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(text, bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return None;
+                }
+                *pos += 1;
+                let value = parse_value(text, bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Json::Obj(fields));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(text, bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Json::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => Some(Json::Str(parse_string(text, bytes, pos)?)),
+        b't' => {
+            if text[*pos..].starts_with("true") {
+                *pos += 4;
+                Some(Json::Bool(true))
+            } else {
+                None
+            }
+        }
+        b'f' => {
+            if text[*pos..].starts_with("false") {
+                *pos += 5;
+                Some(Json::Bool(false))
+            } else {
+                None
+            }
+        }
+        b'n' => {
+            if text[*pos..].starts_with("null") {
+                *pos += 4;
+                Some(Json::Null)
+            } else {
+                None
+            }
+        }
+        b'-' | b'0'..=b'9' => {
+            let start = *pos;
+            if bytes[*pos] == b'-' {
+                *pos += 1;
+            }
+            while *pos < bytes.len() && matches!(bytes[*pos], b'0'..=b'9' | b'.') {
+                *pos += 1;
+            }
+            text[start..*pos].parse::<f64>().ok().map(Json::Num)
+        }
+        _ => None,
+    }
+}
+
+fn parse_string(text: &str, bytes: &[u8], pos: &mut usize) -> Option<String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return None;
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let c = text[*pos..].chars().next()?;
+        *pos += c.len_utf8();
+        match c {
+            '"' => return Some(out),
+            '\\' => {
+                let esc = text[*pos..].chars().next()?;
+                *pos += esc.len_utf8();
+                match esc {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let hex = text.get(*pos..*pos + 4)?;
+                        *pos += 4;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                }
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::classify;
+    use crate::symbols::extract_file;
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+    }
+
+    #[test]
+    fn json_round_trip_of_values() {
+        let v = parse_json(r#"{"a":[1,2.5,-3],"b":"x\ny","c":true,"d":null}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(get(obj, "a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(get_str(obj, "b"), Some("x\ny"));
+        assert_eq!(get(obj, "c").unwrap().as_bool(), Some(true));
+        assert!(matches!(get(obj, "d"), Some(Json::Null)));
+        assert!(parse_json("{\"unterminated\":").is_none());
+        assert!(parse_json("[1,2] trailing").is_none());
+    }
+
+    #[test]
+    fn file_map_survives_a_round_trip() {
+        let src = "impl Pool {\n    // dd-lint: allow(hot-path-panic): fixture justification\n    pub fn hot(&mut self) {\n        q.pop().unwrap();\n        record(Instant::now());\n        COUNT.fetch_add(1, Ordering::Relaxed);\n        println!(\"x\");\n    }\n}\n#[deprecated]\npub struct Old {\n    pub field: Gear,\n}\n";
+        let fm = extract_file("crates/x/src/pool.rs", "x", &classify(src));
+        let entry = FileEntry {
+            hash: fnv1a(src.as_bytes()),
+            findings: vec![Finding {
+                file: "crates/x/src/pool.rs".into(),
+                line: 4,
+                column: 15,
+                rule: "hot-path-panic".into(),
+                message: "msg with \"quotes\" and ünïcode".into(),
+            }],
+            map: fm.clone(),
+        };
+        let mut cache = Cache {
+            config_hash: 42,
+            ..Cache::default()
+        };
+        cache.files.insert("crates/x/src/pool.rs".into(), entry);
+        cache.references.insert(
+            "crates/x/tests/t.rs".into(),
+            RefEntry {
+                hash: 7,
+                idents: ["alpha", "beta"].iter().map(|s| s.to_string()).collect(),
+            },
+        );
+        let dir = std::env::temp_dir().join("dd-lint-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.json");
+        cache.store(&path).unwrap();
+        let loaded = Cache::load(&path, 42);
+        let got = &loaded.files["crates/x/src/pool.rs"];
+        assert_eq!(got.hash, fnv1a(src.as_bytes()));
+        assert_eq!(got.findings.len(), 1);
+        assert_eq!(got.findings[0].message, "msg with \"quotes\" and ünïcode");
+        let m = &got.map;
+        assert_eq!(m.fns.len(), fm.fns.len());
+        assert_eq!(m.fns[0].name, "hot");
+        assert_eq!(m.fns[0].impl_type.as_deref(), Some("Pool"));
+        assert_eq!(m.fns[0].panic_hits.len(), fm.fns[0].panic_hits.len());
+        assert_eq!(m.fns[0].sharedmut_hits.len(), 1);
+        assert_eq!(m.fns[0].io_hits.len(), 1);
+        // Interned tokens point into the static tables again.
+        assert!(PANIC_TOKENS.contains(&m.fns[0].panic_hits[0].token));
+        assert_eq!(m.items.len(), fm.items.len());
+        assert!(m.items.iter().any(|i| i.name == "Old" && i.exempt));
+        assert_eq!(m.suppressions, fm.suppressions);
+        assert_eq!(m.top_refs, fm.top_refs);
+        assert_eq!(loaded.references["crates/x/tests/t.rs"].idents.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_and_config_mismatches_invalidate() {
+        let dir = std::env::temp_dir().join("dd-lint-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("invalidate.json");
+        let cache = Cache {
+            config_hash: 1,
+            ..Cache::default()
+        };
+        cache.store(&path).unwrap();
+        assert!(Cache::load(&path, 1).files.is_empty());
+        // Wrong config hash → empty cache, not an error.
+        assert!(Cache::load(&path, 2).files.is_empty());
+        std::fs::write(&path, "{\"version\":\"bogus/9\"}").unwrap();
+        assert!(Cache::load(&path, 1).files.is_empty());
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(Cache::load(&path, 1).files.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_cached_token_is_a_miss_not_a_panic() {
+        assert!(intern(".unwrap()").is_some());
+        assert!(intern("NotARealToken").is_none());
+        let v = parse_json(r#"[["NotARealToken",1,2]]"#).unwrap();
+        assert!(decode_hits(&v).is_none());
+    }
+}

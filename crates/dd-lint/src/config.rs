@@ -1,14 +1,19 @@
 //! `dd-lint.toml` — per-rule scoping configuration.
 //!
 //! A deliberately tiny TOML subset (hand-rolled, offline-policy): section
-//! headers `[rule.<name>]` and three array-of-string keys per section:
+//! headers `[rule.<name>]` and five array-of-string keys per section:
 //! `crates` (crate directory names, `"*"` for all), `files`
-//! (workspace-relative paths), and `entry_points` (`::`-separated symbol
-//! patterns rooting the graph rules — see [`RuleScope::entry_points`]).
-//! Anything else is a configuration error.
+//! (workspace-relative paths), `entry_points` (`::`-separated symbol
+//! patterns rooting the graph rules — see [`RuleScope::entry_points`]),
+//! `sinks` (fan-out sink patterns for `par-purity`), and `contracts`
+//! (`"pattern = level"` declared-effect entries for `effect-contract`).
+//! Anything else — unknown sections, unknown rules, unknown keys,
+//! duplicate sections or keys, malformed arrays, unparsable contract
+//! levels — is a configuration error, never silently ignored.
 
+use crate::effects::Effect;
 use crate::rules::RULE_NAMES;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Scope of one rule.
 #[derive(Debug, Clone, Default)]
@@ -28,6 +33,18 @@ pub struct RuleScope {
     /// or its trait (e.g. `Executor::run`, `dd-bench::experiments::run`,
     /// `dd-platform::DesFaasExecutor::serve_with`).
     pub entry_points: Vec<String>,
+    /// Fan-out sink patterns for `par-purity` (same syntax as
+    /// `entry_points`): functions whose callees execute in parallel
+    /// (`par_map`, the sweep executor submit, `FrontDoor::serve`). The
+    /// sink itself is the synchronization barrier and is exempt; its
+    /// direct callers are the fan-out contexts whose transitive callees
+    /// must infer `⊑ panic`.
+    pub sinks: Vec<String>,
+    /// `effect-contract` entries: `(pattern, declared effect)`. Every
+    /// function matching the pattern must infer an effect `⊑` the
+    /// declared one — a CI-enforced API contract against silent effect
+    /// strengthening.
+    pub contracts: Vec<(String, Effect)>,
 }
 
 impl RuleScope {
@@ -76,6 +93,10 @@ impl Config {
     pub fn parse(text: &str) -> Result<Config, ConfigError> {
         let mut rules: BTreeMap<String, RuleScope> = BTreeMap::new();
         let mut current: Option<String> = None;
+        // Duplicate sections and duplicate keys within a section would
+        // silently overwrite (or merge) scopes — configuration rot that
+        // must be an error, not a guess.
+        let mut seen_keys: BTreeSet<(String, String)> = BTreeSet::new();
         for (idx, raw) in text.lines().enumerate() {
             let lineno = idx + 1;
             let line = strip_toml_comment(raw).trim().to_string();
@@ -97,7 +118,13 @@ impl Config {
                         message: format!("unknown rule {rule:?} (known: {RULE_NAMES:?})"),
                     });
                 }
-                rules.entry(rule.to_string()).or_default();
+                if rules.contains_key(rule) {
+                    return Err(ConfigError {
+                        line: lineno,
+                        message: format!("duplicate section [rule.{rule}]"),
+                    });
+                }
+                rules.insert(rule.to_string(), RuleScope::default());
                 current = Some(rule.to_string());
                 continue;
             }
@@ -109,20 +136,39 @@ impl Config {
                 line: lineno,
                 message: "key outside a [rule.<name>] section".into(),
             })?;
+            let key = key.trim().to_string();
+            if !seen_keys.insert((rule.clone(), key.clone())) {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("duplicate key {key:?} in [rule.{rule}]"),
+                });
+            }
             let items = parse_string_array(value.trim()).map_err(|message| ConfigError {
                 line: lineno,
                 message,
             })?;
             let scope = rules.get_mut(rule).expect("section inserted above");
-            match key.trim() {
+            match key.as_str() {
                 "crates" => scope.crates = items,
                 "files" => scope.files = items,
                 "entry_points" => scope.entry_points = items,
+                "sinks" => scope.sinks = items,
+                "contracts" => {
+                    scope.contracts = items
+                        .iter()
+                        .map(|item| parse_contract(item))
+                        .collect::<Result<_, _>>()
+                        .map_err(|message| ConfigError {
+                            line: lineno,
+                            message,
+                        })?;
+                }
                 other => {
                     return Err(ConfigError {
                         line: lineno,
                         message: format!(
-                            "unknown key {other:?} (expected crates/files/entry_points)"
+                            "unknown key {other:?} (expected \
+                             crates/files/entry_points/sinks/contracts)"
                         ),
                     })
                 }
@@ -130,6 +176,27 @@ impl Config {
         }
         Ok(Config { rules })
     }
+}
+
+/// Parses one `contracts` item: `"<pattern> = <level>"`, where the level
+/// is an effect spec (`pure`, `alloc`, `panic`, `shared-mut`, `nondet`,
+/// `nondet(time, rng, hash-order)`, `io`).
+fn parse_contract(item: &str) -> Result<(String, Effect), String> {
+    let (pattern, level) = item
+        .split_once('=')
+        .ok_or_else(|| format!("contract {item:?} must be \"<pattern> = <level>\""))?;
+    let pattern = pattern.trim();
+    if pattern.is_empty() {
+        return Err(format!("contract {item:?} has an empty pattern"));
+    }
+    let effect = Effect::parse(level).ok_or_else(|| {
+        format!(
+            "contract {item:?} declares unknown effect level {:?} (expected \
+             pure/alloc/panic/shared-mut/nondet[(kinds)]/io)",
+            level.trim()
+        )
+    })?;
+    Ok((pattern.to_string(), effect))
 }
 
 /// Removes a trailing `# …` comment, respecting quoted strings: a `#`
@@ -244,6 +311,49 @@ mod tests {
     fn unconfigured_rule_covers_nothing() {
         let cfg = Config::parse("").unwrap();
         assert!(!cfg.scope("wall-clock").covers("dd-platform", "x.rs"));
+    }
+
+    #[test]
+    fn sinks_and_contracts_parse() {
+        let cfg = Config::parse(
+            "[rule.par-purity]\nsinks = [\"dd-bench::sweep::par_map\"]\n\
+             [rule.effect-contract]\ncontracts = [\"Executor::run = panic\", \
+             \"traffic::arrivals = nondet(rng)\"]\n",
+        )
+        .unwrap();
+        assert_eq!(
+            cfg.scope("par-purity").sinks,
+            vec!["dd-bench::sweep::par_map"]
+        );
+        let contracts = cfg.scope("effect-contract").contracts;
+        assert_eq!(contracts.len(), 2);
+        assert_eq!(contracts[0].0, "Executor::run");
+        assert_eq!(contracts[0].1.to_string(), "panic");
+        assert_eq!(contracts[1].1.to_string(), "nondet(rng)");
+    }
+
+    #[test]
+    fn bad_contract_levels_rejected() {
+        let err =
+            Config::parse("[rule.effect-contract]\ncontracts = [\"Executor::run = fancy\"]\n")
+                .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown effect level"), "{err}");
+        assert!(
+            Config::parse("[rule.effect-contract]\ncontracts = [\"no-level-here\"]\n").is_err()
+        );
+    }
+
+    #[test]
+    fn duplicate_sections_and_keys_rejected() {
+        let err =
+            Config::parse("[rule.wall-clock]\ncrates = [\"a\"]\n[rule.wall-clock]\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("duplicate section"), "{err}");
+        let err =
+            Config::parse("[rule.wall-clock]\ncrates = [\"a\"]\ncrates = [\"b\"]\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("duplicate key"), "{err}");
     }
 
     #[test]

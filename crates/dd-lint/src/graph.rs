@@ -14,6 +14,15 @@
 //!    same-crate, then workspace-wide; the first non-empty set supplies
 //!    the edges.
 //!
+//! Two precision guards temper the name matching. Functions defined in a
+//! *bin* file are only resolvable from their own file — a bin has no
+//! externally linkable path, so a cross-file name match is always a
+//! collision with an unrelated target. And calls dispatched on a foreign
+//! receiver (`other.run()`) keep their reachability edges but are
+//! excluded from recursion-cycle detection ([`Workspace::cycle_edges`]):
+//! with receiver types unknown, a ubiquitous method name would otherwise
+//! fabricate call cycles spanning the whole workspace.
+//!
 //! Over-approximation (several same-named candidates) adds edges, which
 //! can only make the reachability rules *stricter*, and every extra
 //! finding still needs a justification or a fix — never a silent miss.
@@ -32,13 +41,30 @@
 //!   referenced from a bin, test, bench, example, `#[cfg(test)]` region,
 //!   or the facade (computed as a name-liveness fixpoint over fn bodies,
 //!   seeded by top-level references).
+//! * `par-purity` — a shared-mutability / nondeterminism / I/O token in
+//!   any function transitively reachable from the direct callers of a
+//!   configured fan-out *sink* (`par_map`, `FrontDoor::serve`). The sink
+//!   itself is the synchronization barrier and exempt; the caller's own
+//!   statements run sequentially and are exempt too — but everything the
+//!   caller calls may run inside the fanned-out closure, so all its
+//!   transitive callees must infer `⊑ panic` (see [`crate::effects`]).
+//! * `effect-contract` — a function listed with a declared effect in
+//!   `dd-lint.toml` whose *inferred* effect is not `⊑` the declaration:
+//!   a CI gate against silent effect strengthening of key API surface.
+//! * `recursive-effect-cycle` — a call-graph SCC whose joined inferred
+//!   effect reaches `NonDet`: the effect fixpoint widens least precisely
+//!   over cycles, so nondeterminism inside recursion deserves a look.
+//! * `config` (pseudo-rule, always on) — `dd-lint.toml` patterns that
+//!   match nothing in the scanned tree (configuration rot).
 
 use crate::config::{Config, RuleScope};
-use crate::rules::{self, Finding};
+use crate::effects::{self, Effect, EffectRow, EffectTable, Level};
+use crate::rules::{self, Finding, CONFIG_RULE};
 use crate::symbols::{FileMap, FnDef, ItemKind, TokenHit};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-/// The analyzed workspace: pass-1 file maps plus the resolved call graph.
+/// The analyzed workspace: pass-1 file maps plus the resolved call graph
+/// and the inferred per-function effects.
 #[derive(Debug, Default)]
 pub struct Workspace {
     pub(crate) files: Vec<FileMap>,
@@ -50,6 +76,14 @@ pub struct Workspace {
     nodes: Vec<(usize, usize)>,
     /// Adjacency: global index → sorted callee global indices.
     edges: Vec<Vec<usize>>,
+    /// Adjacency restricted to receiver-certain calls (plain, qualified,
+    /// `self.`) — the graph recursion-cycle detection runs on, so a
+    /// foreign method dispatch (`other.run()`) can't fabricate a cycle.
+    cycle_edges: Vec<Vec<usize>>,
+    /// Intrinsic (own-body) effect per node.
+    intrinsics: Vec<Effect>,
+    /// Inferred (post-fixpoint) effect per node.
+    effects: Vec<Effect>,
 }
 
 impl Workspace {
@@ -66,22 +100,33 @@ impl Workspace {
             by_name.entry(&files[fi].fns[i].name).or_default().push(g);
         }
         let mut edges = vec![Vec::new(); nodes.len()];
+        let mut cycle_edges = vec![Vec::new(); nodes.len()];
         for (g, &(fi, i)) in nodes.iter().enumerate() {
             let caller_file = &files[fi];
             let caller = &caller_file.fns[i];
             let mut out: BTreeSet<usize> = BTreeSet::new();
+            let mut out_cycle: BTreeSet<usize> = BTreeSet::new();
             for call in &caller.calls {
-                let Some(cands) = by_name.get(call.name.as_str()) else {
+                let Some(all_cands) = by_name.get(call.name.as_str()) else {
                     continue;
                 };
-                if call.quals.is_empty() {
+                // Bin isolation: a fn defined in a bin file has no
+                // externally linkable path, so it can only be called from
+                // its own file — name matches from elsewhere are always
+                // cross-target collisions.
+                let cands: Vec<usize> = all_cands
+                    .iter()
+                    .copied()
+                    .filter(|&c| nodes[c].0 == fi || !files[nodes[c].0].is_bin)
+                    .collect();
+                let picked: Vec<usize> = if call.quals.is_empty() {
                     // Cascade: same file → same crate → workspace.
                     let same_file: Vec<usize> = cands
                         .iter()
                         .copied()
                         .filter(|&c| nodes[c].0 == fi)
                         .collect();
-                    let picked: Vec<usize> = if !same_file.is_empty() {
+                    if !same_file.is_empty() {
                         same_file
                     } else {
                         let same_crate: Vec<usize> = cands
@@ -92,39 +137,50 @@ impl Workspace {
                         if !same_crate.is_empty() {
                             same_crate
                         } else {
-                            cands.clone()
-                        }
-                    };
-                    out.extend(picked);
-                } else {
-                    for &c in cands {
-                        let (cfi, ci) = nodes[c];
-                        let cand_file = &files[cfi];
-                        let cand = &cand_file.fns[ci];
-                        let all = call
-                            .quals
-                            .iter()
-                            .all(|q| seg_matches(q, cand_file, cand, caller_file, caller));
-                        if all {
-                            out.insert(c);
+                            cands
                         }
                     }
+                } else {
+                    cands
+                        .into_iter()
+                        .filter(|&c| {
+                            let (cfi, ci) = nodes[c];
+                            let cand_file = &files[cfi];
+                            let cand = &cand_file.fns[ci];
+                            call.quals
+                                .iter()
+                                .all(|q| seg_matches(q, cand_file, cand, caller_file, caller))
+                        })
+                        .collect()
+                };
+                out.extend(picked.iter().copied());
+                if !call.foreign_method {
+                    // Only receiver-certain calls (plain, qualified,
+                    // `self.`) witness recursion — see [`Call`].
+                    out_cycle.extend(picked);
                 }
             }
             // Test-only fns are outside every rule's universe.
-            edges[g] = out
-                .into_iter()
-                .filter(|&c| {
-                    let (cfi, ci) = nodes[c];
-                    !files[cfi].fns[ci].in_test
-                })
-                .collect();
+            let not_test = |&c: &usize| {
+                let (cfi, ci) = nodes[c];
+                !files[cfi].fns[ci].in_test
+            };
+            edges[g] = out.into_iter().filter(not_test).collect();
+            cycle_edges[g] = out_cycle.into_iter().filter(not_test).collect();
         }
+        let intrinsics: Vec<Effect> = nodes
+            .iter()
+            .map(|&(fi, i)| effects::intrinsic(&files[fi].fns[i]))
+            .collect();
+        let inferred = effects::fixpoint(&intrinsics, &edges);
         Workspace {
             files,
             reference_refs,
             nodes,
             edges,
+            cycle_edges,
+            intrinsics,
+            effects: inferred,
         }
     }
 
@@ -190,8 +246,8 @@ impl Workspace {
         parent
     }
 
-    /// `root -> .. -> g` rendered from the BFS parent map.
-    fn chain(&self, parent: &BTreeMap<usize, usize>, g: usize) -> String {
+    /// `root .. g` node indices from the BFS parent map, root first.
+    fn chain_nodes(&self, parent: &BTreeMap<usize, usize>, g: usize) -> Vec<usize> {
         let mut rev = vec![g];
         let mut cur = g;
         while let Some(&p) = parent.get(&cur) {
@@ -202,10 +258,83 @@ impl Workspace {
             cur = p;
         }
         rev.reverse();
-        rev.iter()
+        rev
+    }
+
+    /// `root -> .. -> g` rendered from the BFS parent map.
+    fn chain(&self, parent: &BTreeMap<usize, usize>, g: usize) -> String {
+        self.chain_nodes(parent, g)
+            .iter()
             .map(|&n| self.display(n))
             .collect::<Vec<_>>()
             .join(" -> ")
+    }
+
+    /// The inferred effect of every non-test function, sorted by
+    /// `(file, line)` — the `effects.json` payload.
+    pub fn effect_table(&self) -> EffectTable {
+        let mut rows = Vec::new();
+        for g in 0..self.nodes.len() {
+            let (fm, f) = self.node(g);
+            if f.in_test {
+                continue;
+            }
+            rows.push(EffectRow {
+                file: fm.rel_path.clone(),
+                name: self.display(g),
+                line: f.line,
+                end_line: f.end_line,
+                effect: self.effects[g],
+                intrinsic: self.intrinsics[g],
+            });
+        }
+        rows.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        EffectTable { rows }
+    }
+
+    /// Human-readable effect provenance for every function matching the
+    /// entry-point pattern `pattern` (`--explain`): the inferred effect
+    /// plus the call path down to the body that introduced it.
+    pub fn explain(&self, pattern: &str) -> String {
+        let mut out = String::new();
+        for g in 0..self.nodes.len() {
+            let (fm, f) = self.node(g);
+            if f.in_test || !entry_matches(pattern, fm, f) {
+                continue;
+            }
+            out.push_str(&format!(
+                "{} ({}:{}) — effect {}\n",
+                self.display(g),
+                fm.rel_path,
+                f.line,
+                self.effects[g]
+            ));
+            if self.effects[g].level > Level::Pure {
+                out.push_str(&format!("  via {}\n", self.effect_chain(g)));
+            }
+        }
+        if out.is_empty() {
+            out = format!("dd-lint: no function matches {pattern:?}\n");
+        }
+        out
+    }
+
+    /// The provenance chain of `g`'s inferred effect level, rendered with
+    /// the witnessing token and its location when the terminal function
+    /// has one.
+    fn effect_chain(&self, g: usize) -> String {
+        let chain = effects::provenance(g, &self.intrinsics, &self.effects, &self.edges);
+        let names = chain
+            .iter()
+            .map(|&n| self.display(n))
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        let last = *chain.last().expect("chain starts at g");
+        let (fm, f) = self.node(last);
+        match effects::level_hits(f, self.effects[g].level).first() {
+            Some(h) => format!("{names} (`{}` at {}:{})", h.token, fm.rel_path, h.line),
+            None => names,
+        }
     }
 
     /// Graphviz dump of the resolved call graph (`--emit callgraph.dot`).
@@ -261,7 +390,238 @@ impl Workspace {
             &mut findings,
         );
         self.dead_pub_api(config, &mut findings);
+        self.par_purity(config, &mut findings);
+        self.effect_contract(config, &mut findings);
+        self.recursive_effect_cycle(config, &mut findings);
+        self.validate_config(config, &mut findings);
         findings
+    }
+
+    /// `par-purity`: functions reachable from a parallel fan-out context
+    /// must infer `⊑ Panic`. Sinks (matched by the rule's `sinks`
+    /// patterns) are the fan-out primitives themselves — their internals
+    /// are the synchronization barrier and exempt. Their direct callers
+    /// are the fan-out *contexts*: the context's own statements run
+    /// sequentially (exempt), but everything it calls may run inside the
+    /// fanned-out closure, so every transitive callee is checked and any
+    /// shared-mutability / nondeterminism / I/O hit is a finding at the
+    /// hit site.
+    fn par_purity(&self, config: &Config, findings: &mut Vec<Finding>) {
+        let scope = config.scope("par-purity");
+        if scope.crates.is_empty() || scope.sinks.is_empty() {
+            return;
+        }
+        let mut is_sink = vec![false; self.nodes.len()];
+        for (g, &(fi, i)) in self.nodes.iter().enumerate() {
+            let fm = &self.files[fi];
+            let f = &fm.fns[i];
+            is_sink[g] = scope.sinks.iter().any(|pat| entry_matches(pat, fm, f));
+        }
+        let roots: Vec<usize> = (0..self.nodes.len())
+            .filter(|&g| {
+                !is_sink[g] && !self.node(g).1.in_test && self.edges[g].iter().any(|&c| is_sink[c])
+            })
+            .collect();
+        // BFS that never enters a sink node.
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+        for &r in &roots {
+            if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(r) {
+                e.insert(usize::MAX);
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if is_sink[v] {
+                    continue;
+                }
+                if let std::collections::btree_map::Entry::Vacant(e) = parent.entry(v) {
+                    e.insert(u);
+                    queue.push_back(v);
+                }
+            }
+        }
+        for (&g, &p) in &parent {
+            if p == usize::MAX {
+                continue; // The fan-out context's own sequential section.
+            }
+            let (fm, f) = self.node(g);
+            if !scope.covers_crate(&fm.crate_name) {
+                continue;
+            }
+            // Hits witnessing any effect level above Panic.
+            let offending: Vec<(&TokenHit, Effect)> = f
+                .sharedmut_hits
+                .iter()
+                .map(|h| (h, Effect::of(Level::SharedMut)))
+                .chain(f.sink_hits.iter().map(|h| {
+                    (
+                        h,
+                        Effect {
+                            level: Level::NonDet,
+                            nondet: effects::sink_kind(h.token),
+                        },
+                    )
+                }))
+                .chain(f.io_hits.iter().map(|h| (h, Effect::of(Level::Io))))
+                .collect();
+            for (hit, eff) in offending {
+                if rules::suppressed(&fm.suppressions, hit.line, "par-purity") {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: fm.rel_path.clone(),
+                    line: hit.line,
+                    column: hit.column,
+                    rule: "par-purity".to_string(),
+                    message: format!(
+                        "`{}` has effect `{eff}` inside a parallel fan-out: closures \
+                         fanned out through {} must infer ⊑ panic to stay byte-identical \
+                         at any --jobs; hoist the effect out of the parallel section or \
+                         suppress with a documented justification [call chain: {}]",
+                        hit.token,
+                        self.par_sink_of(&parent, g, &is_sink),
+                        self.chain(&parent, g)
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Display name of the sink fanned out by the root of `g`'s chain
+    /// (for `par-purity` diagnostics).
+    fn par_sink_of(&self, parent: &BTreeMap<usize, usize>, g: usize, is_sink: &[bool]) -> String {
+        let root = self.chain_nodes(parent, g)[0];
+        match self.edges[root].iter().find(|&&c| is_sink[c]) {
+            Some(&s) => format!("`{}`", self.display(s)),
+            None => "a parallel sink".to_string(),
+        }
+    }
+
+    /// `effect-contract`: every function matching a contract pattern must
+    /// infer an effect `⊑` the declared one.
+    fn effect_contract(&self, config: &Config, findings: &mut Vec<Finding>) {
+        let scope = config.scope("effect-contract");
+        for (pattern, declared) in &scope.contracts {
+            for (g, &(fi, i)) in self.nodes.iter().enumerate() {
+                let fm = &self.files[fi];
+                let f = &fm.fns[i];
+                if f.in_test || !entry_matches(pattern, fm, f) {
+                    continue;
+                }
+                if self.effects[g].le(*declared) {
+                    continue;
+                }
+                if rules::suppressed(&fm.suppressions, f.line, "effect-contract") {
+                    continue;
+                }
+                findings.push(Finding {
+                    file: fm.rel_path.clone(),
+                    line: f.line,
+                    column: 1,
+                    rule: "effect-contract".to_string(),
+                    message: format!(
+                        "`{}` is declared `⊑ {declared}` in dd-lint.toml but infers \
+                         `{}`: the API contract gained a stronger effect [effect path: \
+                         {}]; weaken the code or update the declared contract \
+                         deliberately",
+                        self.display(g),
+                        self.effects[g],
+                        self.effect_chain(g)
+                    ),
+                });
+            }
+        }
+    }
+
+    /// `recursive-effect-cycle`: call-graph SCCs whose joined inferred
+    /// effect reaches `NonDet` — the spot where fixpoint widening is
+    /// least precise.
+    fn recursive_effect_cycle(&self, config: &Config, findings: &mut Vec<Finding>) {
+        let scope = config.scope("recursive-effect-cycle");
+        if scope.crates.is_empty() {
+            return;
+        }
+        for scc in effects::recursive_sccs(&self.cycle_edges) {
+            let joined = scc
+                .iter()
+                .fold(Effect::PURE, |e, &g| e.join(self.effects[g]));
+            if joined.level < Level::NonDet {
+                continue;
+            }
+            let rep = scc[0];
+            let (fm, f) = self.node(rep);
+            if !scope.covers_crate(&fm.crate_name) {
+                continue;
+            }
+            if rules::suppressed(&fm.suppressions, f.line, "recursive-effect-cycle") {
+                continue;
+            }
+            let members = scc
+                .iter()
+                .map(|&g| self.display(g))
+                .collect::<Vec<_>>()
+                .join(" <-> ");
+            findings.push(Finding {
+                file: fm.rel_path.clone(),
+                line: f.line,
+                column: 1,
+                rule: "recursive-effect-cycle".to_string(),
+                message: format!(
+                    "recursive call cycle {{{members}}} infers effect `{joined}`: the \
+                     effect fixpoint widens least precisely over cycles that reach \
+                     nondeterminism; break the cycle, route the nondeterminism outside \
+                     it, or suppress with a documented justification"
+                ),
+            });
+        }
+    }
+
+    /// `config` pseudo-rule: every `dd-lint.toml` symbol pattern and file
+    /// path must match something in the scanned tree, or the rule it
+    /// scopes silently stops checking what its author intended.
+    fn validate_config(&self, config: &Config, findings: &mut Vec<Finding>) {
+        let any_fn = |pat: &str| {
+            self.nodes.iter().any(|&(fi, i)| {
+                let fm = &self.files[fi];
+                entry_matches(pat, fm, &fm.fns[i])
+            })
+        };
+        let mut bad = |rule: &str, key: &str, pat: &str| {
+            findings.push(Finding {
+                file: crate::CONFIG_FILE.to_string(),
+                line: 1,
+                column: 1,
+                rule: CONFIG_RULE.to_string(),
+                message: format!(
+                    "[rule.{rule}] {key} pattern {pat:?} matches nothing in the \
+                     workspace (configuration rot); fix or remove it"
+                ),
+            });
+        };
+        for (rule, scope) in &config.rules {
+            for pat in &scope.entry_points {
+                if !any_fn(pat) {
+                    bad(rule, "entry_points", pat);
+                }
+            }
+            for pat in &scope.sinks {
+                if !any_fn(pat) {
+                    bad(rule, "sinks", pat);
+                }
+            }
+            for (pat, _) in &scope.contracts {
+                if !any_fn(pat) {
+                    bad(rule, "contracts", pat);
+                }
+            }
+            for path in &scope.files {
+                if !self.files.iter().any(|fm| &fm.rel_path == path) {
+                    bad(rule, "files", path);
+                }
+            }
+        }
     }
 
     /// Shared shape of the three reachability rules: BFS from the rule's

@@ -46,11 +46,20 @@ pub const RULE_NAMES: &[&str] = &[
     "executor-api",
     "determinism-taint",
     "dead-pub-api",
+    "par-purity",
+    "effect-contract",
+    "recursive-effect-cycle",
 ];
 
 /// Rule violated by malformed suppression directives themselves. Not
 /// scoped (always on) and not suppressible.
 pub const SUPPRESSION_RULE: &str = "suppression";
+
+/// Pseudo-rule for configuration-rot findings: `dd-lint.toml` patterns
+/// (`entry_points`, `sinks`, `files`, contract symbols) that match
+/// nothing in the scanned tree. Not scoped (validated whenever the
+/// owning rule is configured) and not suppressible — fix the config.
+pub const CONFIG_RULE: &str = "config";
 
 /// One lint finding with a `file:line:column` span.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -122,6 +131,66 @@ pub(crate) const ALLOC_TOKENS: &[&str] = &[
     "format!",
 ];
 
+/// Shared-mutability constructs: intrinsic `SharedMut` effect seeds for
+/// the effect-inference pass ([`crate::effects`]). Interior mutability
+/// and atomics are invisible to `&self` signatures, so a closure fanned
+/// out by `par_map` can observe cross-thread write order through them —
+/// the exact hazard `par-purity` exists to catch. Plain `let mut` locals
+/// are *not* listed: unshared mutation is pure.
+pub(crate) const SHAREDMUT_TOKENS: &[&str] = &[
+    "Mutex",
+    "RwLock",
+    "RefCell",
+    "UnsafeCell",
+    "OnceLock",
+    "static mut",
+    "AtomicBool",
+    "AtomicUsize",
+    "AtomicIsize",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicI64",
+    ".fetch_add(",
+    ".fetch_sub(",
+    ".fetch_or(",
+    ".fetch_and(",
+    ".compare_exchange(",
+];
+
+/// I/O constructs: intrinsic `Io` effect seeds (top of the lattice).
+/// Output interleaving and filesystem state are observable across
+/// threads and across runs.
+pub(crate) const IO_TOKENS: &[&str] = &[
+    "println!",
+    "eprintln!",
+    "print!",
+    "eprint!",
+    "fs::write",
+    "fs::read",
+    "fs::create_dir",
+    "fs::remove",
+    "File::create",
+    "File::open",
+    "io::stdin",
+    "io::stdout",
+    "io::stderr",
+    ".write_all(",
+    ".read_to_string(",
+    ".read_to_end(",
+];
+
+/// 1-based Unicode code-point column of byte offset `at` in `code`.
+///
+/// [`find_tokens`] returns byte offsets; on lines holding multi-byte
+/// characters (non-ASCII identifiers or comments) a byte column neither
+/// matches what editors display nor SARIF's `unicodeCodePoints` column
+/// kind, so every emitted span converts through here. The scanner blanks
+/// literals one space per *character*, keeping code-point columns (but
+/// not byte columns) aligned with the original source.
+pub(crate) fn char_column(code: &str, at: usize) -> usize {
+    code[..at].chars().count() + 1
+}
+
 /// Lints one classified file, applying suppressions. `rel_path` uses `/`
 /// separators relative to the workspace root; `crate_name` is the crate
 /// directory name (`root` for the workspace facade package).
@@ -153,12 +222,14 @@ pub fn check_file(
         }
         let lineno = idx + 1;
         let code = line.code.as_str();
-        let mut emit = |rule: &str, column: usize, message: String| {
+        // Takes the *byte* offset from `find_tokens`; emitted columns are
+        // 1-based Unicode code points (see `char_column`).
+        let mut emit = |rule: &str, at: usize, message: String| {
             if !suppressed(&suppressions, lineno, rule) {
                 findings.push(Finding {
                     file: rel_path.to_string(),
                     line: lineno,
-                    column,
+                    column: char_column(code, at),
                     rule: rule.to_string(),
                     message,
                 });
@@ -173,7 +244,7 @@ pub fn check_file(
                     }
                     emit(
                         "hash-container",
-                        col + 1,
+                        col,
                         format!(
                             "{name} with the default randomized hasher iterates \
                              nondeterministically; use BTree{} or an explicit \
@@ -190,7 +261,7 @@ pub fn check_file(
                 for col in find_tokens(code, token) {
                     emit(
                         "wall-clock",
-                        col + 1,
+                        col,
                         format!(
                             "`{token}` reads wall-clock time or entropy inside a \
                              simulation crate; simulations must only consume SimTime \
@@ -211,7 +282,7 @@ pub fn check_file(
                     }
                     emit(
                         "rng-seed",
-                        col + 1,
+                        col,
                         format!(
                             "`{token}` constructs an unseeded RNG; construct RNGs \
                              only via seeded constructors (SeedStream, seed_from_u64, \
@@ -231,7 +302,7 @@ pub fn check_file(
                 }
                 emit(
                     "float-ord",
-                    col + 1,
+                    col,
                     "`partial_cmp` on floats is NaN-unsafe (None collapses the \
                      order); use f64::total_cmp or the SimTime ordering wrapper"
                         .to_string(),
@@ -244,7 +315,7 @@ pub fn check_file(
                 for col in find_tokens(code, token) {
                     emit(
                         "hot-path-panic",
-                        col + 1,
+                        col,
                         format!(
                             "`{token}` in the DES event-loop hot path; convert to a \
                              dd_invariant!/dd_debug_invariant! check or suppress with \
@@ -260,7 +331,7 @@ pub fn check_file(
                 for col in find_tokens(code, token) {
                     emit(
                         "hot-path-alloc",
-                        col + 1,
+                        col,
                         format!(
                             "`{token}` allocates in the DES event-loop hot path; hoist \
                              the allocation out of the per-event path (scratch buffer, \
@@ -283,7 +354,7 @@ pub fn check_file(
                 if ident.starts_with("execute") {
                     emit(
                         "executor-api",
-                        col + 1,
+                        col,
                         format!(
                             "`pub fn {ident}` adds a public execute entry point outside \
                              the unified Executor trait; implement Executor::run (or \

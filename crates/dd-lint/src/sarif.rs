@@ -5,24 +5,40 @@
 //! `result` per finding with a single physical location. Output is
 //! byte-stable for a given finding list: keys are emitted in a fixed
 //! order and the rule table is sorted.
+//!
+//! Columns are 1-based **Unicode code-point** columns, matching the
+//! scanner's char-preserving literal blanking; the run advertises this
+//! via `columnKind: "unicodeCodePoints"` so viewers don't misplace
+//! carets on lines with multi-byte characters. When an effect table is
+//! supplied ([`render_sarif_with_effects`]), each result whose location
+//! falls inside an analyzed function carries the inferred effect in
+//! `properties.effect`, and the run's `properties.effectLevels` holds
+//! the workspace-wide per-level function counts.
 
+use crate::effects::EffectTable;
 use crate::json_str;
 use crate::rules::Finding;
 
-/// Tool version advertised in the SARIF `driver` block (the dd-lint v2
-/// two-pass analyzer).
-pub const SARIF_TOOL_VERSION: &str = "2.0.0";
+/// Tool version advertised in the SARIF `driver` block (the dd-lint v3
+/// effect-inference analyzer).
+pub const SARIF_TOOL_VERSION: &str = "3.0.0";
 
 /// Renders `findings` as a SARIF 2.1.0 document.
 pub fn render_sarif(findings: &[Finding]) -> String {
+    render_sarif_with_effects(findings, None)
+}
+
+/// [`render_sarif`] plus per-result `properties.effect` annotations and
+/// run-level effect counts drawn from the inferred effect table.
+pub fn render_sarif_with_effects(findings: &[Finding], effects: Option<&EffectTable>) -> String {
     let mut rules: Vec<&str> = findings.iter().map(|f| f.rule.as_str()).collect();
     rules.sort_unstable();
     rules.dedup();
 
     let mut out = String::from(
         "{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
-         \"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{\
-         \"name\":\"dd-lint\",",
+         \"version\":\"2.1.0\",\"runs\":[{\"columnKind\":\"unicodeCodePoints\",\
+         \"tool\":{\"driver\":{\"name\":\"dd-lint\",",
     );
     out.push_str(&format!(
         "\"version\":{},\"rules\":[",
@@ -38,7 +54,18 @@ pub fn render_sarif(findings: &[Finding]) -> String {
             json_str(rule)
         ));
     }
-    out.push_str("]}},\"results\":[");
+    out.push_str("]}},");
+    if let Some(table) = effects {
+        out.push_str("\"properties\":{\"effectLevels\":{");
+        for (i, (level, n)) in table.level_counts().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_str(level), n));
+        }
+        out.push_str("}},");
+    }
+    out.push_str("\"results\":[");
     for (i, f) in findings.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -52,7 +79,7 @@ pub fn render_sarif(findings: &[Finding]) -> String {
              \"message\":{{\"text\":{}}},\"locations\":[{{\
              \"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{},\
              \"uriBaseId\":\"SRCROOT\"}},\"region\":{{\"startLine\":{},\
-             \"startColumn\":{}}}}}}}]}}",
+             \"startColumn\":{}}}}}}}]",
             json_str(&f.rule),
             rule_index,
             json_str(&f.message),
@@ -60,6 +87,13 @@ pub fn render_sarif(findings: &[Finding]) -> String {
             f.line,
             f.column,
         ));
+        if let Some(eff) = effects.and_then(|t| t.effect_at(&f.file, f.line)) {
+            out.push_str(&format!(
+                ",\"properties\":{{\"effect\":{}}}",
+                json_str(&eff.to_string())
+            ));
+        }
+        out.push('}');
     }
     out.push_str("]}]}");
     out
@@ -68,6 +102,7 @@ pub fn render_sarif(findings: &[Finding]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::effects::{Effect, EffectRow, Level};
 
     fn finding(file: &str, line: usize, rule: &str) -> Finding {
         Finding {
@@ -83,6 +118,7 @@ mod tests {
     fn empty_report_is_valid_and_stable() {
         let s = render_sarif(&[]);
         assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"columnKind\":\"unicodeCodePoints\""), "{s}");
         assert!(s.contains("\"results\":[]"), "{s}");
         assert_eq!(s, render_sarif(&[]));
     }
@@ -104,5 +140,28 @@ mod tests {
         );
         assert!(s.contains("\"startLine\":2,\"startColumn\":3"), "{s}");
         assert!(s.contains("\"uri\":\"b.rs\""), "{s}");
+    }
+
+    #[test]
+    fn effect_annotations_attach_to_enclosed_results() {
+        let table = EffectTable {
+            rows: vec![EffectRow {
+                file: "b.rs".into(),
+                name: "hot".into(),
+                line: 1,
+                end_line: 5,
+                effect: Effect::of(Level::Io),
+                intrinsic: Effect::of(Level::Io),
+            }],
+        };
+        let fs = [finding("b.rs", 2, "wall-clock"), finding("c.rs", 9, "x")];
+        let s = render_sarif_with_effects(&fs, Some(&table));
+        assert!(s.contains("\"properties\":{\"effect\":\"io\"}"), "{s}");
+        assert!(s.contains("\"effectLevels\":{"), "{s}");
+        // The c.rs finding is outside every analyzed fn: no annotation.
+        let c = s.find("\"uri\":\"c.rs\"").unwrap();
+        assert!(!s[c..].contains("\"effect\":"), "{s}");
+        // Without a table the output matches render_sarif exactly.
+        assert_eq!(render_sarif_with_effects(&fs, None), render_sarif(&fs));
     }
 }

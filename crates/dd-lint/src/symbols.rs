@@ -14,7 +14,9 @@
 //! context stack, so a desynced file degrades to missing or extra *edges*
 //! — never a panic — and the graph rules stay conservative.
 
-use crate::rules::{self, Suppressions, ALLOC_TOKENS, PANIC_TOKENS, TAINT_SINK_TOKENS};
+use crate::rules::{
+    self, Suppressions, ALLOC_TOKENS, IO_TOKENS, PANIC_TOKENS, SHAREDMUT_TOKENS, TAINT_SINK_TOKENS,
+};
 use crate::scan::Classified;
 use std::collections::BTreeSet;
 
@@ -55,6 +57,13 @@ pub(crate) struct Call {
     /// Path segments before the name (`Foo::bar(` → `["Foo"]`), empty for
     /// plain and method calls.
     pub quals: Vec<String>,
+    /// A method call on a receiver other than `self` (`other.run(`,
+    /// `iter().map(`). Name resolution can't see the receiver's type, so
+    /// these are the least trustworthy edges: they stay in the call graph
+    /// (over-approximation keeps reachability rules strict) but are
+    /// excluded from recursion-cycle detection, where a same-named
+    /// foreign dispatch would fabricate cycles out of thin air.
+    pub foreign_method: bool,
 }
 
 /// A pre-located rule-token hit inside a function body.
@@ -95,6 +104,10 @@ pub(crate) struct FnDef {
     pub panic_hits: Vec<TokenHit>,
     pub alloc_hits: Vec<TokenHit>,
     pub sink_hits: Vec<TokenHit>,
+    /// Interior-mutability / atomic tokens — `SharedMut` effect seeds.
+    pub sharedmut_hits: Vec<TokenHit>,
+    /// I/O tokens — `Io` effect seeds.
+    pub io_hits: Vec<TokenHit>,
 }
 
 /// Everything pass 1 knows about one file.
@@ -262,6 +275,8 @@ pub(crate) fn extract_file(rel_path: &str, crate_name: &str, classified: &Classi
                             panic_hits: Vec::new(),
                             alloc_hits: Vec::new(),
                             sink_hits: Vec::new(),
+                            sharedmut_hits: Vec::new(),
+                            io_hits: Vec::new(),
                         });
                         pending = Some(Pending {
                             kind: PendKind::Fn { idx },
@@ -385,13 +400,15 @@ pub(crate) fn extract_file(rel_path: &str, crate_name: &str, classified: &Classi
                 (PANIC_TOKENS, &mut f.panic_hits),
                 (ALLOC_TOKENS, &mut f.alloc_hits),
                 (TAINT_SINK_TOKENS, &mut f.sink_hits),
+                (SHAREDMUT_TOKENS, &mut f.sharedmut_hits),
+                (IO_TOKENS, &mut f.io_hits),
             ] {
                 for token in set {
                     for col in rules::find_tokens(code, token) {
                         hits.push(TokenHit {
                             token,
                             line: lineno,
-                            column: col + 1,
+                            column: rules::char_column(code, col),
                         });
                     }
                 }
@@ -835,9 +852,14 @@ fn extract_calls(code: &str, out: &mut Vec<Call>) {
             quals.insert(0, seg.to_string());
             upto = s;
         }
+        let before = &code[..start];
+        let self_receiver = before
+            .strip_suffix("self.")
+            .is_some_and(|b| !b.ends_with(is_ident));
         out.push(Call {
             name: ident.to_string(),
             quals,
+            foreign_method: before.ends_with('.') && !self_receiver,
         });
     }
 }
@@ -921,6 +943,29 @@ mod tests {
             !fm.top_refs.contains("DesFaasExecutor"),
             "{:?}",
             fm.top_refs
+        );
+    }
+
+    #[test]
+    fn method_receivers_classify_foreign_vs_self() {
+        let src = "impl W {\n    fn go(&self) {\n        self.local();\n        other.remote();\n        free();\n        herself.trick();\n    }\n}\n";
+        let fm = extract(src);
+        let calls: Vec<(&str, bool)> = fm.fns[0]
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.foreign_method))
+            .collect();
+        // `self.local()` stays a cycle-eligible call; `other.remote()`
+        // is a foreign method; `herself.` ends in `self` but the longer
+        // identifier must not be mistaken for the receiver keyword.
+        assert_eq!(
+            calls,
+            [
+                ("local", false),
+                ("remote", true),
+                ("free", false),
+                ("trick", true),
+            ]
         );
     }
 

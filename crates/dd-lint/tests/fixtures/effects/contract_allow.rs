@@ -1,0 +1,17 @@
+//! Effect fixture: the same strengthened contract as
+//! `contract_deny.rs`, but the definition carries a justified inline
+//! allow (a deliberate migration window) — dd-lint must stay silent.
+
+pub struct Planner;
+
+impl Planner {
+    // dd-lint: allow(effect-contract): deliberate migration window — the wall clock moves behind the virtual clock next release
+    pub fn plan(&self) -> u64 {
+        stamp()
+    }
+}
+
+fn stamp() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,17 @@
+//! Effect fixture: the same entropy-drawing recursion as
+//! `cycle_deny.rs`, but both members carry a justified inline allow —
+//! dd-lint must stay silent whichever member represents the SCC.
+
+// dd-lint: allow(recursive-effect-cycle): fixture models a retry loop whose jitter is deliberately entropy-driven and never feeds simulated results
+pub fn tick(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let jitter = rand::random::<u64>() % 2;
+    tock(n - 1) + jitter
+}
+
+// dd-lint: allow(recursive-effect-cycle): fixture models a retry loop whose jitter is deliberately entropy-driven and never feeds simulated results
+fn tock(n: u64) -> u64 {
+    tick(n)
+}

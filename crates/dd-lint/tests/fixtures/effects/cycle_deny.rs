@@ -1,0 +1,16 @@
+//! Effect fixture: `tick` and `tock` recurse into each other and the
+//! cycle draws entropy on every iteration — the SCC's joined effect
+//! reaches `nondet`, so dd-lint must flag the cycle once at its
+//! representative member.
+
+pub fn tick(n: u64) -> u64 {
+    if n == 0 {
+        return 0;
+    }
+    let jitter = rand::random::<u64>() % 2;
+    tock(n - 1) + jitter
+}
+
+fn tock(n: u64) -> u64 {
+    tick(n)
+}

@@ -1,0 +1,21 @@
+//! Effect fixture: the same fan-out shape as `par_purity_deny.rs`, but
+//! the wall-clock read carries a justified inline allow — dd-lint must
+//! stay silent.
+
+pub struct Sweep;
+
+impl Sweep {
+    pub fn par_map(&self) -> u64 {
+        0
+    }
+}
+
+pub fn fan_out(sweep: &Sweep) -> u64 {
+    sweep.par_map() + simulate()
+}
+
+fn simulate() -> u64 {
+    // dd-lint: allow(par-purity): self-measurement fixture — the clock reading is the reported quantity, not an input to fanned-out results
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos() as u64
+}

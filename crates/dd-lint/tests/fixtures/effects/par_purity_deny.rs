@@ -1,0 +1,21 @@
+//! Effect fixture: `fan_out` fans work out through the `Sweep::par_map`
+//! sink, and its callee `simulate` reads a wall clock — the fanned-out
+//! closure infers `nondet(time)`, above the `⊑ panic` purity bar, so
+//! dd-lint must deny it at the hit site with the full call chain.
+
+pub struct Sweep;
+
+impl Sweep {
+    pub fn par_map(&self) -> u64 {
+        0
+    }
+}
+
+pub fn fan_out(sweep: &Sweep) -> u64 {
+    sweep.par_map() + simulate()
+}
+
+fn simulate() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos() as u64
+}

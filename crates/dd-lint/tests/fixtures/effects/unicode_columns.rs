@@ -1,0 +1,8 @@
+//! Säule — non-ASCII fixture: the umlauts in `verzögerung` sit before
+//! the wall-clock token, so its byte column and code-point column
+//! diverge; dd-lint must report 1-based Unicode code points.
+
+pub fn zeitmessung() -> u64 {
+    let verzögerung = std::time::Instant::now();
+    verzögerung.elapsed().as_nanos() as u64
+}

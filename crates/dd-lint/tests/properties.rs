@@ -1,9 +1,11 @@
 //! Property-based tests of the analyzer front end: the scanner is
-//! line-count-stable and the full two-pass pipeline (scan → pass-1
-//! extraction → graph build → rules) never panics, on arbitrary
-//! Rust-ish token soup.
+//! line-count-stable, the full two-pass pipeline (scan → pass-1
+//! extraction → graph build → rules) never panics on arbitrary Rust-ish
+//! token soup, and the effect fixpoint over arbitrary finite call
+//! graphs terminates, is closed, and is monotone under edge insertion.
 
-use dd_lint::{analyze_sources, scan, Config};
+use dd_lint::effects::{fixpoint, recursive_sccs};
+use dd_lint::{analyze_sources, scan, Config, Effect, Level};
 use proptest::prelude::*;
 
 /// Building blocks deliberately weighted toward the constructs the
@@ -67,6 +69,37 @@ fn arb_source() -> impl Strategy<Value = String> {
         .prop_map(|ixs| ixs.into_iter().map(|i| TOKENS[i]).collect())
 }
 
+/// An arbitrary lattice point: any level; nondet kind bits only at
+/// `NonDet` (the invariant `effects::intrinsic` maintains).
+fn arb_effect() -> impl Strategy<Value = Effect> {
+    (0..Level::ALL.len(), 0u8..8).prop_map(|(l, bits)| {
+        let level = Level::ALL[l];
+        Effect {
+            level,
+            nondet: if level == Level::NonDet { bits } else { 0 },
+        }
+    })
+}
+
+/// An arbitrary call graph: per-node intrinsic effects plus an edge
+/// list (indices folded modulo the node count when materialized, so
+/// self-loops and duplicate edges occur — the fixpoint must not care).
+fn arb_callgraph() -> impl Strategy<Value = (Vec<Effect>, Vec<(usize, usize)>)> {
+    (
+        proptest::collection::vec(arb_effect(), 1..10),
+        proptest::collection::vec((0usize..64, 0usize..64), 0..24),
+    )
+}
+
+/// Materializes the raw edge list into adjacency lists over `n` nodes.
+fn adjacency(n: usize, raw: &[(usize, usize)]) -> Vec<Vec<usize>> {
+    let mut edges = vec![Vec::new(); n];
+    for &(u, v) in raw {
+        edges[u % n].push(v % n);
+    }
+    edges
+}
+
 /// A config that switches on every rule, entry points included, so the
 /// pipeline exercises all code paths.
 const FULL_CONFIG: &str = r#"
@@ -125,5 +158,49 @@ proptest! {
         }
         // The DOT emitter must also hold up on arbitrary graphs.
         prop_assert!(analysis.callgraph_dot().starts_with("digraph callgraph {"));
+    }
+
+    /// The effect fixpoint terminates on arbitrary graphs (cycles and
+    /// self-loops included), is a closed post-fixpoint (each node equals
+    /// its intrinsic joined with its callees — nothing above, nothing
+    /// below), and inserting any edge can only grow inferred effects
+    /// (monotonicity, the property that makes incremental re-analysis
+    /// sound). SCC detection stays in range and only reports real
+    /// recursion.
+    #[test]
+    fn effect_fixpoint_is_closed_and_monotone(
+        (intr, raw_edges) in arb_callgraph(),
+        from in 0usize..64,
+        to in 0usize..64,
+    ) {
+        let n = intr.len();
+        let edges = adjacency(n, &raw_edges);
+        let eff = fixpoint(&intr, &edges);
+        for u in 0..n {
+            let mut want = intr[u];
+            for &v in &edges[u] {
+                want = want.join(eff[v]);
+            }
+            prop_assert_eq!(eff[u], want, "node {} is not exactly closed", u);
+            prop_assert!(intr[u].le(eff[u]), "node {} lost its intrinsic effect", u);
+        }
+
+        let mut grown = edges.clone();
+        grown[from % n].push(to % n);
+        let eff2 = fixpoint(&intr, &grown);
+        for u in 0..n {
+            prop_assert!(
+                eff[u].le(eff2[u]),
+                "edge insertion shrank node {}: {} -> {}", u, eff[u], eff2[u]
+            );
+        }
+
+        for scc in recursive_sccs(&grown) {
+            prop_assert!(scc.iter().all(|&g| g < n), "{scc:?}");
+            prop_assert!(
+                scc.len() >= 2 || grown[scc[0]].contains(&scc[0]),
+                "non-recursive SCC reported: {scc:?}"
+            );
+        }
     }
 }

@@ -66,7 +66,7 @@ const FIT_MEMO_CAP: usize = 32_768;
 /// equal keys.
 pub fn moments_centered_grid_fit_memo(hist: &Histogram, grid_steps: usize) -> Option<WeibullFit> {
     let key = (grid_steps, hist.counts().to_vec());
-    // dd-lint: allow(hash-container): memo table is point-lookup only; iteration order is never observed
+    // dd-lint: allow(hash-container, par-purity): memo table is point-lookup only and a hit returns exactly what recomputation would; neither iteration order nor thread interleaving is observable in results
     let memo = FIT_MEMO.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(fit) = memo
         .lock()
