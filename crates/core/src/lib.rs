@@ -46,6 +46,7 @@
 pub mod config;
 pub mod history;
 pub mod optimizer;
+pub mod policy;
 pub mod predictor;
 pub mod scheduler;
 pub mod tiering;
@@ -53,6 +54,7 @@ pub mod tiering;
 pub use config::DayDreamConfig;
 pub use history::DayDreamHistory;
 pub use optimizer::{ObjectiveWeights, PlacementOptimizer};
+pub use policy::DayDreamPolicy;
 pub use predictor::WeibullPredictor;
 pub use scheduler::DayDreamScheduler;
 pub use tiering::FriendlyTracker;

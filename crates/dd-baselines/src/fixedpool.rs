@@ -28,17 +28,42 @@ pub struct FixedPoolScheduler {
 impl FixedPoolScheduler {
     /// A fixed pool of `pool_size` instances, split by the workflow's
     /// historic high-end-friendly fraction.
+    ///
+    /// Pre-registry constructor, kept for one release as a back-compat
+    /// shim; select the policy by name instead.
+    #[deprecated(
+        note = "select \"fixed-pool\" through dd_baselines::registry() and build via SchedulerPolicy"
+    )]
+    // dd-lint: allow(policy-api): deprecated back-compat shim over the policy registry, kept for one release
     pub fn new(pool_size: u32, history: &DayDreamHistory) -> Self {
+        Self::build(pool_size, history)
+    }
+
+    /// Sizes the pool as `multiple ×` the historic mean concurrency.
+    ///
+    /// Pre-registry constructor, kept for one release as a back-compat
+    /// shim; select the policy by name instead.
+    #[deprecated(
+        note = "select \"fixed-pool\" through dd_baselines::registry() and build via SchedulerPolicy"
+    )]
+    // dd-lint: allow(policy-api): deprecated back-compat shim over the policy registry, kept for one release
+    pub fn from_mean_multiple(multiple: f64, history: &DayDreamHistory) -> Self {
+        Self::build_from_mean_multiple(multiple, history)
+    }
+
+    /// Crate-internal constructor the registry's
+    /// [`crate::FixedPoolPolicy`] builds through.
+    pub(crate) fn build(pool_size: u32, history: &DayDreamHistory) -> Self {
         Self {
             pool_size,
             friendly_fraction: history.friendly_prior(),
         }
     }
 
-    /// Sizes the pool as `multiple ×` the historic mean concurrency.
-    pub fn from_mean_multiple(multiple: f64, history: &DayDreamHistory) -> Self {
+    /// Crate-internal mean-multiple sizing.
+    pub(crate) fn build_from_mean_multiple(multiple: f64, history: &DayDreamHistory) -> Self {
         let mean = history.historic_weibull().map(|w| w.mean()).unwrap_or(10.0);
-        Self::new((mean * multiple).round().max(1.0) as u32, history)
+        Self::build((mean * multiple).round().max(1.0) as u32, history)
     }
 
     /// The fixed per-phase pool size.
@@ -129,7 +154,7 @@ mod tests {
         // but pays for it in wasted keep-alive.
         let (run, runtimes, history) = setup();
         let mut exec = FaasExecutor::aws();
-        let mut big = FixedPoolScheduler::from_mean_multiple(3.0, &history);
+        let mut big = FixedPoolScheduler::build_from_mean_multiple(3.0, &history);
         let big_out = exec
             .run(RunRequest::new(&run, &runtimes, &mut big))
             .into_outcome();
@@ -151,7 +176,7 @@ mod tests {
             .run(RunRequest::new(&run, &runtimes, &mut dd))
             .into_outcome();
 
-        let mut big = FixedPoolScheduler::from_mean_multiple(3.0, &history);
+        let mut big = FixedPoolScheduler::build_from_mean_multiple(3.0, &history);
         let big_out = exec
             .run(RunRequest::new(&run, &runtimes, &mut big))
             .into_outcome();
@@ -170,7 +195,7 @@ mod tests {
     #[test]
     fn undersized_pool_cold_starts() {
         let (run, runtimes, history) = setup();
-        let mut tiny = FixedPoolScheduler::new(2, &history);
+        let mut tiny = FixedPoolScheduler::build(2, &history);
         assert_eq!(tiny.pool_size(), 2);
         let out = FaasExecutor::aws()
             .run(RunRequest::new(&run, &runtimes, &mut tiny))

@@ -85,7 +85,37 @@ impl StreakState {
 
 impl HybridScheduler {
     /// Creates a hybrid scheduler from DayDream history.
+    ///
+    /// Pre-registry constructor, kept for one release as a back-compat
+    /// shim; select the policy by name instead.
+    #[deprecated(
+        note = "select \"hybrid\" through dd_baselines::registry() and build via SchedulerPolicy"
+    )]
+    // dd-lint: allow(policy-api): deprecated back-compat shim over the policy registry, kept for one release
     pub fn new(
+        history: &DayDreamHistory,
+        config: DayDreamConfig,
+        vendor: CloudVendor,
+        seeds: SeedStream,
+    ) -> Self {
+        Self::build(history, config, vendor, seeds)
+    }
+
+    /// AWS hybrid with default configuration.
+    ///
+    /// Pre-registry constructor, kept for one release as a back-compat
+    /// shim; select the policy by name instead.
+    #[deprecated(
+        note = "select \"hybrid\" through dd_baselines::registry() and build via SchedulerPolicy"
+    )]
+    // dd-lint: allow(policy-api): deprecated back-compat shim over the policy registry, kept for one release
+    pub fn aws(history: &DayDreamHistory, seeds: SeedStream) -> Self {
+        Self::build_aws(history, seeds)
+    }
+
+    /// Crate-internal constructor the registry's [`crate::HybridPolicy`]
+    /// builds through.
+    pub(crate) fn build(
         history: &DayDreamHistory,
         config: DayDreamConfig,
         vendor: CloudVendor,
@@ -115,9 +145,9 @@ impl HybridScheduler {
         }
     }
 
-    /// AWS hybrid with default configuration.
-    pub fn aws(history: &DayDreamHistory, seeds: SeedStream) -> Self {
-        Self::new(history, DayDreamConfig::default(), CloudVendor::Aws, seeds)
+    /// Crate-internal AWS constructor with default configuration.
+    pub(crate) fn build_aws(history: &DayDreamHistory, seeds: SeedStream) -> Self {
+        Self::build(history, DayDreamConfig::default(), CloudVendor::Aws, seeds)
     }
 
     /// Types confidently expected next phase, with predicted counts:
@@ -294,7 +324,7 @@ mod tests {
         let mut history = DayDreamHistory::new();
         history.learn_from_run(&gen.generate(1_000), 0.20, 24);
         let run = gen.generate(0);
-        let mut hybrid = HybridScheduler::aws(&history, SeedStream::new(1));
+        let mut hybrid = HybridScheduler::build_aws(&history, SeedStream::new(1));
         let outcome = FaasExecutor::aws()
             .run(RunRequest::new(&run, &runtimes, &mut hybrid))
             .into_outcome();
@@ -314,7 +344,7 @@ mod tests {
         let dd_outcome = exec
             .run(RunRequest::new(&run, &runtimes, &mut dd))
             .into_outcome();
-        let mut hy = HybridScheduler::aws(&history, SeedStream::new(2));
+        let mut hy = HybridScheduler::build_aws(&history, SeedStream::new(2));
         let hy_outcome = exec
             .run(RunRequest::new(&run, &runtimes, &mut hy))
             .into_outcome();
@@ -330,11 +360,11 @@ mod tests {
     fn hybrid_beats_wild() {
         let (run, runtimes, history) = setup();
         let mut exec = FaasExecutor::aws();
-        let mut wild = crate::WildScheduler::new();
+        let mut wild = crate::WildScheduler::build();
         let wild_outcome = exec
             .run(RunRequest::new(&run, &runtimes, &mut wild))
             .into_outcome();
-        let mut hy = HybridScheduler::aws(&history, SeedStream::new(3));
+        let mut hy = HybridScheduler::build_aws(&history, SeedStream::new(3));
         let hy_outcome = exec
             .run(RunRequest::new(&run, &runtimes, &mut hy))
             .into_outcome();
@@ -360,7 +390,7 @@ mod tests {
     #[test]
     fn mid_streak_types_are_confident() {
         let (_, _, history) = setup();
-        let mut hy = HybridScheduler::aws(&history, SeedStream::new(4));
+        let mut hy = HybridScheduler::build_aws(&history, SeedStream::new(4));
         // Type 1 streaks in blocks of 4 (present 4, absent 2, twice), so
         // its modal streak length is 4; then it re-enters and runs for 2
         // phases — mid-streak, 2 < 4 → confident at its last count.
@@ -384,7 +414,7 @@ mod tests {
     #[test]
     fn completed_streaks_stop_warming() {
         let (_, _, history) = setup();
-        let mut hy = HybridScheduler::aws(&history, SeedStream::new(5));
+        let mut hy = HybridScheduler::build_aws(&history, SeedStream::new(5));
         // Same block structure, but the current streak has reached the
         // modal length (4): the streak is expected to end — not confident.
         let mut i = 0;
@@ -411,7 +441,7 @@ mod tests {
         // the hybrid refuses to gamble a warm pairing on it (its live
         // streak has no completed record yet).
         let (_, _, history) = setup();
-        let mut hy = HybridScheduler::aws(&history, SeedStream::new(6));
+        let mut hy = HybridScheduler::build_aws(&history, SeedStream::new(6));
         for i in 0..6 {
             observe(&mut hy, i, &[(9, 2)]);
         }

@@ -19,17 +19,34 @@
 //!   components.
 //! * [`fixedpool`] — the paper's "excessively high pre-loading is cost
 //!   prohibitive" strawman: a fixed hot pool with no prediction.
+//! * [`icps`] — ICPS-style component-affinity clustering with real-time
+//!   resource reconfiguration (arxiv 2504.06512).
+//! * [`wukong`] — Wukong-style decentralized completion-event fan-out
+//!   with task clustering and delayed I/O (arxiv 1910.05896).
+//!
+//! All of them — plus DayDream itself — are selected through the
+//! name-keyed [`registry`]: every scheduler is a
+//! `Box<dyn SchedulerPolicy>` behind `--policy <name>`.
 
 pub mod fixedpool;
 pub mod hybrid;
+pub mod icps;
 pub mod naive;
 pub mod oracle;
 pub mod pegasus;
+pub mod policies;
 pub mod wild;
+pub mod wukong;
 
 pub use fixedpool::FixedPoolScheduler;
 pub use hybrid::HybridScheduler;
+pub use icps::IcpsScheduler;
 pub use naive::NaiveScheduler;
 pub use oracle::OracleScheduler;
 pub use pegasus::Pegasus;
+pub use policies::{
+    registry, FixedPoolPolicy, HybridPolicy, IcpsPolicy, NaivePolicy, OraclePolicy, PegasusPolicy,
+    WildPolicy, WukongPolicy,
+};
 pub use wild::WildScheduler;
+pub use wukong::WukongScheduler;

@@ -31,7 +31,20 @@ pub struct OracleScheduler {
 
 impl OracleScheduler {
     /// Creates an Oracle for (an exact copy of) the run about to execute.
+    ///
+    /// Pre-registry constructor, kept for one release as a back-compat
+    /// shim; select the policy by name instead.
+    #[deprecated(
+        note = "select \"oracle\" through dd_baselines::registry() and build via SchedulerPolicy"
+    )]
+    // dd-lint: allow(policy-api): deprecated back-compat shim over the policy registry, kept for one release
     pub fn new(run: WorkflowRun, friendly_threshold: f64) -> Self {
+        Self::build(run, friendly_threshold)
+    }
+
+    /// Crate-internal constructor the registry's [`crate::OraclePolicy`]
+    /// builds through.
+    pub(crate) fn build(run: WorkflowRun, friendly_threshold: f64) -> Self {
         Self {
             run,
             friendly_threshold,
@@ -157,7 +170,7 @@ mod tests {
     #[test]
     fn oracle_never_cold_never_wastes() {
         let (run, runtimes) = setup();
-        let mut oracle = OracleScheduler::new(run.clone(), 0.20);
+        let mut oracle = OracleScheduler::build(run.clone(), 0.20);
         let outcome = FaasExecutor::aws()
             .run(RunRequest::new(&run, &runtimes, &mut oracle))
             .into_outcome();
@@ -175,7 +188,7 @@ mod tests {
         // The dominance rule: every low-end placement completes within
         // the all-high-end makespan.
         let (run, _) = setup();
-        let oracle = OracleScheduler::new(run.clone(), 0.20);
+        let oracle = OracleScheduler::build(run.clone(), 0.20);
         let startup = StartupModel::aws();
         for phase in &run.phases {
             let plan = oracle.tier_plan(phase);
@@ -209,7 +222,7 @@ mod tests {
         let (run, runtimes) = setup();
         let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(10);
         let other = RunGenerator::new(spec, 999).generate(7);
-        let mut oracle = OracleScheduler::new(other, 0.20);
+        let mut oracle = OracleScheduler::build(other, 0.20);
         let outcome = FaasExecutor::aws()
             .run(RunRequest::new(&run, &runtimes, &mut oracle))
             .into_outcome();

@@ -8,7 +8,7 @@
 //! parallel file system, and the *entire cluster* is billed for the whole
 //! makespan — "at all times all the nodes of the cluster are active".
 
-use dd_platform::{CloudVendor, ClusterKind, ClusterSim, RunOutcome};
+use dd_platform::{CloudVendor, ClusterKind, ClusterPolicy, ClusterSim, RunOutcome};
 use dd_wfdag::{LanguageRuntime, WorkflowRun};
 
 /// The Pegasus workflow manager.
@@ -17,12 +17,43 @@ pub struct Pegasus;
 
 impl Pegasus {
     /// Executes a run on a max-phase-concurrency HPC cluster (AWS).
+    ///
+    /// Pre-registry entry point, kept for one release as a back-compat
+    /// shim; select the policy by name instead.
+    #[deprecated(
+        note = "select \"pegasus\" through dd_baselines::registry() and run via ClusterPolicy"
+    )]
+    // dd-lint: allow(policy-api): deprecated back-compat shim over the ClusterPolicy trait, kept for one release
     pub fn execute(&self, run: &WorkflowRun, runtimes: &[LanguageRuntime]) -> RunOutcome {
-        self.execute_on(run, runtimes, CloudVendor::Aws)
+        ClusterPolicy::execute(self, run, runtimes, CloudVendor::Aws)
     }
 
     /// Executes on a specific cloud vendor's nodes (Fig. 18).
+    ///
+    /// Pre-registry entry point, kept for one release as a back-compat
+    /// shim; select the policy by name instead.
+    #[deprecated(
+        note = "select \"pegasus\" through dd_baselines::registry() and run via ClusterPolicy"
+    )]
+    // dd-lint: allow(policy-api): deprecated back-compat shim over the ClusterPolicy trait, kept for one release
     pub fn execute_on(
+        &self,
+        run: &WorkflowRun,
+        runtimes: &[LanguageRuntime],
+        vendor: CloudVendor,
+    ) -> RunOutcome {
+        ClusterPolicy::execute(self, run, runtimes, vendor)
+    }
+}
+
+impl ClusterPolicy for Pegasus {
+    fn name(&self) -> &'static str {
+        "pegasus"
+    }
+
+    /// Executes the run on a cluster of `max phase concurrency` nodes
+    /// under `vendor` pricing, billed whole-cluster for the makespan.
+    fn execute(
         &self,
         run: &WorkflowRun,
         runtimes: &[LanguageRuntime],
@@ -50,7 +81,7 @@ mod tests {
     #[test]
     fn pegasus_completes_run() {
         let (run, runtimes) = setup();
-        let outcome = Pegasus.execute(&run, &runtimes);
+        let outcome = ClusterPolicy::execute(&Pegasus, &run, &runtimes, CloudVendor::Aws);
         assert_eq!(outcome.scheduler, "pegasus");
         assert_eq!(outcome.phases.len(), run.phase_count());
         assert!(outcome.service_time_secs > 0.0);
@@ -59,7 +90,7 @@ mod tests {
     #[test]
     fn pegasus_cost_is_whole_cluster_rental() {
         let (run, runtimes) = setup();
-        let outcome = Pegasus.execute(&run, &runtimes);
+        let outcome = ClusterPolicy::execute(&Pegasus, &run, &runtimes, CloudVendor::Aws);
         let nodes = run.max_concurrency() as f64;
         let rate = dd_platform::pricing::PriceSheet::aws().high_end_per_sec;
         let want = nodes * rate * outcome.service_time_secs;
@@ -69,7 +100,7 @@ mod tests {
     #[test]
     fn pegasus_all_cold_starts() {
         let (run, runtimes) = setup();
-        let outcome = Pegasus.execute(&run, &runtimes);
+        let outcome = ClusterPolicy::execute(&Pegasus, &run, &runtimes, CloudVendor::Aws);
         let (w, h, c) = outcome.start_counts();
         assert_eq!((w, h), (0, 0));
         assert_eq!(c as usize, run.total_components());

@@ -125,13 +125,26 @@ pub struct WildScheduler {
 
 impl Default for WildScheduler {
     fn default() -> Self {
-        Self::new()
+        Self::build()
     }
 }
 
 impl WildScheduler {
     /// Creates a Wild scheduler with the ARIMA(3,1,1) forecaster.
+    ///
+    /// Pre-registry constructor, kept for one release as a back-compat
+    /// shim; select the policy by name instead.
+    #[deprecated(
+        note = "select \"wild\" through dd_baselines::registry() and build via SchedulerPolicy"
+    )]
+    // dd-lint: allow(policy-api): deprecated back-compat shim over the policy registry, kept for one release
     pub fn new() -> Self {
+        Self::build()
+    }
+
+    /// Crate-internal constructor the registry's [`crate::WildPolicy`]
+    /// builds through.
+    pub(crate) fn build() -> Self {
         Self {
             history: BTreeMap::new(),
             recent_concurrency: VecDeque::new(),
@@ -425,7 +438,11 @@ mod tests {
     fn executes_and_mixes_warm_and_cold() {
         let (run, runtimes) = setup();
         let outcome = FaasExecutor::aws()
-            .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+            .run(RunRequest::new(
+                &run,
+                &runtimes,
+                &mut WildScheduler::build(),
+            ))
             .into_outcome();
         let (warm, hot, cold) = outcome.start_counts();
         assert_eq!(hot, 0, "Wild never uses runtime-only hot starts");
@@ -439,7 +456,11 @@ mod tests {
         // The paper's Fig. 16d: warming wrong components wastes cost.
         let (run, runtimes) = setup();
         let outcome = FaasExecutor::aws()
-            .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+            .run(RunRequest::new(
+                &run,
+                &runtimes,
+                &mut WildScheduler::build(),
+            ))
             .into_outcome();
         assert!(
             outcome.ledger.keep_alive_wasted > 0.0,
@@ -449,7 +470,7 @@ mod tests {
 
     #[test]
     fn record_prunes_vanished_types() {
-        let mut wild = WildScheduler::new();
+        let mut wild = WildScheduler::build();
         let mut obs = PhaseObservation {
             index: 0,
             concurrency: 2,
@@ -474,7 +495,7 @@ mod tests {
 
     #[test]
     fn forecast_tracks_steady_type() {
-        let mut wild = WildScheduler::new();
+        let mut wild = WildScheduler::build();
         let obs = |i: usize| PhaseObservation {
             index: i,
             concurrency: 5,
@@ -497,7 +518,7 @@ mod tests {
 
     #[test]
     fn per_type_cap_bounds_requests() {
-        let mut wild = WildScheduler::new();
+        let mut wild = WildScheduler::build();
         let obs = |i: usize| PhaseObservation {
             index: i,
             concurrency: 500,
@@ -521,7 +542,11 @@ mod tests {
         // panic means Wild never paired a warm instance with the wrong
         // component type.
         let _ = FaasExecutor::aws()
-            .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+            .run(RunRequest::new(
+                &run,
+                &runtimes,
+                &mut WildScheduler::build(),
+            ))
             .into_outcome();
     }
 }

@@ -6,12 +6,32 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use daydream_core::{DayDreamHistory, DayDreamScheduler};
-use dd_baselines::{OracleScheduler, Pegasus, WildScheduler};
+use dd_baselines::{OraclePolicy, Pegasus, WildPolicy};
+use dd_platform::{
+    BuiltScheduler, CloudVendor, ClusterPolicy, PolicyContext, SchedulerPolicy, ServerlessScheduler,
+};
 use dd_platform::{DesFaasExecutor, FaasExecutor};
 use dd_platform::{Executor, RunRequest};
 use dd_stats::SeedStream;
 use dd_wfdag::{RunGenerator, Workflow, WorkflowSpec};
 use std::hint::black_box;
+
+/// Builds a policy's serverless scheduler for one bench iteration.
+fn build_serverless(
+    policy: &dyn SchedulerPolicy,
+    run: &dd_wfdag::WorkflowRun,
+    runtimes: &[dd_wfdag::LanguageRuntime],
+) -> Box<dyn ServerlessScheduler + Send> {
+    match policy.build(&PolicyContext {
+        run,
+        runtimes,
+        vendor: CloudVendor::Aws,
+        seeds: SeedStream::new(7),
+    }) {
+        BuiltScheduler::Serverless(s) => s,
+        BuiltScheduler::Cluster(_) => unreachable!("serverless policy expected"),
+    }
+}
 
 fn setup() -> (
     dd_wfdag::WorkflowRun,
@@ -46,11 +66,11 @@ fn bench_schedulers(c: &mut Criterion) {
     });
     group.bench_function("oracle", |b| {
         b.iter_batched(
-            || OracleScheduler::new(run.clone(), 0.20),
+            || build_serverless(&OraclePolicy::new(), &run, &runtimes),
             |mut s| {
                 black_box(
                     executor
-                        .run(RunRequest::new(&run, &runtimes, &mut s))
+                        .run(RunRequest::new(&run, &runtimes, s.as_mut()))
                         .into_outcome(),
                 )
             },
@@ -59,11 +79,11 @@ fn bench_schedulers(c: &mut Criterion) {
     });
     group.bench_function("wild", |b| {
         b.iter_batched(
-            WildScheduler::new,
+            || build_serverless(&WildPolicy, &run, &runtimes),
             |mut s| {
                 black_box(
                     executor
-                        .run(RunRequest::new(&run, &runtimes, &mut s))
+                        .run(RunRequest::new(&run, &runtimes, s.as_mut()))
                         .into_outcome(),
                 )
             },
@@ -71,7 +91,14 @@ fn bench_schedulers(c: &mut Criterion) {
         )
     });
     group.bench_function("pegasus", |b| {
-        b.iter(|| black_box(Pegasus.execute(&run, &runtimes)))
+        b.iter(|| {
+            black_box(ClusterPolicy::execute(
+                &Pegasus,
+                &run,
+                &runtimes,
+                CloudVendor::Aws,
+            ))
+        })
     });
     // The event-driven cross-check executor: how much the explicit event
     // queue costs relative to the analytic fast path.

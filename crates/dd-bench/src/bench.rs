@@ -270,6 +270,33 @@ pub fn bench_traffic(ctx: &ExperimentContext) -> BenchResult {
     result
 }
 
+/// Benchmarks the policy zoo: every registered scheduler policy through
+/// the full fault matrix (rate × recovery × run, ExaFEL). The artifact's
+/// extras record the sweep shape — registered policies, matrix cells,
+/// and wall-clock cells/sec — so the committed file tracks how the
+/// registry grows and what a policy-cell costs.
+pub fn bench_zoo(ctx: &ExperimentContext) -> BenchResult {
+    let policies = dd_baselines::registry().len();
+    let cells = policies
+        * crate::experiments::robustness::RATES.len()
+        * crate::experiments::robustness::POLICIES.len()
+        * ctx.runs_per_workflow.min(2);
+    let mut rendered = 0usize;
+    let mut result = measure("zoo", None, || {
+        rendered = crate::experiments::zoo::run(ctx).len();
+    });
+    assert!(rendered > 0, "zoo rendered empty");
+    result.extras = vec![
+        ("policies".to_string(), policies.to_string()),
+        ("matrix_cells".to_string(), cells.to_string()),
+        (
+            "cells_per_sec".to_string(),
+            json_f64(per_sec(cells as u64, result.wall_secs)),
+        ),
+    ];
+    result
+}
+
 /// Lower-cased artifact slug for a workflow name ("Cosmoscout-VR" →
 /// "cosmoscout_vr").
 pub fn workflow_slug(workflow: Workflow) -> String {
@@ -447,6 +474,33 @@ mod tests {
         assert!(!json.contains(",\n}"));
         // Classic workloads keep the original fixed key set.
         assert!(bench_stress(500).extras.is_empty());
+    }
+
+    #[test]
+    fn zoo_bench_records_matrix_extras() {
+        let ctx = ExperimentContext {
+            runs_per_workflow: 1,
+            scale_down: 25,
+            jobs: 1,
+            ..ExperimentContext::default()
+        };
+        let r = bench_zoo(&ctx);
+        assert_eq!(r.name, "zoo");
+        assert!(r.component_starts > 0, "no component starts recorded");
+        let json = r.to_json();
+        let policies = dd_baselines::registry().len();
+        assert!(
+            json.contains(&format!("\"policies\": {policies}")),
+            "{json}"
+        );
+        // 9 policies x 3 rates x 3 recoveries x 1 run.
+        assert!(
+            json.contains(&format!("\"matrix_cells\": {}", policies * 9)),
+            "{json}"
+        );
+        assert!(json.contains("\"cells_per_sec\":"), "{json}");
+        assert!(json.ends_with("}\n"));
+        assert!(!json.contains(",\n}"));
     }
 
     #[test]

@@ -15,19 +15,22 @@
 //! - `stress`      — synthetic event-queue churn (`--events`, default 1M)
 //! - `traffic`     — 4-tenant bursty stream through the multi-tenant
 //!   front door on the DES executor (extras record arrivals/sec)
+//! - `zoo`         — every registered scheduler policy through the full
+//!   fault matrix (extras record policies, matrix cells, cells/sec)
 
 use dd_bench::bench::{self, BenchResult};
 use dd_bench::ExperimentContext;
 use dd_wfdag::Workflow;
 use std::path::PathBuf;
 
-const DEFAULT_WORKLOADS: [&str; 6] = [
+const DEFAULT_WORKLOADS: [&str; 7] = [
     "report",
     "exafel",
     "cosmoscout_vr",
     "ccl",
     "stress",
     "traffic",
+    "zoo",
 ];
 
 fn usage() -> ! {
@@ -118,6 +121,7 @@ fn main() {
             "ccl" => bench_workflow(&ctx, Workflow::Ccl),
             "stress" => bench::bench_stress(events),
             "traffic" => bench::bench_traffic(&ctx),
+            "zoo" => bench::bench_zoo(&ctx),
             other => {
                 eprintln!("unknown workload '{other}' (see --help)");
                 std::process::exit(2);

@@ -10,11 +10,11 @@
 //!    arrive late.
 
 use crate::report::{pct_change, section, Table};
-use crate::workloads::{mean, ExperimentContext};
+use crate::workloads::{execute_policy_seeded, mean, ExperimentContext};
 use daydream_core::{DayDreamConfig, DayDreamScheduler};
-use dd_baselines::HybridScheduler;
-use dd_platform::{CloudVendor, FaasConfig, FaasExecutor, PoolTrigger};
+use dd_baselines::HybridPolicy;
 use dd_platform::{Executor, RunRequest};
+use dd_platform::{FaasConfig, FaasExecutor, PoolTrigger};
 use dd_stats::SeedStream;
 use dd_wfdag::Workflow;
 
@@ -160,19 +160,12 @@ pub fn run(ctx: &ExperimentContext) -> String {
         let results = crate::sweep::par_map(ctx.jobs, shared.len() * budget, |cell| {
             let (gen, runtimes, history) = &shared[cell / budget];
             let idx = cell % budget;
-            let mut executor = FaasExecutor::new(FaasConfig {
-                vendor: ctx.vendor,
-                ..FaasConfig::default()
-            });
             let run = gen.generate(idx);
             let seeds = SeedStream::new(ctx.seed)
                 .derive("ablation-hybrid")
                 .derive_index(idx as u64);
-            let mut sched =
-                HybridScheduler::new(history, DayDreamConfig::default(), CloudVendor::Aws, seeds);
-            let outcome = executor
-                .run(RunRequest::new(&run, runtimes, &mut sched))
-                .into_outcome();
+            let hybrid = HybridPolicy::with_history(history.clone());
+            let outcome = execute_policy_seeded(ctx, &run, runtimes, &hybrid, seeds);
             (outcome.service_time_secs, outcome.service_cost())
         });
         let (t, c) = (

@@ -8,11 +8,10 @@
 //! cost explosion stops — and DayDream sitting at the knee.
 
 use crate::report::{pct_change, section, Table};
-use crate::workloads::{mean, ExperimentContext};
-use daydream_core::{DayDreamHistory, DayDreamScheduler};
-use dd_baselines::FixedPoolScheduler;
-use dd_platform::{Executor, RunRequest};
-use dd_platform::{FaasConfig, FaasExecutor, RunOutcome, ServerlessScheduler};
+use crate::workloads::{execute_policy_seeded, mean, ExperimentContext};
+use daydream_core::DayDreamPolicy;
+use dd_baselines::FixedPoolPolicy;
+use dd_platform::{RunOutcome, SchedulerPolicy};
 use dd_stats::SeedStream;
 use dd_wfdag::{Workflow, WorkflowRun};
 
@@ -20,24 +19,18 @@ fn evaluate(
     ctx: &ExperimentContext,
     runs: &[WorkflowRun],
     runtimes: &[dd_wfdag::LanguageRuntime],
-    history: &DayDreamHistory,
-    mut make: impl FnMut(u64) -> Box<dyn ServerlessScheduler>,
+    policy: &dyn SchedulerPolicy,
 ) -> (f64, f64, f64) {
-    let mut executor = FaasExecutor::new(FaasConfig {
-        vendor: ctx.vendor,
-        ..FaasConfig::default()
-    });
     let outcomes: Vec<RunOutcome> = runs
         .iter()
         .enumerate()
         .map(|(i, run)| {
-            let mut s = make(i as u64);
-            executor
-                .run(RunRequest::new(run, runtimes, s.as_mut()))
-                .into_outcome()
+            let seeds = SeedStream::new(ctx.seed)
+                .derive("fixedpool")
+                .derive_index(i as u64);
+            execute_policy_seeded(ctx, run, runtimes, policy, seeds)
         })
         .collect();
-    let _ = history;
     (
         mean(outcomes.iter().map(|o| o.service_time_secs)),
         mean(outcomes.iter().map(|o| o.service_cost())),
@@ -54,14 +47,8 @@ pub fn run(ctx: &ExperimentContext) -> String {
         .map(|i| gen.generate(i))
         .collect();
 
-    let (dd_t, dd_c, dd_w) = evaluate(ctx, &runs, &runtimes, &history, |i| {
-        Box::new(DayDreamScheduler::aws(
-            &history,
-            SeedStream::new(ctx.seed)
-                .derive("fixedpool")
-                .derive_index(i),
-        ))
-    });
+    let daydream = DayDreamPolicy::with_history(history.clone());
+    let (dd_t, dd_c, dd_w) = evaluate(ctx, &runs, &runtimes, &daydream);
 
     let mut table = Table::new([
         "pool",
@@ -80,9 +67,8 @@ pub fn run(ctx: &ExperimentContext) -> String {
         format!("{dd_w:.4}"),
     ]);
     for multiple in [0.5f64, 1.0, 1.5, 2.0, 3.0] {
-        let (t, c, w) = evaluate(ctx, &runs, &runtimes, &history, |_| {
-            Box::new(FixedPoolScheduler::from_mean_multiple(multiple, &history))
-        });
+        let fixed = FixedPoolPolicy::with_history(history.clone()).with_multiple(multiple);
+        let (t, c, w) = evaluate(ctx, &runs, &runtimes, &fixed);
         table.row([
             format!("fixed {multiple}x mean"),
             format!("{t:.0}"),

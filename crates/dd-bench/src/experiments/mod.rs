@@ -39,3 +39,4 @@ pub mod scaling;
 pub mod sensitivity;
 pub mod startup;
 pub mod traffic;
+pub mod zoo;

@@ -9,8 +9,11 @@
 use crate::report::{section, Table};
 use crate::workloads::ExperimentContext;
 use daydream_core::{DayDreamConfig, DayDreamScheduler};
-use dd_baselines::WildScheduler;
-use dd_platform::{CloudVendor, RunInfo, ServerlessScheduler, SimTime};
+use dd_baselines::WildPolicy;
+use dd_platform::{
+    BuiltScheduler, CloudVendor, PolicyContext, RunInfo, SchedulerPolicy, ServerlessScheduler,
+    SimTime,
+};
 use dd_stats::SeedStream;
 use dd_wfdag::Workflow;
 use std::time::Instant;
@@ -49,7 +52,14 @@ pub fn run(ctx: &ExperimentContext) -> String {
     }
     let dd_secs = started.elapsed().as_secs_f64() / decisions.max(1) as f64;
 
-    let mut wild = WildScheduler::new();
+    let BuiltScheduler::Serverless(mut wild) = WildPolicy.build(&PolicyContext {
+        run: &run,
+        runtimes: &spec.runtimes,
+        vendor: ctx.vendor,
+        seeds: SeedStream::new(ctx.seed),
+    }) else {
+        unreachable!("wild builds a serverless scheduler");
+    };
     // dd-lint: allow(wall-clock, determinism-taint, par-purity): same self-measurement — Wild's measured decision wall time is the reported quantity
     let started = Instant::now();
     for phase in &run.phases {

@@ -20,60 +20,23 @@
 //! straggler tail at a small retry-cost premium.
 
 use crate::report::{pct_change, section, Table};
-use crate::workloads::{mean, ExperimentContext};
-use daydream_core::{DayDreamHistory, DayDreamScheduler};
-use dd_baselines::{Pegasus, WildScheduler};
-use dd_platform::{Executor, RunRequest};
-use dd_platform::{FaasConfig, FaasExecutor, FaultConfig, FaultPlan, RecoveryPolicy, RunOutcome};
+use crate::workloads::{execute_policy_faulted, mean, ExperimentContext};
+use daydream_core::{DayDreamHistory, DayDreamPolicy};
+use dd_baselines::{PegasusPolicy, WildPolicy};
+use dd_platform::{FaultConfig, RecoveryPolicy};
 use dd_stats::SeedStream;
-use dd_wfdag::{LanguageRuntime, Workflow, WorkflowRun};
+use dd_wfdag::Workflow;
 
-/// Uniform per-kind failure rates swept by the matrix.
-const RATES: [f64; 3] = [0.0, 0.01, 0.05];
+/// Uniform per-kind failure rates swept by the matrix (shared with the
+/// policy-zoo matrix).
+pub(crate) const RATES: [f64; 3] = [0.0, 0.01, 0.05];
 
-/// Recovery policies swept by the matrix.
-const POLICIES: [RecoveryPolicy; 3] = [
+/// Recovery policies swept by the matrix (shared with the policy zoo).
+pub(crate) const POLICIES: [RecoveryPolicy; 3] = [
     RecoveryPolicy::none(),
     RecoveryPolicy::backoff(),
     RecoveryPolicy::speculative(),
 ];
-
-/// Executes Pegasus under the fault plan: each phase is stretched by the
-/// worst per-slot recovery factor (unit-exec timelines), because the
-/// gang-scheduled cluster phase cannot complete before its slowest
-/// retried node. The added node-time is billed to the `retry` ledger
-/// component at the run's effective execution rate.
-fn pegasus_with_faults(
-    run: &WorkflowRun,
-    runtimes: &[LanguageRuntime],
-    ctx: &ExperimentContext,
-    config: FaultConfig,
-    policy: RecoveryPolicy,
-) -> RunOutcome {
-    let mut outcome = Pegasus.execute_on(run, runtimes, ctx.vendor);
-    let plan = FaultPlan::for_run(config, policy, run.label.run_index as u64);
-    if plan.is_clean() {
-        return outcome;
-    }
-    let clean_exec: f64 = outcome.phases.iter().map(|p| p.exec_secs).sum();
-    let mut extra = 0.0;
-    for phase in &mut outcome.phases {
-        let factor = (0..phase.concurrency.max(1) as usize)
-            .map(|slot| {
-                plan.timeline(phase.index, slot, 0.0, 1.0, 0.0)
-                    .completion_offset_secs
-            })
-            .fold(1.0_f64, f64::max);
-        extra += phase.exec_secs * (factor - 1.0);
-        phase.exec_secs *= factor;
-    }
-    outcome.service_time_secs += extra;
-    if clean_exec > 0.0 {
-        // Bill the stretch at the run's effective $/exec-second rate.
-        outcome.ledger.retry = outcome.ledger.execution * (extra / clean_exec);
-    }
-    outcome
-}
 
 /// Runs the experiment.
 pub fn run(ctx: &ExperimentContext) -> String {
@@ -104,26 +67,14 @@ pub fn run(ctx: &ExperimentContext) -> String {
         let idx = cell % runs.len();
         let run = &runs[idx];
         let faults = FaultConfig::uniform(rate).with_seed(fault_seed);
-        let mut executor = FaasExecutor::new(FaasConfig {
-            vendor: ctx.vendor,
-            faults,
-            recovery: policy,
-            ..FaasConfig::default()
-        });
         let seeds = SeedStream::new(ctx.seed)
             .derive("robustness")
             .derive_index(idx as u64);
-        let dd = executor
-            .run(RunRequest::new(
-                run,
-                &runtimes,
-                &mut DayDreamScheduler::aws(&history, seeds),
-            ))
-            .into_outcome();
-        let wild = executor
-            .run(RunRequest::new(run, &runtimes, &mut WildScheduler::new()))
-            .into_outcome();
-        let pegasus = pegasus_with_faults(run, &runtimes, ctx, faults, policy);
+        let daydream = DayDreamPolicy::with_history(history.clone());
+        let dd = execute_policy_faulted(ctx, run, &runtimes, &daydream, seeds, faults, policy);
+        let wild = execute_policy_faulted(ctx, run, &runtimes, &WildPolicy, seeds, faults, policy);
+        let pegasus =
+            execute_policy_faulted(ctx, run, &runtimes, &PegasusPolicy, seeds, faults, policy);
         [
             dd.service_time_secs,
             dd.ledger.retry,

@@ -8,11 +8,9 @@
 //! Wild mispairing or a Pegasus cold start to sit on the critical path.
 
 use crate::report::{pct_change, section, Table};
-use crate::workloads::{mean, ExperimentContext};
-use daydream_core::{DayDreamHistory, DayDreamScheduler};
-use dd_baselines::{Pegasus, WildScheduler};
-use dd_platform::{Executor, RunRequest};
-use dd_platform::{FaasConfig, FaasExecutor};
+use crate::workloads::{execute_policy_seeded, mean, ExperimentContext};
+use daydream_core::{DayDreamHistory, DayDreamPolicy};
+use dd_baselines::{PegasusPolicy, WildPolicy};
 use dd_stats::SeedStream;
 use dd_wfdag::{RunGenerator, WorkflowSpec};
 
@@ -48,25 +46,14 @@ pub fn run(ctx: &ExperimentContext) -> String {
     let cells = crate::sweep::par_map(ctx.jobs, levels.len() * n_runs, |cell| {
         let (_, gen, runtimes, history) = &levels[cell / n_runs];
         let idx = cell % n_runs;
-        let mut executor = FaasExecutor::new(FaasConfig {
-            vendor: ctx.vendor,
-            ..FaasConfig::default()
-        });
         let run = gen.generate(idx);
         let seeds = SeedStream::new(ctx.seed)
             .derive("scaling")
             .derive_index(idx as u64);
-        let dd = executor
-            .run(RunRequest::new(
-                &run,
-                runtimes,
-                &mut DayDreamScheduler::aws(history, seeds),
-            ))
-            .into_outcome();
-        let wi = executor
-            .run(RunRequest::new(&run, runtimes, &mut WildScheduler::new()))
-            .into_outcome();
-        let pe = Pegasus.execute_on(&run, runtimes, ctx.vendor);
+        let daydream = DayDreamPolicy::with_history(history.clone());
+        let dd = execute_policy_seeded(ctx, &run, runtimes, &daydream, seeds);
+        let wi = execute_policy_seeded(ctx, &run, runtimes, &WildPolicy, seeds);
+        let pe = execute_policy_seeded(ctx, &run, runtimes, &PegasusPolicy, seeds);
         [
             [dd.service_time_secs, dd.service_cost()],
             [wi.service_time_secs, wi.service_cost()],

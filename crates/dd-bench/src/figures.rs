@@ -90,9 +90,10 @@ pub fn render(
         "robustness" => exp::robustness::run(ctx),
         "obs" => exp::obs::run(ctx),
         // Standalone (not in FIGURES: the full-report byte stream is
-        // pinned by the perf-equivalence hashes, so the multi-tenant
-        // frontier renders on request only: `report traffic`).
+        // pinned by the perf-equivalence hashes, so these render on
+        // request only: `report traffic`, `report zoo`).
         "traffic" => exp::traffic::run(ctx),
+        "zoo" => exp::zoo::run(ctx),
         _ => return None,
     };
     Some(out)

@@ -12,14 +12,13 @@
 //! and DES executors (which the workspace pins to bitwise agreement).
 
 use crate::sweep::par_map_with;
-use daydream_core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use dd_platform::traffic::{
     arrivals, plan_shared_pool, Arrival, ArrivalModel, FrontDoor, ServeReport, ServiceSample,
     TenantId, TenantSpec, TrafficConfig,
 };
 use dd_platform::{
-    CloudVendor, DesFaasExecutor, DesSession, Executor, FaasConfig, FaasExecutor, FaultConfig,
-    RunRequest,
+    BuiltScheduler, CloudVendor, DesFaasExecutor, DesSession, Executor, FaasConfig, FaasExecutor,
+    FaultConfig, PolicyContext, RunRequest, SchedulerPolicy,
 };
 use dd_stats::SeedStream;
 use dd_wfdag::{RunGenerator, Workflow};
@@ -53,7 +52,7 @@ impl InnerExecutor {
 }
 
 /// One serve session's shape.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct TrafficParams {
     /// Root seed (arrivals, run generation, schedulers, faults).
     pub seed: u64,
@@ -80,6 +79,9 @@ pub struct TrafficParams {
     pub fault_rate: f64,
     /// Fault-injection seed (salted per tenant).
     pub fault_seed: u64,
+    /// Scheduler policy serving every tenant (a name from
+    /// [`dd_baselines::registry`]).
+    pub policy: String,
 }
 
 impl Default for TrafficParams {
@@ -97,6 +99,7 @@ impl Default for TrafficParams {
             executor: InnerExecutor::Des,
             fault_rate: 0.0,
             fault_seed: 7,
+            policy: "daydream".to_string(),
         }
     }
 }
@@ -167,9 +170,11 @@ pub fn simulate_stream(params: &TrafficParams) -> TrafficOutcome {
         capacity: params.capacity.max(1),
     };
 
-    // Per-tenant run generators + DayDream histories (trained on the
-    // dedicated run index 1000, as the single-tenant evaluation does).
-    let tenant_setup: Vec<(RunGenerator, DayDreamHistory)> = (0..params.tenants)
+    // Per-tenant run generators + prepared scheduler policies (trained
+    // on the dedicated run index 1000, as the single-tenant evaluation
+    // does). Any registered policy serves the stream; the default
+    // "daydream" reproduces the pre-registry front door byte for byte.
+    let tenant_setup: Vec<(RunGenerator, Box<dyn SchedulerPolicy>)> = (0..params.tenants)
         .map(|i| {
             let spec =
                 dd_wfdag::WorkflowSpec::new(params.workflow_of(i)).scaled_down(params.scale_down);
@@ -178,9 +183,11 @@ pub fn simulate_stream(params: &TrafficParams) -> TrafficOutcome {
                 .derive_index(i as u64)
                 .seed();
             let generator = RunGenerator::new(spec, gen_seed);
-            let mut history = DayDreamHistory::new();
-            history.learn_from_run(&generator.generate(1_000), 0.20, 24);
-            (generator, history)
+            let mut policy = dd_baselines::registry()
+                .create(&params.policy)
+                .unwrap_or_else(|e| panic!("traffic policy: {e}"));
+            policy.prepare(&generator.generate(1_000));
+            (generator, policy)
         })
         .collect();
 
@@ -218,23 +225,43 @@ pub fn simulate_stream(params: &TrafficParams) -> TrafficOutcome {
         par_map_with(params.jobs, table.len(), DesSession::new, |session, idx| {
             let arrival = table[idx];
             let tenant = arrival.tenant.0 as usize;
-            let (generator, history) = &tenant_setup[tenant];
+            let (generator, policy) = &tenant_setup[tenant];
             let run = generator.generate(arrival.index);
             let seeds = SeedStream::new(params.seed)
                 .derive("traffic-sched")
                 .derive_index(arrival.tenant.0.into())
                 .derive_index(arrival.index as u64);
-            let mut scheduler =
-                DayDreamScheduler::new(history, DayDreamConfig::default(), params.vendor, seeds);
-            let request = RunRequest::new(&run, &generator.spec().runtimes, &mut scheduler);
-            let outcome = if use_des {
-                DesFaasExecutor::new(faas_config(arrival.tenant.0))
-                    .run_with(session, request)
-                    .into_outcome()
-            } else {
-                FaasExecutor::new(faas_config(arrival.tenant.0))
-                    .run(request)
-                    .into_outcome()
+            let outcome = match policy.build(&PolicyContext {
+                run: &run,
+                runtimes: &generator.spec().runtimes,
+                vendor: params.vendor,
+                seeds,
+            }) {
+                BuiltScheduler::Serverless(mut scheduler) => {
+                    let request =
+                        RunRequest::new(&run, &generator.spec().runtimes, scheduler.as_mut());
+                    if use_des {
+                        DesFaasExecutor::new(faas_config(arrival.tenant.0))
+                            .run_with(session, request)
+                            .into_outcome()
+                    } else {
+                        FaasExecutor::new(faas_config(arrival.tenant.0))
+                            .run(request)
+                            .into_outcome()
+                    }
+                }
+                // Cluster policies bypass the FaaS pool (no shared-pool
+                // cap applies) but pay the same injected faults.
+                BuiltScheduler::Cluster(cluster) => {
+                    let cfg = faas_config(arrival.tenant.0);
+                    cluster.execute_faulted(
+                        &run,
+                        &generator.spec().runtimes,
+                        params.vendor,
+                        cfg.faults,
+                        cfg.recovery,
+                    )
+                }
             };
             ServiceSample::from_outcome(&outcome)
         });
@@ -319,6 +346,35 @@ mod tests {
         let completed: usize = out.report.tenants.iter().map(|t| t.completed).sum();
         assert_eq!(completed, 9);
         assert!(out.provisioned_concurrency >= out.config.capacity);
+    }
+
+    #[test]
+    fn any_registered_policy_serves_the_stream() {
+        // Every registry entry — including the cluster-backed pegasus —
+        // must serve the full stream deterministically.
+        for name in ["wild", "pegasus", "icps"] {
+            let params = TrafficParams {
+                policy: name.to_string(),
+                ..smoke_params()
+            };
+            let out = simulate_stream(&params);
+            let completed: usize = out.report.tenants.iter().map(|t| t.completed).sum();
+            assert_eq!(completed, 9, "{name} dropped runs");
+            let threaded = simulate_stream(&TrafficParams {
+                jobs: 8,
+                ..params.clone()
+            });
+            assert_eq!(out.report, threaded.report, "{name} not jobs-invariant");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown policy")]
+    fn unknown_traffic_policy_panics_with_known_names() {
+        simulate_stream(&TrafficParams {
+            policy: "quantum".to_string(),
+            ..smoke_params()
+        });
     }
 
     #[test]

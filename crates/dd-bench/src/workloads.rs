@@ -8,10 +8,10 @@
 //! only the [`RunOutcome`]s, so even full-scale Cosmoscout-VR (≈ 120 000
 //! component instances per run) fits comfortably in memory.
 
-use daydream_core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
-use dd_baselines::{NaiveScheduler, OracleScheduler, Pegasus, WildScheduler};
-use dd_platform::{CloudVendor, FaasConfig, FaasExecutor, RunOutcome};
-use dd_platform::{Executor, RunRequest};
+use daydream_core::{DayDreamHistory, DayDreamPolicy};
+use dd_baselines::{NaivePolicy, OraclePolicy, PegasusPolicy, WildPolicy};
+use dd_platform::{BuiltScheduler, CloudVendor, FaasConfig, FaasExecutor, RunOutcome};
+use dd_platform::{Executor, PolicyContext, RunRequest, SchedulerPolicy};
 use dd_stats::SeedStream;
 use dd_wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
 
@@ -134,7 +134,9 @@ impl std::fmt::Display for SchedulerKind {
     }
 }
 
-/// Executes one run under one scheduler.
+/// Executes one run under one scheduler kind by routing it through the
+/// matching [`SchedulerPolicy`] (history-driven kinds are seeded with
+/// the pre-trained history rather than re-trained per cell).
 pub fn execute_run(
     ctx: &ExperimentContext,
     run: &WorkflowRun,
@@ -142,39 +144,95 @@ pub fn execute_run(
     history: &DayDreamHistory,
     kind: SchedulerKind,
 ) -> RunOutcome {
-    let mut executor = FaasExecutor::new(FaasConfig {
-        vendor: ctx.vendor,
-        ..FaasConfig::default()
-    });
+    let policy: Box<dyn SchedulerPolicy> = match kind {
+        SchedulerKind::Oracle => Box::new(OraclePolicy::new()),
+        SchedulerKind::DayDream => Box::new(DayDreamPolicy::with_history(history.clone())),
+        SchedulerKind::Wild => Box::new(WildPolicy),
+        SchedulerKind::Pegasus => Box::new(PegasusPolicy),
+        SchedulerKind::Naive => Box::new(NaivePolicy),
+    };
+    execute_policy(ctx, run, runtimes, policy.as_ref())
+}
+
+/// Executes one run under an already-prepared policy — the single
+/// dispatch point every experiment funnels through. Serverless builds
+/// run on the analytic FaaS executor; cluster builds execute directly.
+pub fn execute_policy(
+    ctx: &ExperimentContext,
+    run: &WorkflowRun,
+    runtimes: &[dd_wfdag::LanguageRuntime],
+    policy: &dyn SchedulerPolicy,
+) -> RunOutcome {
     let seeds = SeedStream::new(ctx.seed)
         .derive("scheduler")
         .derive_index(run.label.run_index as u64);
-    match kind {
-        SchedulerKind::Oracle => {
-            let mut s = OracleScheduler::new(run.clone(), 0.20);
+    execute_policy_seeded(ctx, run, runtimes, policy, seeds)
+}
+
+/// [`execute_policy`] with a caller-chosen seed stream — experiments
+/// that predate the registry each pinned their own derivation label and
+/// must keep it for byte-stable reports.
+pub fn execute_policy_seeded(
+    ctx: &ExperimentContext,
+    run: &WorkflowRun,
+    runtimes: &[dd_wfdag::LanguageRuntime],
+    policy: &dyn SchedulerPolicy,
+    seeds: SeedStream,
+) -> RunOutcome {
+    let pctx = PolicyContext {
+        run,
+        runtimes,
+        vendor: ctx.vendor,
+        seeds,
+    };
+    match policy.build(&pctx) {
+        BuiltScheduler::Serverless(mut s) => {
+            let mut executor = FaasExecutor::new(FaasConfig {
+                vendor: ctx.vendor,
+                ..FaasConfig::default()
+            });
             executor
-                .run(RunRequest::new(run, runtimes, &mut s))
+                .run(RunRequest::new(run, runtimes, s.as_mut()))
                 .into_outcome()
         }
-        SchedulerKind::DayDream => {
-            let mut s =
-                DayDreamScheduler::new(history, DayDreamConfig::default(), ctx.vendor, seeds);
+        BuiltScheduler::Cluster(cluster) => cluster.execute(run, runtimes, ctx.vendor),
+    }
+}
+
+/// Executes one run under a prepared policy with fault injection: the
+/// serverless path runs on a faulted FaaS executor, the cluster path
+/// goes through [`dd_platform::ClusterPolicy::execute_faulted`]'s
+/// phase-stretch adapter. `seeds` feeds the policy's per-run scheduler
+/// (callers pick the derivation so existing streams stay byte-stable).
+pub fn execute_policy_faulted(
+    ctx: &ExperimentContext,
+    run: &WorkflowRun,
+    runtimes: &[dd_wfdag::LanguageRuntime],
+    policy: &dyn SchedulerPolicy,
+    seeds: SeedStream,
+    faults: dd_platform::FaultConfig,
+    recovery: dd_platform::RecoveryPolicy,
+) -> RunOutcome {
+    let pctx = PolicyContext {
+        run,
+        runtimes,
+        vendor: ctx.vendor,
+        seeds,
+    };
+    match policy.build(&pctx) {
+        BuiltScheduler::Serverless(mut s) => {
+            let mut executor = FaasExecutor::new(FaasConfig {
+                vendor: ctx.vendor,
+                faults,
+                recovery,
+                ..FaasConfig::default()
+            });
             executor
-                .run(RunRequest::new(run, runtimes, &mut s))
+                .run(RunRequest::new(run, runtimes, s.as_mut()))
                 .into_outcome()
         }
-        SchedulerKind::Wild => {
-            let mut s = WildScheduler::new();
-            executor
-                .run(RunRequest::new(run, runtimes, &mut s))
-                .into_outcome()
-        }
-        SchedulerKind::Pegasus => Pegasus.execute_on(run, runtimes, ctx.vendor),
-        SchedulerKind::Naive => {
-            let mut s = NaiveScheduler;
-            executor
-                .run(RunRequest::new(run, runtimes, &mut s))
-                .into_outcome()
+        BuiltScheduler::Cluster(cluster) => {
+            cluster.execute_faulted(run, runtimes, ctx.vendor, faults, recovery)
         }
     }
 }

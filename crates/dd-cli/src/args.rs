@@ -7,48 +7,24 @@ use dd_platform::RecoveryPolicy;
 use dd_wfdag::Workflow;
 use std::path::PathBuf;
 
-/// Which scheduler executes the runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SchedulerChoice {
-    /// The paper's contribution (default).
-    DayDream,
-    /// Clairvoyant lower bound.
-    Oracle,
-    /// Serverless in the Wild.
-    Wild,
-    /// HPC workflow manager.
-    Pegasus,
-    /// All cold starts.
-    Naive,
-    /// DayDream + Wild combination (the paper's future work).
-    Hybrid,
+/// Parses a `--policy` value: `help` lists the registry, anything else
+/// must be a registered policy name (the registry's unknown-name error —
+/// which lists every known policy — propagates verbatim).
+fn parse_policy(s: &str) -> Result<PolicyArg, String> {
+    if s.eq_ignore_ascii_case("help") || s.eq_ignore_ascii_case("list") {
+        return Ok(PolicyArg::Help);
+    }
+    let registry = dd_baselines::registry();
+    registry.create(s)?;
+    Ok(PolicyArg::Named(s.to_ascii_lowercase()))
 }
 
-impl SchedulerChoice {
-    /// Parses a scheduler name.
-    pub fn parse(s: &str) -> Result<Self, String> {
-        match s.to_ascii_lowercase().as_str() {
-            "daydream" => Ok(Self::DayDream),
-            "oracle" => Ok(Self::Oracle),
-            "wild" => Ok(Self::Wild),
-            "pegasus" => Ok(Self::Pegasus),
-            "naive" => Ok(Self::Naive),
-            "hybrid" => Ok(Self::Hybrid),
-            other => Err(format!("unknown scheduler '{other}'")),
-        }
-    }
-
-    /// Display name.
-    pub fn name(self) -> &'static str {
-        match self {
-            Self::DayDream => "daydream",
-            Self::Oracle => "oracle",
-            Self::Wild => "wild",
-            Self::Pegasus => "pegasus",
-            Self::Naive => "naive",
-            Self::Hybrid => "hybrid",
-        }
-    }
+/// A parsed `--policy` value.
+enum PolicyArg {
+    /// `--policy help`: print the registry listing and exit.
+    Help,
+    /// A validated registered policy name, lowercased.
+    Named(String),
 }
 
 /// Observability export format (`--obs`).
@@ -99,8 +75,9 @@ pub struct RunArgs {
     pub workflow: Workflow,
     /// Number of runs (artifact: 50).
     pub runs: usize,
-    /// Scheduler.
-    pub scheduler: SchedulerChoice,
+    /// Scheduler policy name (a [`dd_baselines::registry`] entry,
+    /// validated at parse time).
+    pub policy: String,
     /// Root seed.
     pub seed: u64,
     /// Phase-count divisor (1 = paper scale).
@@ -158,6 +135,8 @@ pub struct ServeArgs {
     pub fault_rate: f64,
     /// Fault-injection seed (salted per tenant).
     pub fault_seed: u64,
+    /// Scheduler policy serving every tenant (`--policy`).
+    pub policy: String,
     /// Observability export of the front-door stream (None = off).
     pub obs: Option<ObsFormat>,
     /// Directory for the observability export (defaults to `--out`).
@@ -173,6 +152,8 @@ pub enum Command {
     Verify(RunArgs),
     /// Serve a multi-tenant arrival stream through the front door.
     Serve(ServeArgs),
+    /// Print the registered-policy listing (`--policy help`).
+    PolicyHelp,
     /// Print workload facts.
     Info,
     /// Print usage.
@@ -203,7 +184,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
 
     let mut workflow = None;
     let mut runs = 50usize;
-    let mut scheduler = SchedulerChoice::DayDream;
+    let mut policy = "daydream".to_string();
     let mut seed = 0xDA1Du64;
     let mut scale = 1usize;
     let mut out = None;
@@ -229,7 +210,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| "--runs takes a number".to_string())?
             }
-            "--scheduler" => scheduler = SchedulerChoice::parse(value()?)?,
+            // --scheduler remains as a back-compat alias for --policy.
+            "--policy" | "--scheduler" => match parse_policy(value()?)? {
+                PolicyArg::Help => return Ok(Command::PolicyHelp),
+                PolicyArg::Named(name) => policy = name,
+            },
             "--seed" => {
                 seed = value()?
                     .parse()
@@ -281,7 +266,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, String> {
     let run_args = RunArgs {
         workflow: workflow.ok_or("--workflow is required")?,
         runs,
-        scheduler,
+        policy,
         seed,
         scale,
         out: out.ok_or("--out is required")?,
@@ -315,6 +300,7 @@ fn parse_serve(args: &[String]) -> Result<Command, String> {
         out: None,
         fault_rate: 0.0,
         fault_seed: 7,
+        policy: "daydream".to_string(),
         obs: None,
         obs_out: None,
     };
@@ -387,6 +373,10 @@ fn parse_serve(args: &[String]) -> Result<Command, String> {
                     .parse()
                     .map_err(|_| "--fault-seed takes a number".to_string())?
             }
+            "--policy" | "--scheduler" => match parse_policy(value()?)? {
+                PolicyArg::Help => return Ok(Command::PolicyHelp),
+                PolicyArg::Named(name) => serve.policy = name,
+            },
             "--obs" => serve.obs = Some(ObsFormat::parse(value()?)?),
             "--obs-out" => serve.obs_out = Some(PathBuf::from(value()?)),
             other => return Err(format!("unknown flag '{other}'")),
@@ -427,7 +417,7 @@ mod tests {
             Command::Run(a) => {
                 assert_eq!(a.workflow, Workflow::Ccl);
                 assert_eq!(a.runs, 5);
-                assert_eq!(a.scheduler, SchedulerChoice::DayDream);
+                assert_eq!(a.policy, "daydream");
                 assert_eq!(a.out, PathBuf::from("/tmp/x"));
             }
             other => panic!("wrong command: {other:?}"),
@@ -617,11 +607,70 @@ mod tests {
     }
 
     #[test]
-    fn scheduler_names_roundtrip() {
-        for name in ["daydream", "oracle", "wild", "pegasus", "naive", "hybrid"] {
-            assert_eq!(SchedulerChoice::parse(name).unwrap().name(), name);
+    fn policy_flag_accepts_every_registered_name() {
+        for name in dd_baselines::registry().names() {
+            let cmd = parse_args(&strs(&[
+                "run",
+                "--workflow",
+                "ccl",
+                "--out",
+                "x",
+                "--policy",
+                name,
+            ]))
+            .unwrap();
+            match cmd {
+                Command::Run(a) => assert_eq!(a.policy, name),
+                other => panic!("wrong command: {other:?}"),
+            }
         }
-        assert!(SchedulerChoice::parse("slurm").is_err());
+        // --scheduler stays as a back-compat alias, case-insensitively.
+        match parse_args(&strs(&[
+            "run",
+            "--workflow",
+            "ccl",
+            "--out",
+            "x",
+            "--scheduler",
+            "WILD",
+        ]))
+        .unwrap()
+        {
+            Command::Run(a) => assert_eq!(a.policy, "wild"),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn policy_help_lists_instead_of_running() {
+        for argv in [
+            vec!["run", "--policy", "help"],
+            vec!["serve", "--policy", "list"],
+        ] {
+            assert_eq!(parse_args(&strs(&argv)).unwrap(), Command::PolicyHelp);
+        }
+    }
+
+    #[test]
+    fn unknown_policy_error_snapshot() {
+        // Snapshot of the registry's unknown-name message: it must name
+        // every registered policy in registration order. Change it
+        // deliberately.
+        let err = parse_args(&strs(&[
+            "run",
+            "--workflow",
+            "ccl",
+            "--out",
+            "x",
+            "--policy",
+            "slurm",
+        ]))
+        .expect_err("slurm must not resolve");
+        assert_eq!(
+            err,
+            "unknown policy 'slurm' (known policies: daydream, oracle, wild, pegasus, \
+             naive, hybrid, fixed-pool, icps, wukong)"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@ pub mod args;
 pub mod output;
 pub mod runner;
 
-pub use args::{parse_args, Command, ObsFormat, RunArgs, SchedulerChoice, ServeArgs};
+pub use args::{parse_args, Command, ObsFormat, RunArgs, ServeArgs};
 pub use output::{read_series, write_obs, write_run_outputs, RunFiles};
 pub use runner::{execute_all, run_command, run_serve, verify_against};
 
@@ -17,21 +17,23 @@ pub const USAGE: &str = "\
 daydream-cli — execute dynamic scientific workflows with hot starts
 
 USAGE:
-    daydream-cli run    --workflow <exafel|cosmoscout|ccl> [--runs N] [--scheduler S]
+    daydream-cli run    --workflow <exafel|cosmoscout|ccl> [--runs N] [--policy P]
                         [--seed N] [--scale N] [--jobs N] --out <dir>
                         [--fault-rate P] [--fault-seed N] [--retry-policy R]
                         [--obs FMT] [--obs-out <dir>]
-    daydream-cli verify --workflow <exafel|cosmoscout|ccl> [--runs N] [--scheduler S]
+    daydream-cli verify --workflow <exafel|cosmoscout|ccl> [--runs N] [--policy P]
                         [--seed N] [--scale N] [--jobs N] --out <dir> [--tolerance PCT]
                         [--fault-rate P] [--fault-seed N] [--retry-policy R]
     daydream-cli serve  [--tenants N] [--arrival <poisson|bursty|diurnal>] [--rate R]
                         [--requests N] [--capacity N] [--executor <analytic|des>]
-                        [--seed N] [--scale N] [--jobs N] [--out <dir>]
+                        [--seed N] [--scale N] [--jobs N] [--out <dir>] [--policy P]
                         [--fault-rate P] [--fault-seed N] [--obs FMT] [--obs-out <dir>]
     daydream-cli info
     daydream-cli help
 
-SCHEDULERS: daydream (default), oracle, wild, pegasus, naive, hybrid
+POLICIES: daydream (default), oracle, wild, pegasus, naive, hybrid,
+          fixed-pool, icps, wukong — `--policy help` lists them with
+          summaries; `--scheduler` is accepted as an alias
 RETRY POLICIES: none, backoff (default), timeout, speculate
 OBS FORMATS: jsonl, chrome, summary
 

@@ -10,7 +10,7 @@
 //!
 //! ```bash
 //! daydream-cli run    --workflow ccl --runs 50 --out runs/           # generate
-//! daydream-cli run    --workflow exafel --scheduler wild --out w/    # baselines too
+//! daydream-cli run    --workflow exafel --policy wild --out w/       # any registered policy
 //! daydream-cli verify --workflow ccl --runs 50 --out runs/           # re-run + compare (10% bound)
 //! daydream-cli info                                                  # workload facts
 //! ```

@@ -1,14 +1,13 @@
 //! Command execution: run the workload, write/verify artifact files.
 
-use crate::args::{Command, RunArgs, SchedulerChoice, ServeArgs};
+use crate::args::{Command, RunArgs, ServeArgs};
 use crate::output::{read_series, write_obs, write_run_outputs, RunFiles};
-use daydream_core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
-use dd_baselines::{HybridScheduler, NaiveScheduler, OracleScheduler, Pegasus, WildScheduler};
+use dd_baselines::registry;
 use dd_bench::{simulate_stream, TrafficOutcome, TrafficParams};
 use dd_obs::MemoryRecorder;
 use dd_platform::{
-    CloudVendor, ExecutionTrace, Executor, FaasConfig, FaasExecutor, FaultConfig, RunOutcome,
-    RunRequest, ServerlessScheduler,
+    BuiltScheduler, CloudVendor, ExecutionTrace, Executor, FaasConfig, FaasExecutor, FaultConfig,
+    PolicyContext, RunOutcome, RunRequest, SchedulerPolicy, ServerlessScheduler,
 };
 use dd_stats::SeedStream;
 use dd_wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
@@ -28,7 +27,7 @@ pub fn run_command(cmd: &Command) -> Result<(), String> {
                 "wrote {} runs of {} under {} to {}",
                 results.len(),
                 args.workflow.name(),
-                args.scheduler.name(),
+                args.policy,
                 args.out.display()
             );
             Ok(())
@@ -46,6 +45,10 @@ pub fn run_command(cmd: &Command) -> Result<(), String> {
             );
             let report = run_serve(args)?;
             print!("{report}");
+            Ok(())
+        }
+        Command::PolicyHelp => {
+            print!("{}", registry().help());
             Ok(())
         }
         Command::Info => {
@@ -85,100 +88,59 @@ fn serve(
     executor.run(req).into_traced()
 }
 
-/// Executes one run under the chosen scheduler, returning the outcome,
+/// Executes one run under the chosen policy, returning the outcome,
 /// full trace and (when `--obs` is set) the run's recorder.
 fn execute_one(
     args: &RunArgs,
     run: &WorkflowRun,
     runtimes: &[dd_wfdag::LanguageRuntime],
-    history: &DayDreamHistory,
+    policy: &dyn SchedulerPolicy,
 ) -> (RunOutcome, ExecutionTrace, Option<MemoryRecorder>) {
-    // At the default `--fault-rate 0` this config is identical to
-    // `FaasExecutor::aws()` — clean runs stay byte-identical to builds
-    // without the fault engine.
-    let mut executor = FaasExecutor::new(FaasConfig {
-        faults: FaultConfig::uniform(args.fault_rate).with_seed(args.fault_seed),
-        recovery: args.retry_policy,
-        ..FaasConfig::default()
-    });
     // One recorder per run: recording stays deterministic under --jobs
     // because nothing is shared across worker threads.
     let mut recorder = args.obs.map(|_| MemoryRecorder::new());
     let seeds = SeedStream::new(args.seed)
         .derive("cli")
         .derive_index(run.label.run_index as u64);
-    let (outcome, trace) = match args.scheduler {
-        SchedulerChoice::DayDream => {
-            let mut s =
-                DayDreamScheduler::new(history, DayDreamConfig::default(), CloudVendor::Aws, seeds);
-            serve(&mut executor, run, runtimes, &mut s, recorder.as_mut())
+    let faults = FaultConfig::uniform(args.fault_rate).with_seed(args.fault_seed);
+    let built = policy.build(&PolicyContext {
+        run,
+        runtimes,
+        vendor: CloudVendor::Aws,
+        seeds,
+    });
+    let (outcome, trace) = match built {
+        BuiltScheduler::Serverless(mut s) => {
+            // At the default `--fault-rate 0` this config is identical to
+            // `FaasExecutor::aws()` — clean runs stay byte-identical to
+            // builds without the fault engine.
+            let mut executor = FaasExecutor::new(FaasConfig {
+                faults,
+                recovery: args.retry_policy,
+                ..FaasConfig::default()
+            });
+            serve(&mut executor, run, runtimes, s.as_mut(), recorder.as_mut())
         }
-        SchedulerChoice::Oracle => {
-            let mut s = OracleScheduler::new(run.clone(), 0.20);
-            serve(&mut executor, run, runtimes, &mut s, recorder.as_mut())
-        }
-        SchedulerChoice::Wild => {
-            let mut s = WildScheduler::new();
-            serve(&mut executor, run, runtimes, &mut s, recorder.as_mut())
-        }
-        SchedulerChoice::Naive => {
-            let mut s = NaiveScheduler;
-            serve(&mut executor, run, runtimes, &mut s, recorder.as_mut())
-        }
-        SchedulerChoice::Hybrid => {
-            let mut s =
-                HybridScheduler::new(history, DayDreamConfig::default(), CloudVendor::Aws, seeds);
-            serve(&mut executor, run, runtimes, &mut s, recorder.as_mut())
-        }
-        SchedulerChoice::Pegasus => {
-            // The cluster path has no pooled-instance trace; synthesize a
-            // component trace from the outcome's phase records is not
-            // possible, so Pegasus runs re-execute on the cluster sim and
-            // derive the files from its phase records. It also bypasses
-            // the serverless executor, so its recorder stays empty.
-            let outcome = Pegasus.execute(run, runtimes);
-            let trace = pegasus_trace(run, &outcome);
+        BuiltScheduler::Cluster(cluster) => {
+            // The cluster path bypasses the serverless executor (its
+            // recorder stays empty); the trait's trace adapter derives
+            // the artifact files from the cluster contention model.
+            let outcome =
+                cluster.execute_faulted(run, runtimes, CloudVendor::Aws, faults, args.retry_policy);
+            let trace = cluster.trace(run, &outcome);
             (outcome, trace)
         }
     };
     (outcome, trace, recorder)
 }
 
-/// Builds a minimal trace for cluster executions (phase spans and
-/// per-component busy estimates from the cluster model).
-fn pegasus_trace(run: &WorkflowRun, outcome: &RunOutcome) -> ExecutionTrace {
-    use dd_platform::{ClusterKind, ClusterSim, SimTime};
-    let nodes = run.max_concurrency().max(1) as usize;
-    let sim = ClusterSim::new(ClusterKind::Hpc, nodes);
-    let mut trace = ExecutionTrace::default();
-    let mut now = SimTime::ZERO;
-    for (phase, record) in run.phases.iter().zip(&outcome.phases) {
-        trace.phase_starts.push(now);
-        let result = sim.phase_time(phase, &[]);
-        for (slot, (_c, &busy)) in phase
-            .components
-            .iter()
-            .zip(&result.busy_per_component)
-            .enumerate()
-        {
-            trace.components.push(dd_platform::ComponentTrace {
-                phase: phase.index,
-                slot,
-                kind: dd_platform::StartKind::Cold,
-                tier: dd_platform::Tier::HighEnd,
-                instance: None,
-                start: now,
-                overhead_secs: 0.0,
-                exec_secs: busy,
-                write_secs: 0.0,
-                attempts: 1,
-                recovery_secs: 0.0,
-            });
-        }
-        now = now.after(record.exec_secs.max(result.phase_secs));
-        trace.phase_ends.push(now);
-    }
-    trace
+/// Instantiates the command's policy from the registry and trains it on
+/// the workflow's dedicated training run (index 1000 — the same run the
+/// pre-registry code learned `DayDreamHistory` from).
+fn prepared_policy(policy: &str, gen: &RunGenerator) -> Result<Box<dyn SchedulerPolicy>, String> {
+    let mut policy = registry().create(policy)?;
+    policy.prepare(&gen.generate(1_000));
+    Ok(policy)
 }
 
 /// Executes all runs of the command on `args.jobs` worker threads,
@@ -195,14 +157,13 @@ pub fn execute_all(
     let spec = WorkflowSpec::new(args.workflow).scaled_down(args.scale);
     let runtimes = spec.runtimes.clone();
     let gen = RunGenerator::new(spec, args.seed);
-    let mut history = DayDreamHistory::new();
-    history.learn_from_run(&gen.generate(1_000), 0.20, 24);
+    let policy = prepared_policy(&args.policy, &gen)?;
 
     let executed = dd_bench::par_map(args.jobs, args.runs, |idx| {
         let run = gen.generate(idx);
         dd_wfdag::validate_run(&run)
             .map_err(|e| format!("run {idx} invalid: {e}"))
-            .map(|()| execute_one(args, &run, &runtimes, &history))
+            .map(|()| execute_one(args, &run, &runtimes, policy.as_ref()))
     });
 
     let mut outcomes = Vec::with_capacity(args.runs);
@@ -231,15 +192,14 @@ pub fn verify_against(args: &RunArgs) -> Result<String, String> {
     let spec = WorkflowSpec::new(args.workflow).scaled_down(args.scale);
     let runtimes = spec.runtimes.clone();
     let gen = RunGenerator::new(spec, args.seed);
-    let mut history = DayDreamHistory::new();
-    history.learn_from_run(&gen.generate(1_000), 0.20, 24);
+    let policy = prepared_policy(&args.policy, &gen)?;
 
     // Re-execution fans out over the sweep executor; the file comparison
     // below stays serial so the report lines and the first-deviation
     // error are identical at any --jobs setting.
     let executed = dd_bench::par_map(args.jobs, args.runs, |idx| {
         let run = gen.generate(idx);
-        execute_one(args, &run, &runtimes, &history)
+        execute_one(args, &run, &runtimes, policy.as_ref())
     });
 
     let mut report = String::new();
@@ -309,6 +269,7 @@ pub fn run_serve(args: &ServeArgs) -> Result<String, String> {
         executor: args.executor,
         fault_rate: args.fault_rate,
         fault_seed: args.fault_seed,
+        policy: args.policy.clone(),
         ..TrafficParams::default()
     };
     let outcome = simulate_stream(&params);
@@ -414,11 +375,11 @@ mod tests {
     use super::*;
     use std::path::PathBuf;
 
-    fn args(scheduler: SchedulerChoice, out: PathBuf) -> RunArgs {
+    fn args(policy: &str, out: PathBuf) -> RunArgs {
         RunArgs {
             workflow: Workflow::Ccl,
             runs: 2,
-            scheduler,
+            policy: policy.to_string(),
             seed: 5,
             scale: 20,
             out,
@@ -441,7 +402,7 @@ mod tests {
     #[test]
     fn run_then_verify_reproduces() {
         let out = tmpdir("repro");
-        let a = args(SchedulerChoice::DayDream, out.clone());
+        let a = args("daydream", out.clone());
         let outcomes = execute_all(&a, |_, _| {}).unwrap();
         assert_eq!(outcomes.len(), 2);
         // The artifact check: regenerate and compare within 10%.
@@ -456,11 +417,11 @@ mod tests {
         let out8 = tmpdir("jobs8");
         let a1 = RunArgs {
             jobs: 1,
-            ..args(SchedulerChoice::DayDream, out1.clone())
+            ..args("daydream", out1.clone())
         };
         let a8 = RunArgs {
             jobs: 8,
-            ..args(SchedulerChoice::DayDream, out8.clone())
+            ..args("daydream", out8.clone())
         };
         execute_all(&a1, |_, _| {}).unwrap();
         execute_all(&a8, |_, _| {}).unwrap();
@@ -490,13 +451,13 @@ mod tests {
         let a1 = RunArgs {
             jobs: 1,
             obs: Some(ObsFormat::Jsonl),
-            ..args(SchedulerChoice::DayDream, out1.clone())
+            ..args("daydream", out1.clone())
         };
         let a8 = RunArgs {
             jobs: 8,
             obs: Some(ObsFormat::Jsonl),
             obs_out: Some(obs_dir.clone()),
-            ..args(SchedulerChoice::DayDream, out8.clone())
+            ..args("daydream", out8.clone())
         };
         execute_all(&a1, |_, _| {}).unwrap();
         execute_all(&a8, |_, _| {}).unwrap();
@@ -519,7 +480,7 @@ mod tests {
     fn obs_off_writes_no_export_files() {
         use crate::args::ObsFormat;
         let out = tmpdir("obs-off");
-        let a = args(SchedulerChoice::DayDream, out.clone());
+        let a = args("daydream", out.clone());
         execute_all(&a, |_, _| {}).unwrap();
         for format in [ObsFormat::Jsonl, ObsFormat::Chrome, ObsFormat::Summary] {
             assert!(!RunFiles::new(&out, 1).obs(format).exists());
@@ -534,7 +495,7 @@ mod tests {
             fault_rate: 0.05,
             fault_seed: 7,
             retry_policy: dd_platform::RecoveryPolicy::speculative(),
-            ..args(SchedulerChoice::DayDream, out.clone())
+            ..args("daydream", out.clone())
         };
         execute_all(&a, |_, _| {}).unwrap();
         // Fault injection is fully seeded: re-execution lands on the
@@ -558,6 +519,7 @@ mod tests {
             out: Some(out),
             fault_rate: 0.0,
             fault_seed: 7,
+            policy: "daydream".to_string(),
             obs: Some(crate::args::ObsFormat::Jsonl),
             obs_out: None,
         }
@@ -600,7 +562,7 @@ mod tests {
     #[test]
     fn verify_detects_tampering() {
         let out = tmpdir("tamper");
-        let a = args(SchedulerChoice::DayDream, out.clone());
+        let a = args("daydream", out.clone());
         execute_all(&a, |_, _| {}).unwrap();
         // Corrupt run-1's phase times by 3x.
         let path = RunFiles::new(&out, 1).phase_time();
@@ -612,18 +574,12 @@ mod tests {
     }
 
     #[test]
-    fn all_schedulers_produce_files() {
-        for sched in [
-            SchedulerChoice::Oracle,
-            SchedulerChoice::Wild,
-            SchedulerChoice::Pegasus,
-            SchedulerChoice::Naive,
-            SchedulerChoice::Hybrid,
-        ] {
-            let out = tmpdir(sched.name());
+    fn every_registered_policy_produces_files() {
+        for name in dd_baselines::registry().names() {
+            let out = tmpdir(name);
             let a = RunArgs {
                 runs: 1,
-                ..args(sched, out.clone())
+                ..args(name, out.clone())
             };
             execute_all(&a, |_, _| {}).unwrap();
             let files = RunFiles::new(&out, 1);
@@ -633,11 +589,10 @@ mod tests {
                 files.execution_cost(),
             ] {
                 let series = read_series(&path).unwrap();
-                assert!(!series.is_empty(), "{}: empty {path:?}", sched.name());
+                assert!(!series.is_empty(), "{name}: empty {path:?}");
                 assert!(
                     series.iter().all(|v| v.is_finite() && *v >= 0.0),
-                    "{}: bad values in {path:?}",
-                    sched.name()
+                    "{name}: bad values in {path:?}"
                 );
             }
             let _ = std::fs::remove_dir_all(out);
@@ -645,9 +600,16 @@ mod tests {
     }
 
     #[test]
+    fn unknown_policy_surfaces_registry_error() {
+        let a = args("slurm", tmpdir("unknown-policy"));
+        let err = execute_all(&a, |_, _| {}).expect_err("slurm must not resolve");
+        assert!(err.starts_with("unknown policy 'slurm'"), "{err}");
+    }
+
+    #[test]
     fn file_sums_match_outcome() {
         let out = tmpdir("sums");
-        let a = args(SchedulerChoice::DayDream, out.clone());
+        let a = args("daydream", out.clone());
         let outcomes = execute_all(&a, |_, _| {}).unwrap();
         let files = RunFiles::new(&out, 1);
         let cost_sum: f64 = read_series(&files.execution_cost()).unwrap().iter().sum();

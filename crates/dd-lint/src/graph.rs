@@ -41,6 +41,12 @@
 //!   referenced from a bin, test, bench, example, `#[cfg(test)]` region,
 //!   or the facade (computed as a name-liveness fixpoint over fn bodies,
 //!   seeded by top-level references).
+//! * `policy-api` — new `pub fn` scheduler entry points outside the
+//!   `SchedulerPolicy` trait surface: inherent constructors (`new`,
+//!   `aws`, `from_*`) on `*Scheduler` types and free/inherent
+//!   `execute*` fns inside the policy crates. Schedulers are built
+//!   through `SchedulerPolicy::build` via the registry; the deprecated
+//!   pre-registry shims carry inline allows.
 //! * `par-purity` — a shared-mutability / nondeterminism / I/O token in
 //!   any function transitively reachable from the direct callers of a
 //!   configured fan-out *sink* (`par_map`, `FrontDoor::serve`). The sink
@@ -390,6 +396,7 @@ impl Workspace {
             &mut findings,
         );
         self.dead_pub_api(config, &mut findings);
+        self.policy_api(config, &mut findings);
         self.par_purity(config, &mut findings);
         self.effect_contract(config, &mut findings);
         self.recursive_effect_cycle(config, &mut findings);
@@ -621,6 +628,55 @@ impl Workspace {
                     bad(rule, "files", path);
                 }
             }
+        }
+    }
+
+    /// `policy-api`: scheduling behavior enters through the
+    /// `SchedulerPolicy` trait (prepare/build via the registry), so a
+    /// new unrestricted-`pub` scheduler entry point outside that trait
+    /// reopens the pre-registry API the redesign closed. Flagged:
+    /// free or inherent `pub fn execute*`, and inherent constructors
+    /// (`new`, `aws`, `from_*`) on `*Scheduler` impl blocks. Trait
+    /// methods (`impl SchedulerPolicy for ..`, `impl ServerlessScheduler
+    /// for ..`) are the sanctioned surface and exempt; the deprecated
+    /// back-compat shims carry inline allows.
+    fn policy_api(&self, config: &Config, findings: &mut Vec<Finding>) {
+        let scope = config.scope("policy-api");
+        if scope.crates.is_empty() {
+            return;
+        }
+        for g in 0..self.nodes.len() {
+            let (fm, f) = self.node(g);
+            if !f.is_pub || f.in_test || f.trait_name.is_some() {
+                continue;
+            }
+            if !scope.covers_crate(&fm.crate_name) {
+                continue;
+            }
+            let scheduler_ctor = f
+                .impl_type
+                .as_deref()
+                .is_some_and(|t| t.ends_with("Scheduler"))
+                && (f.name == "new" || f.name == "aws" || f.name.starts_with("from_"));
+            if !f.name.starts_with("execute") && !scheduler_ctor {
+                continue;
+            }
+            if rules::suppressed(&fm.suppressions, f.line, "policy-api") {
+                continue;
+            }
+            findings.push(Finding {
+                file: fm.rel_path.clone(),
+                line: f.line,
+                column: 1,
+                rule: "policy-api".to_string(),
+                message: format!(
+                    "`pub fn {}` adds a scheduler entry point outside the \
+                     SchedulerPolicy trait; register the policy in the \
+                     registry and build through SchedulerPolicy::build \
+                     (deprecated shims carry inline allows)",
+                    self.display(g)
+                ),
+            });
         }
     }
 
@@ -997,6 +1053,54 @@ mod tests {
             "#[deprecated]\npub fn legacy() {}\n// dd-lint: allow(dead-pub-api): kept for downstream forks\npub fn kept() {}\npub(crate) fn internal() {}\n",
         )]);
         let f = w.run_rules(&cfg("[rule.dead-pub-api]\ncrates = [\"*\"]\n"));
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn policy_api_flags_scheduler_ctors_and_execute_fns() {
+        let w = ws(&[(
+            "crates/dd-baselines/src/fancy.rs",
+            "impl FancyScheduler {\n    pub fn new() -> Self { Self }\n    pub fn aws() -> Self { Self }\n    pub fn from_trace(t: &Trace) -> Self { Self }\n    pub fn pool_size(&self) -> u32 { 0 }\n}\npub fn execute_fancy(run: &Run) -> Out { go(run) }\n",
+        )]);
+        let f = w.run_rules(&cfg("[rule.policy-api]\ncrates = [\"dd-baselines\"]\n"));
+        let spans: Vec<(usize, &str)> = f.iter().map(|f| (f.line, f.rule.as_str())).collect();
+        assert_eq!(
+            spans,
+            vec![
+                (2, "policy-api"),
+                (3, "policy-api"),
+                (4, "policy-api"),
+                (7, "policy-api"),
+            ],
+            "{f:#?}"
+        );
+        assert!(
+            f[0].message.contains("FancyScheduler::new"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn policy_api_exempts_trait_impls_private_fns_and_other_crates() {
+        let w = ws(&[(
+            "crates/dd-baselines/src/fancy.rs",
+            "impl SchedulerPolicy for FancyPolicy {\n    fn build(&self, ctx: &PolicyContext) -> BuiltScheduler { make() }\n}\nimpl FancyScheduler {\n    pub(crate) fn new() -> Self { Self }\n}\nimpl FancyPolicy {\n    pub fn new() -> Self { Self }\n}\n",
+        ), (
+            "crates/dd-platform/src/exec.rs",
+            "impl OtherScheduler {\n    pub fn new() -> Self { Self }\n}\n",
+        )]);
+        let f = w.run_rules(&cfg("[rule.policy-api]\ncrates = [\"dd-baselines\"]\n"));
+        assert!(f.is_empty(), "{f:#?}");
+    }
+
+    #[test]
+    fn policy_api_suppression_is_honored() {
+        let w = ws(&[(
+            "crates/dd-baselines/src/fancy.rs",
+            "impl FancyScheduler {\n    // dd-lint: allow(policy-api): deprecated back-compat shim\n    pub fn new() -> Self { Self }\n}\n",
+        )]);
+        let f = w.run_rules(&cfg("[rule.policy-api]\ncrates = [\"*\"]\n"));
         assert!(f.is_empty(), "{f:#?}");
     }
 

@@ -9,6 +9,7 @@
 //! | `hot-path-panic`  | P1 | `panic!` / `.unwrap()` / `.expect(` in the DES event-loop hot path outside documented invariants |
 //! | `hot-path-alloc`  | P2 | `String::from` / `.to_string()` / `.clone()` / `format!` in the DES event-loop hot path — per-event allocation |
 //! | `executor-api`    | A1 | new `pub fn execute*` entry points outside the unified `Executor` trait (the deprecated shims carry inline allows) |
+//! | `policy-api`      | A3 | new `pub fn` scheduler entry points outside the `SchedulerPolicy` trait surface (graph rule — constructors and execute fns on scheduler types; the deprecated shims carry inline allows) |
 //! | `determinism-taint` | D4 | a call path from an `Executor::run` impl or experiment `run()` to a wall-clock/entropy/hash-iteration sink (graph rule — see [`crate::graph`]) |
 //! | `dead-pub-api`    | A2 | `pub` items unreachable from any bin, test, bench, or the facade (graph rule) |
 //! | `suppression`     | —  | malformed `dd-lint: allow(..)` directives (unknown rule, missing justification) |
@@ -44,6 +45,7 @@ pub const RULE_NAMES: &[&str] = &[
     "hot-path-panic",
     "hot-path-alloc",
     "executor-api",
+    "policy-api",
     "determinism-taint",
     "dead-pub-api",
     "par-purity",

@@ -1,0 +1,28 @@
+//! Fixture: scheduler entry points added outside the `SchedulerPolicy`
+//! trait surface. The inherent constructors on the `*Scheduler` type and
+//! the free `execute*` fn are findings; the trait impl and the inspector
+//! method are the sanctioned surface.
+
+impl FancyScheduler {
+    pub fn new(history: &History) -> Self {
+        FancyScheduler { pool: 0 }
+    }
+
+    pub fn from_trace(trace: &Trace) -> Self {
+        FancyScheduler { pool: 1 }
+    }
+
+    pub fn pool_size(&self) -> u32 {
+        self.pool
+    }
+}
+
+pub fn execute_fancy(run: &WorkflowRun) -> RunOutcome {
+    simulate(run)
+}
+
+impl SchedulerPolicy for FancyPolicy {
+    fn build(&self, ctx: &PolicyContext) -> BuiltScheduler {
+        sanctioned(ctx)
+    }
+}

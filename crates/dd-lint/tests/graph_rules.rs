@@ -154,6 +154,40 @@ fn dead_pub_api_bin_reference_and_allow_roots() {
 }
 
 #[test]
+fn policy_api_denies_out_of_trait_scheduler_entry_points() {
+    let src = fixture("policy_api_deny.rs");
+    let f = analyze(
+        &[("crates/dd-baselines/src/fancy.rs", &src)],
+        &[],
+        "[rule.policy-api]\ncrates = [\"dd-baselines\", \"core\"]\n",
+    );
+    let spans: Vec<(usize, &str)> = f.iter().map(|f| (f.line, f.rule.as_str())).collect();
+    // `new`, `from_trace`, and the free `execute_fancy` are findings;
+    // `pool_size` and the SchedulerPolicy::build impl are not.
+    assert_eq!(
+        spans,
+        vec![(7, "policy-api"), (11, "policy-api"), (20, "policy-api")],
+        "{f:#?}"
+    );
+    assert!(
+        f[0].message.contains("FancyScheduler::new") && f[0].message.contains("SchedulerPolicy"),
+        "{}",
+        f[0].message
+    );
+}
+
+#[test]
+fn policy_api_justified_allow_is_silent() {
+    let src = fixture("policy_api_allow.rs");
+    let f = analyze(
+        &[("crates/dd-baselines/src/fancy.rs", &src)],
+        &[],
+        "[rule.policy-api]\ncrates = [\"dd-baselines\", \"core\"]\n",
+    );
+    assert!(f.is_empty(), "{f:#?}");
+}
+
+#[test]
 fn callgraph_dot_is_exposed_through_analysis() {
     let src = fixture("panic_deny.rs");
     let config = Config::parse(PANIC_CONFIG).expect("config parses");
@@ -208,4 +242,13 @@ fn workspace_clean_under_graph_hot_path_alloc() {
 fn workspace_clean_under_dead_pub_api() {
     let f = workspace_findings("[rule.dead-pub-api]\ncrates = [\"*\"]\n");
     assert!(f.is_empty(), "workspace has dead pub API:\n{f:#?}");
+}
+
+#[test]
+fn workspace_clean_under_policy_api() {
+    let f = workspace_findings("[rule.policy-api]\ncrates = [\"dd-baselines\", \"core\"]\n");
+    assert!(
+        f.is_empty(),
+        "workspace has out-of-trait policy API:\n{f:#?}"
+    );
 }

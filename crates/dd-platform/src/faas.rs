@@ -205,6 +205,9 @@ impl FaasExecutor {
         let faults = fault_cfg.absorbing_startup(&self.startup);
         let plan = FaultPlan::for_run(faults, recovery, run.label.run_index as u64);
         let mut fault_stats = FaultStats::default();
+        // Storage hints are sampled once per run; zero fractions keep the
+        // arithmetic below byte-identical to the hint-less path.
+        let hints = scheduler.storage_hints().clamped();
 
         let info = RunInfo {
             workflow: run.label.workflow,
@@ -331,7 +334,13 @@ impl FaasExecutor {
                 // arithmetic no-op when every rate is zero.
                 let exec = tier.exec_secs(component)
                     * self.startup.exec_multiplier(kind == StartKind::Cold);
-                let write = self.startup.output_write_secs(component, tier);
+                let mut write = self.startup.output_write_secs(component, tier);
+                if hints.batched_write_fraction > 0.0 {
+                    // Wukong-style task clustering batches/delays
+                    // intermediate writes; the elided fraction comes off
+                    // every component's write leg.
+                    write *= 1.0 - hints.batched_write_fraction;
+                }
                 let timeline = plan.timeline(phase_idx, slot, overhead, exec, write);
                 // Drain finished executions so the heap tracks the set
                 // *currently running* instead of growing all phase long.
@@ -532,8 +541,13 @@ impl FaasExecutor {
             }
         }
 
-        // Storage maintenance for the run's whole duration.
+        // Storage maintenance for the run's whole duration. Affinity
+        // co-location (ICPS-style hints) serves part of the traffic
+        // without touching the back end; that fraction is not billed.
         ledger.storage = self.pricing.storage_per_sec * now.as_secs();
+        if hints.colocated_read_fraction > 0.0 {
+            ledger.storage *= 1.0 - hints.colocated_read_fraction;
+        }
         ledger.debug_validate();
         if recording {
             rec.set(obs::metrics::SERVICE_TIME_SECS, now.as_secs());

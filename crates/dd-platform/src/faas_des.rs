@@ -282,6 +282,10 @@ impl DesFaasExecutor {
         let faults = fault_cfg.absorbing_startup(&startup);
         let plan = FaultPlan::for_run(faults, recovery, run.label.run_index as u64);
         let mut fault_stats = FaultStats::default();
+        // Storage hints are sampled once per run (identically to the
+        // analytic executor); zero fractions keep the event arithmetic
+        // byte-identical to the hint-less path.
+        let hints = scheduler.storage_hints().clamped();
 
         let info = RunInfo {
             workflow: run.label.workflow,
@@ -436,7 +440,12 @@ impl DesFaasExecutor {
                         // every rate is zero.
                         let exec = tier.exec_secs(component)
                             * startup.exec_multiplier(kind == StartKind::Cold);
-                        let write = startup.output_write_secs(component, tier);
+                        let mut write = startup.output_write_secs(component, tier);
+                        if hints.batched_write_fraction > 0.0 {
+                            // Same batched-write elision as the analytic
+                            // executor, per component.
+                            write *= 1.0 - hints.batched_write_fraction;
+                        }
                         let timeline = plan.timeline(phase, comp_slot, overhead, exec, write);
                         // Drain finished executions so the heap tracks the
                         // set *currently running* instead of growing all
@@ -680,6 +689,10 @@ impl DesFaasExecutor {
         }
 
         ledger.storage = pricing.storage_per_sec * end_time.as_secs();
+        if hints.colocated_read_fraction > 0.0 {
+            // Affinity co-location: same discount as the analytic path.
+            ledger.storage *= 1.0 - hints.colocated_read_fraction;
+        }
         ledger.debug_validate();
         if recording {
             rec.set(obs::metrics::SERVICE_TIME_SECS, end_time.as_secs());

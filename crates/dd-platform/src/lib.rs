@@ -17,6 +17,9 @@
 //!   reports (Sec. IV–V),
 //! * [`pool`], [`telemetry`] — instance-pool bookkeeping and the cost /
 //!   metrics ledger every experiment reads,
+//! * [`policy`] — the pluggable [`policy::SchedulerPolicy`] surface and
+//!   the deterministic name-keyed [`policy::PolicyRegistry`] behind
+//!   `--policy <name>`,
 //! * [`faults`] — the deterministic fault-injection and recovery engine
 //!   (retry / timeout / backoff / speculation) shared by both executors.
 //!
@@ -52,6 +55,7 @@ pub mod faas;
 pub mod faas_des;
 pub mod faults;
 pub mod instance;
+pub mod policy;
 pub mod pool;
 pub mod pricing;
 pub mod sched;
@@ -73,10 +77,14 @@ pub use faults::{
     RecoveryPolicy,
 };
 pub use instance::{InstanceLifecycle, InstanceState};
+pub use policy::{
+    BuiltScheduler, ClusterPolicy, PolicyContext, PolicyFactory, PolicyRegistry, SchedulerPolicy,
+};
 pub use pool::{InstanceId, InstanceView, PoolEntryRequest, PoolRequest, PooledInstance};
 pub use pricing::{CloudVendor, PriceSheet};
 pub use sched::{
     PhaseObservation, Placement, RunInfo, SchedulerEvent, ServerlessScheduler, StartKind,
+    StorageHints,
 };
 pub use startup::StartupModel;
 pub use storage::BackendStore;
@@ -103,8 +111,12 @@ pub mod prelude {
     pub use crate::faas::{FaasConfig, FaasExecutor, PoolTrigger};
     pub use crate::faas_des::{DesFaasExecutor, DesSession};
     pub use crate::faults::{FaultConfig, FaultStats, RecoveryPolicy};
+    pub use crate::policy::{
+        BuiltScheduler, ClusterPolicy, PolicyContext, PolicyRegistry, SchedulerPolicy,
+    };
     pub use crate::sched::{
         PhaseObservation, Placement, RunInfo, SchedulerEvent, ServerlessScheduler, StartKind,
+        StorageHints,
     };
     pub use crate::telemetry::{CostLedger, PhaseRecord, RunOutcome, Utilization};
     pub use crate::trace::ExecutionTrace;

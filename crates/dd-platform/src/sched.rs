@@ -115,6 +115,53 @@ pub enum SchedulerEvent {
     },
 }
 
+/// Optional placement hints a scheduler hands the storage-cost model.
+///
+/// Both executors sample the hints once per run (before the first phase)
+/// and apply them identically:
+///
+/// * `colocated_read_fraction` — fraction of back-end storage traffic the
+///   scheduler serves from component co-location (affinity hits): the
+///   run-level storage-maintenance ledger component is discounted by it.
+///   ICPS-style affinity clustering sets this.
+/// * `batched_write_fraction` — fraction of each component's output-write
+///   time elided by batching/delaying intermediate I/O, shortening every
+///   component timeline. Wukong-style task clustering sets this.
+///
+/// Both default to `0.0`, which is exactly the pre-hint arithmetic: the
+/// executors skip the scaling entirely when a fraction is zero, so every
+/// hint-less scheduler stays on the byte-identical legacy code path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StorageHints {
+    /// Fraction of storage maintenance served by affinity co-location.
+    pub colocated_read_fraction: f64,
+    /// Fraction of per-component write time elided by batched I/O.
+    pub batched_write_fraction: f64,
+}
+
+impl StorageHints {
+    /// No hints: the executors' legacy arithmetic, untouched.
+    pub const NONE: StorageHints = StorageHints {
+        colocated_read_fraction: 0.0,
+        batched_write_fraction: 0.0,
+    };
+
+    /// Hints clamped to the meaningful `[0, 0.95]` range (a model can
+    /// never elide *all* storage traffic; the cap keeps costs positive).
+    pub fn clamped(self) -> StorageHints {
+        StorageHints {
+            colocated_read_fraction: self.colocated_read_fraction.clamp(0.0, 0.95),
+            batched_write_fraction: self.batched_write_fraction.clamp(0.0, 0.95),
+        }
+    }
+}
+
+impl Default for StorageHints {
+    fn default() -> Self {
+        Self::NONE
+    }
+}
+
 /// A scheduler of serverless workflow execution.
 pub trait ServerlessScheduler {
     /// Scheduler name for reports.
@@ -162,6 +209,12 @@ pub trait ServerlessScheduler {
     /// emission order. Default: none (an empty `Vec` does not allocate).
     fn drain_events(&mut self) -> Vec<SchedulerEvent> {
         Vec::new()
+    }
+
+    /// Placement hints for the storage-cost model, sampled once per run.
+    /// Default: none — the executors' arithmetic is untouched.
+    fn storage_hints(&self) -> StorageHints {
+        StorageHints::NONE
     }
 }
 

@@ -9,9 +9,7 @@
 //! cargo run --release --example exafel_study -- 25
 //! ```
 
-use daydream::baselines::{OracleScheduler, Pegasus, WildScheduler};
-use daydream::core::{DayDreamHistory, DayDreamScheduler};
-use daydream::platform::{FaasExecutor, RunOutcome};
+use daydream::platform::{BuiltScheduler, CloudVendor, FaasExecutor, PolicyContext, RunOutcome};
 use daydream::stats::SeedStream;
 use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec};
 use dd_platform::{Executor, RunRequest};
@@ -32,44 +30,36 @@ fn main() {
     let runtimes = spec.runtimes.clone();
     let generator = RunGenerator::new(spec, 42);
 
-    // History from a training run outside the evaluated set.
-    let mut history = DayDreamHistory::new();
-    history.learn_from_run(&generator.generate(1_000), 0.20, 24);
+    // Learning policies train on a run outside the evaluated set.
+    let training = generator.generate(1_000);
+    let registry = daydream::baselines::registry();
+    let prepared = |name: &str| {
+        let mut policy = registry.create(name).expect("registered policy");
+        policy.prepare(&training);
+        policy
+    };
 
     let mut executor = FaasExecutor::aws();
-    let mut results: Vec<(&str, Vec<RunOutcome>)> = vec![
-        ("oracle", vec![]),
-        ("daydream", vec![]),
-        ("wild", vec![]),
-        ("pegasus", vec![]),
-    ];
+    let mut results: Vec<(&str, _, Vec<RunOutcome>)> = ["oracle", "daydream", "wild", "pegasus"]
+        .map(|name| (name, prepared(name), vec![]))
+        .into_iter()
+        .collect();
     for idx in 0..n_runs {
         let run = generator.generate(idx);
-        let seeds = SeedStream::new(7).derive_index(idx as u64);
-        results[0].1.push(
-            executor
-                .run(RunRequest::new(
-                    &run,
-                    &runtimes,
-                    &mut OracleScheduler::new(run.clone(), 0.20),
-                ))
-                .into_outcome(),
-        );
-        results[1].1.push(
-            executor
-                .run(RunRequest::new(
-                    &run,
-                    &runtimes,
-                    &mut DayDreamScheduler::aws(&history, seeds),
-                ))
-                .into_outcome(),
-        );
-        results[2].1.push(
-            executor
-                .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
-                .into_outcome(),
-        );
-        results[3].1.push(Pegasus.execute(&run, &runtimes));
+        let ctx = PolicyContext {
+            run: &run,
+            runtimes: &runtimes,
+            vendor: CloudVendor::Aws,
+            seeds: SeedStream::new(7).derive_index(idx as u64),
+        };
+        for (_, policy, outcomes) in &mut results {
+            outcomes.push(match policy.build(&ctx) {
+                BuiltScheduler::Serverless(mut s) => executor
+                    .run(RunRequest::new(&run, &runtimes, s.as_mut()))
+                    .into_outcome(),
+                BuiltScheduler::Cluster(c) => c.execute(&run, &runtimes, CloudVendor::Aws),
+            });
+        }
         eprint!("\rrun {}/{n_runs} done", idx + 1);
     }
     eprintln!();
@@ -77,14 +67,14 @@ fn main() {
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
     let oracle_t = mean(
         &results[0]
-            .1
+            .2
             .iter()
             .map(|o| o.service_time_secs)
             .collect::<Vec<_>>(),
     );
     let oracle_c = mean(
         &results[0]
-            .1
+            .2
             .iter()
             .map(|o| o.service_cost())
             .collect::<Vec<_>>(),
@@ -101,7 +91,7 @@ fn main() {
         "preload ok",
         "wasted ($)"
     );
-    for (name, outcomes) in &results {
+    for (name, _, outcomes) in &results {
         let t = mean(
             &outcomes
                 .iter()
@@ -142,21 +132,21 @@ fn main() {
 
     let dd = mean(
         &results[1]
-            .1
+            .2
             .iter()
             .map(|o| o.service_time_secs)
             .collect::<Vec<_>>(),
     );
     let wi = mean(
         &results[2]
-            .1
+            .2
             .iter()
             .map(|o| o.service_time_secs)
             .collect::<Vec<_>>(),
     );
     let pe = mean(
         &results[3]
-            .1
+            .2
             .iter()
             .map(|o| o.service_time_secs)
             .collect::<Vec<_>>(),

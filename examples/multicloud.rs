@@ -9,9 +9,7 @@
 //! cargo run --release --example multicloud
 //! ```
 
-use daydream::baselines::{Pegasus, WildScheduler};
-use daydream::core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
-use daydream::platform::{CloudVendor, FaasConfig, FaasExecutor};
+use daydream::platform::{BuiltScheduler, CloudVendor, FaasConfig, FaasExecutor, PolicyContext};
 use daydream::stats::SeedStream;
 use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec};
 use dd_platform::{Executor, RunRequest};
@@ -20,8 +18,17 @@ fn main() {
     let spec = WorkflowSpec::new(Workflow::Ccl).scaled_down(2);
     let runtimes = spec.runtimes.clone();
     let generator = RunGenerator::new(spec, 42);
-    let mut history = DayDreamHistory::new();
-    history.learn_from_run(&generator.generate(1_000), 0.20, 24);
+    let training = generator.generate(1_000);
+
+    let registry = daydream::baselines::registry();
+    let prepared = |name: &str| {
+        let mut policy = registry.create(name).expect("registered policy");
+        policy.prepare(&training);
+        policy
+    };
+    let daydream = prepared("daydream");
+    let wild = prepared("wild");
+    let pegasus = prepared("pegasus");
 
     println!(
         "{:<14} {:>14} {:>12} {:>14} {:>12}",
@@ -40,21 +47,31 @@ fn main() {
         let n_runs = 5;
         for idx in 0..n_runs {
             let run = generator.generate(idx);
-            let seeds = SeedStream::new(3).derive_index(idx as u64);
-            let mut dd = DayDreamScheduler::new(&history, DayDreamConfig::default(), vendor, seeds);
+            let ctx = PolicyContext {
+                run: &run,
+                runtimes: &runtimes,
+                vendor,
+                seeds: SeedStream::new(3).derive_index(idx as u64),
+            };
+            let serverless = |built: BuiltScheduler| match built {
+                BuiltScheduler::Serverless(s) => s,
+                BuiltScheduler::Cluster(_) => unreachable!("serverless policy"),
+            };
+            let mut dd = serverless(daydream.build(&ctx));
             let outcome = executor
-                .run(RunRequest::new(&run, &runtimes, &mut dd))
+                .run(RunRequest::new(&run, &runtimes, dd.as_mut()))
                 .into_outcome();
             dd_time += outcome.service_time_secs;
             dd_cost += outcome.service_cost();
+            let mut wi = serverless(wild.build(&ctx));
             let outcome = executor
-                .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+                .run(RunRequest::new(&run, &runtimes, wi.as_mut()))
                 .into_outcome();
             wi_time += outcome.service_time_secs;
             wi_cost += outcome.service_cost();
-            pe_time += Pegasus
-                .execute_on(&run, &runtimes, vendor)
-                .service_time_secs;
+            if let BuiltScheduler::Cluster(cluster) = pegasus.build(&ctx) {
+                pe_time += cluster.execute(&run, &runtimes, vendor).service_time_secs;
+            }
         }
         println!(
             "{:<14} {:>14.0} {:>11.1}% {:>14.4} {:>11.1}%",

@@ -1,34 +1,28 @@
-//! Quickstart: execute one CCL run under all four schedulers and compare.
+//! Quickstart: execute one run under every registered scheduling policy
+//! and compare.
 //!
 //! ```bash
 //! cargo run --release --example quickstart
 //! ```
 
-use daydream::baselines::{NaiveScheduler, OracleScheduler, Pegasus, WildScheduler};
-use daydream::core::{DayDreamHistory, DayDreamScheduler};
-use daydream::platform::FaasExecutor;
+use daydream::platform::{BuiltScheduler, CloudVendor, FaasExecutor, PolicyContext, RunRequest};
 use daydream::stats::SeedStream;
 use daydream::wfdag::{RunGenerator, Workflow, WorkflowSpec};
-use dd_platform::{Executor, RunRequest};
+use dd_platform::Executor;
 
 fn main() {
-    // 1. The workload: the Core Cosmology Library workflow, scaled down
-    //    so the demo finishes in seconds (drop `scaled_down` for the full
-    //    ~110-phase runs of the paper).
+    // 1. The workload: the Cosmoscout-VR workflow, scaled down so the
+    //    demo finishes in seconds (drop `scaled_down` for the full
+    //    ~1030-phase runs of the paper).
     let spec = WorkflowSpec::new(Workflow::CosmoscoutVr).scaled_down(1);
     let runtimes = spec.runtimes.clone();
     let generator = RunGenerator::new(spec, 42);
 
-    // 2. DayDream learns its historic Weibull parameters on run 0 …
-    let mut history = DayDreamHistory::new();
-    history.learn_from_run(&generator.generate(0), 0.20, 24);
-    println!(
-        "historic Weibull fitted on run 0: alpha = {:.1}, beta = {:.1}",
-        history.historic_weibull().unwrap().alpha(),
-        history.historic_weibull().unwrap().beta()
-    );
+    // 2. Policies that learn (DayDream's historic Weibull, Wild's gap
+    //    histograms, …) train on run 0 via `prepare` …
+    let training = generator.generate(0);
 
-    // 3. … and schedules run 1.
+    // 3. … and every policy in the registry schedules run 1.
     let run = generator.generate(1);
     println!(
         "run 1: {} phases, {} component instances, operation '{}', input '{}'\n",
@@ -43,7 +37,23 @@ fn main() {
         "{:<12} {:>12} {:>12} {:>8} {:>8} {:>8}",
         "scheduler", "time (s)", "cost ($)", "warm", "hot", "cold"
     );
-    let report = |outcome: daydream::platform::RunOutcome| {
+    for name in daydream::baselines::registry().names() {
+        let mut policy = daydream::baselines::registry()
+            .create(name)
+            .expect("registered policy");
+        policy.prepare(&training);
+        let ctx = PolicyContext {
+            run: &run,
+            runtimes: &runtimes,
+            vendor: CloudVendor::Aws,
+            seeds: SeedStream::new(7),
+        };
+        let outcome = match policy.build(&ctx) {
+            BuiltScheduler::Serverless(mut scheduler) => executor
+                .run(RunRequest::new(&run, &runtimes, scheduler.as_mut()))
+                .into_outcome(),
+            BuiltScheduler::Cluster(cluster) => cluster.execute(&run, &runtimes, CloudVendor::Aws),
+        };
         let (w, h, c) = outcome.start_counts();
         println!(
             "{:<12} {:>12.1} {:>12.5} {:>8} {:>8} {:>8}",
@@ -54,35 +64,5 @@ fn main() {
             h,
             c
         );
-    };
-
-    let mut oracle = OracleScheduler::new(run.clone(), 0.20);
-    report(
-        executor
-            .run(RunRequest::new(&run, &runtimes, &mut oracle))
-            .into_outcome(),
-    );
-
-    let mut daydream = DayDreamScheduler::aws(&history, SeedStream::new(7));
-    report(
-        executor
-            .run(RunRequest::new(&run, &runtimes, &mut daydream))
-            .into_outcome(),
-    );
-
-    let mut wild = WildScheduler::new();
-    report(
-        executor
-            .run(RunRequest::new(&run, &runtimes, &mut wild))
-            .into_outcome(),
-    );
-
-    report(Pegasus.execute(&run, &runtimes));
-
-    let mut naive = NaiveScheduler;
-    report(
-        executor
-            .run(RunRequest::new(&run, &runtimes, &mut naive))
-            .into_outcome(),
-    );
+    }
 }

@@ -4,17 +4,40 @@
 // Exact float equality below asserts bit-reproducibility (determinism contract).
 #![allow(clippy::float_cmp)]
 
-use daydream::baselines::{NaiveScheduler, OracleScheduler, Pegasus, WildScheduler};
+use daydream::baselines::NaiveScheduler;
 use daydream::core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use daydream::platform::{FaasConfig, FaasExecutor, PoolTrigger, RunOutcome};
 use daydream::stats::SeedStream;
 use daydream::wfdag::{RunGenerator, Workflow, WorkflowRun, WorkflowSpec};
-use dd_platform::{Executor, RunRequest};
+use dd_platform::{BuiltScheduler, CloudVendor, Executor, PolicyContext, RunRequest};
 
 fn setup(wf: Workflow, scale: usize) -> (RunGenerator, Vec<daydream::wfdag::LanguageRuntime>) {
     let spec = WorkflowSpec::new(wf).scaled_down(scale);
     let runtimes = spec.runtimes.clone();
     (RunGenerator::new(spec, 77), runtimes)
+}
+
+/// Builds the named registry policy's scheduler for one run (serverless
+/// policies only).
+fn policy_scheduler(
+    name: &str,
+    gen: &RunGenerator,
+    run: &WorkflowRun,
+    seed: u64,
+) -> Box<dyn daydream::platform::ServerlessScheduler + Send> {
+    let mut policy = daydream::baselines::registry()
+        .create(name)
+        .expect("registered policy");
+    policy.prepare(&gen.generate(1_000));
+    match policy.build(&PolicyContext {
+        run,
+        runtimes: &gen.spec().runtimes,
+        vendor: CloudVendor::Aws,
+        seeds: SeedStream::new(seed),
+    }) {
+        BuiltScheduler::Serverless(s) => s,
+        BuiltScheduler::Cluster(_) => panic!("{name} is a cluster policy"),
+    }
 }
 
 fn history_for(gen: &RunGenerator) -> DayDreamHistory {
@@ -67,16 +90,27 @@ fn headline_ordering_all_workflows() {
         let run = gen.generate(1);
         let mut exec = FaasExecutor::aws();
 
-        let mut oracle = OracleScheduler::new(run.clone(), 0.20);
+        let mut oracle = policy_scheduler("oracle", &gen, &run, 0);
         let o = exec
-            .run(RunRequest::new(&run, &runtimes, &mut oracle))
+            .run(RunRequest::new(&run, &runtimes, oracle.as_mut()))
             .into_outcome();
         let d = daydream_outcome(&run, &gen, 3);
-        let mut wild = WildScheduler::new();
+        let mut wild = policy_scheduler("wild", &gen, &run, 0);
         let w = exec
-            .run(RunRequest::new(&run, &runtimes, &mut wild))
+            .run(RunRequest::new(&run, &runtimes, wild.as_mut()))
             .into_outcome();
-        let p = Pegasus.execute(&run, &runtimes);
+        let pegasus = daydream::baselines::registry()
+            .create("pegasus")
+            .expect("registered policy");
+        let BuiltScheduler::Cluster(cluster) = pegasus.build(&PolicyContext {
+            run: &run,
+            runtimes: &runtimes,
+            vendor: CloudVendor::Aws,
+            seeds: SeedStream::new(0),
+        }) else {
+            panic!("pegasus is a cluster policy");
+        };
+        let p = cluster.execute(&run, &runtimes, CloudVendor::Aws);
 
         assert!(
             o.service_time_secs <= d.service_time_secs * 1.02,
@@ -233,20 +267,15 @@ fn execution_traces_validate_for_every_scheduler() {
     assert_eq!(trace.components.len(), run.total_components());
     assert_eq!(trace.phase_starts.len(), run.phase_count());
 
+    let mut wild = policy_scheduler("wild", &gen, &run, 0);
     let (_, trace) = exec
-        .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()).traced())
+        .run(RunRequest::new(&run, &runtimes, wild.as_mut()).traced())
         .into_traced();
     trace.validate().expect("wild trace");
 
+    let mut oracle = policy_scheduler("oracle", &gen, &run, 0);
     let (_, trace) = exec
-        .run(
-            RunRequest::new(
-                &run,
-                &runtimes,
-                &mut OracleScheduler::new(run.clone(), 0.20),
-            )
-            .traced(),
-        )
+        .run(RunRequest::new(&run, &runtimes, oracle.as_mut()).traced())
         .into_traced();
     trace.validate().expect("oracle trace");
     // The oracle's pool is never wasted: every pool trace entry is used.
@@ -329,27 +358,23 @@ fn des_executor_agrees_with_analytic_for_real_schedulers() {
         .into_outcome();
     check(&analytic, &des, "daydream");
 
+    let mut wild = policy_scheduler("wild", &gen, &run, 0);
     let analytic = FaasExecutor::aws()
-        .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+        .run(RunRequest::new(&run, &runtimes, wild.as_mut()))
         .into_outcome();
+    let mut wild = policy_scheduler("wild", &gen, &run, 0);
     let des = DesFaasExecutor::aws()
-        .run(RunRequest::new(&run, &runtimes, &mut WildScheduler::new()))
+        .run(RunRequest::new(&run, &runtimes, wild.as_mut()))
         .into_outcome();
     check(&analytic, &des, "wild");
 
+    let mut oracle = policy_scheduler("oracle", &gen, &run, 0);
     let analytic = FaasExecutor::aws()
-        .run(RunRequest::new(
-            &run,
-            &runtimes,
-            &mut OracleScheduler::new(run.clone(), 0.20),
-        ))
+        .run(RunRequest::new(&run, &runtimes, oracle.as_mut()))
         .into_outcome();
+    let mut oracle = policy_scheduler("oracle", &gen, &run, 0);
     let des = DesFaasExecutor::aws()
-        .run(RunRequest::new(
-            &run,
-            &runtimes,
-            &mut OracleScheduler::new(run.clone(), 0.20),
-        ))
+        .run(RunRequest::new(&run, &runtimes, oracle.as_mut()))
         .into_outcome();
     check(&analytic, &des, "oracle");
 }

@@ -2,13 +2,32 @@
 //! invariants that must hold for arbitrary seeds, workloads and
 //! configurations — not just the calibrated defaults.
 
-use daydream::baselines::OracleScheduler;
 use daydream::core::{DayDreamConfig, DayDreamHistory, DayDreamScheduler};
 use daydream::platform::{FaasExecutor, StartupModel, Tier};
 use daydream::stats::{fit_weibull_grid, Histogram, SeedStream, Weibull};
 use daydream::wfdag::{ComponentInstance, ComponentTypeId, RunGenerator, Workflow, WorkflowSpec};
-use dd_platform::{Executor, RunRequest};
+use dd_platform::{BuiltScheduler, Executor, PolicyContext, RunRequest};
 use proptest::prelude::*;
+
+/// Builds the registry's oracle scheduler for one run (the oracle reads
+/// the run itself; it consumes no history and no seeds).
+fn oracle_for(
+    run: &daydream::wfdag::WorkflowRun,
+    runtimes: &[daydream::wfdag::LanguageRuntime],
+) -> Box<dyn daydream::platform::ServerlessScheduler + Send> {
+    let policy = daydream::baselines::registry()
+        .create("oracle")
+        .expect("registered policy");
+    match policy.build(&PolicyContext {
+        run,
+        runtimes,
+        vendor: daydream::platform::CloudVendor::Aws,
+        seeds: SeedStream::new(0),
+    }) {
+        BuiltScheduler::Serverless(s) => s,
+        BuiltScheduler::Cluster(_) => panic!("oracle is a serverless policy"),
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -91,8 +110,8 @@ proptest! {
         let run = gen.generate((seed % 8) as usize);
         let mut exec = FaasExecutor::aws();
 
-        let mut oracle = OracleScheduler::new(run.clone(), 0.20);
-        let o = exec.run(RunRequest::new(&run, &runtimes, &mut oracle)).into_outcome();
+        let mut oracle = oracle_for(&run, &runtimes);
+        let o = exec.run(RunRequest::new(&run, &runtimes, oracle.as_mut())).into_outcome();
 
         let mut history = DayDreamHistory::new();
         history.learn_from_run(&gen.generate(1_000), 0.20, 24);
@@ -197,8 +216,9 @@ proptest! {
             ..FaasConfig::default()
         };
         let execute = |idx: usize| {
-            let mut oracle = OracleScheduler::new(gen.generate(idx), 0.20);
-            FaasExecutor::new(config).run(RunRequest::new(&gen.generate(idx), &runtimes, &mut oracle)).into_outcome()
+            let run = gen.generate(idx);
+            let mut oracle = oracle_for(&run, &runtimes);
+            FaasExecutor::new(config).run(RunRequest::new(&run, &runtimes, oracle.as_mut())).into_outcome()
         };
 
         let serial = dd_bench::par_map(1, 4, execute);
@@ -217,8 +237,8 @@ proptest! {
             // The DES executor replays the same fault plan to the same
             // outcome.
             let run = gen.generate(idx);
-            let mut oracle = OracleScheduler::new(run.clone(), 0.20);
-            let des = DesFaasExecutor::new(config).run(RunRequest::new(&run, &runtimes, &mut oracle)).into_outcome();
+            let mut oracle = oracle_for(&run, &runtimes);
+            let des = DesFaasExecutor::new(config).run(RunRequest::new(&run, &runtimes, oracle.as_mut())).into_outcome();
             prop_assert!(
                 (a.service_time_secs - des.service_time_secs).abs() < 1e-9,
                 "DES {} vs analytic {}", des.service_time_secs, a.service_time_secs

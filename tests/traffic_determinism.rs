@@ -97,7 +97,7 @@ proptest! {
             ..TrafficParams::default()
         };
         let base = simulate_stream(&params);
-        let threaded = simulate_stream(&TrafficParams { jobs: 8, ..params });
+        let threaded = simulate_stream(&TrafficParams { jobs: 8, ..params.clone() });
         let analytic = simulate_stream(&TrafficParams {
             jobs: 8,
             executor: InnerExecutor::Analytic,

@@ -1,0 +1,48 @@
+//! Policy-zoo golden test: every registered policy crossed with the
+//! PR-3 fault matrix (failure rate x recovery policy), rendered at smoke
+//! scale, must be byte-identical across `--jobs` settings AND
+//! byte-identical to the committed golden report. Any drift in a policy,
+//! the registry order, the fault engine or the executors shows up here
+//! as a diff against `tests/golden/zoo_matrix.txt`.
+//!
+//! To re-bless after an *intended* behaviour change:
+//!
+//! ```bash
+//! DD_BLESS=1 cargo test --test zoo_golden
+//! ```
+//!
+//! and say why in the commit message.
+
+use dd_bench::experiments::zoo;
+use dd_bench::ExperimentContext;
+
+fn smoke_ctx(jobs: usize) -> ExperimentContext {
+    ExperimentContext {
+        runs_per_workflow: 2,
+        scale_down: 15,
+        ..ExperimentContext::default()
+    }
+    .with_jobs(jobs)
+}
+
+#[test]
+fn zoo_matrix_matches_golden_at_any_thread_count() {
+    let serial = zoo::run(&smoke_ctx(1));
+    let parallel = zoo::run(&smoke_ctx(8));
+    assert_eq!(serial, parallel, "zoo report must not depend on --jobs");
+
+    if std::env::var_os("DD_BLESS").is_some() {
+        std::fs::write(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/zoo_matrix.txt"),
+            &serial,
+        )
+        .expect("write golden");
+        return;
+    }
+    let golden = include_str!("golden/zoo_matrix.txt");
+    assert_eq!(
+        serial, golden,
+        "zoo report drifted from tests/golden/zoo_matrix.txt \
+         (re-bless with DD_BLESS=1 if the change is intended)"
+    );
+}
